@@ -1,0 +1,207 @@
+"""Design-choice ablations called out by the paper's analysis.
+
+1. **Sparsity correction factor** — §6: "We attribute the vastly
+   superior performance [of rahman2023] to the sparsity correction
+   factor it uses."  We re-run FXRZ with the sparsity features removed
+   and measure the MedAPE degradation on the sparse fields.
+2. **Interpolation data augmentation** — §2.2: FXRZ's augmentation
+   "brought down the training cost for this class of model
+   substantially".  We compare accuracy at a reduced training-set size
+   with and without augmentation.
+3. **Bandwidth prediction** — §7 future work 4: FXRZ retargeted at
+   compression bandwidth.
+4. **ZPerf counterfactuals** — §2.2: predict a compressor configuration
+   that was never run and compare against actually running it.
+5. **SECRE sampling fraction** — the accuracy/speed dial of the
+   sampling schemes (more samples → closer to jin's full-data probe).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import make_compressor
+from repro.core import SizeMetrics
+from repro.mlkit import GroupKFold, medape
+from repro.predict import get_scheme
+from repro.predict.schemes.fxrz import FXRZPredictor, Rahman2023Scheme
+
+
+def _sz3_rows(observations, scheme_id="rahman2023"):
+    rows = [
+        dict(o) for o in observations
+        if o["compressor"] == "sz3" and o.get(f"scheme:{scheme_id}:supported")
+    ]
+    y = np.asarray([o["size:compression_ratio"] for o in rows])
+    groups = np.asarray([o["field"] for o in rows])
+    return rows, y, groups
+
+
+def _grouped_oof(predictor_factory, rows, y, groups, k=5):
+    oof = np.full(y.shape, np.nan)
+    for train, val in GroupKFold(min(k, np.unique(groups).size)).split(groups):
+        predictor = predictor_factory()
+        predictor.fit([rows[i] for i in train], y[train])
+        oof[val] = predictor.predict_many([rows[i] for i in val])
+    return oof
+
+
+def test_sparsity_correction_ablation(benchmark, observations):
+    """Removing the sparsity features must hurt, most on sparse fields."""
+    from repro.dataset import SPARSE_THRESHOLDS
+
+    rows, y, groups = _sz3_rows(observations)
+    scheme = get_scheme("rahman2023")
+    comp = make_compressor("sz3", pressio__abs=1e-3)
+
+    no_sparsity_keys = [
+        k for k in scheme.feature_keys() if not k.startswith("sparsity:")
+    ]
+
+    def with_factory():
+        return scheme.get_predictor(comp)
+
+    def without_factory():
+        from repro.mlkit import RandomForestRegressor
+
+        return FXRZPredictor(
+            RandomForestRegressor(n_estimators=30, max_depth=12, random_state=0),
+            no_sparsity_keys,
+            sparsity_correction=False,
+        )
+
+    def run():
+        oof_with = _grouped_oof(with_factory, rows, y, groups)
+        oof_without = _grouped_oof(without_factory, rows, y, groups)
+        return oof_with, oof_without
+
+    oof_with, oof_without = benchmark.pedantic(run, rounds=1, iterations=1)
+    sparse_idx = [i for i, o in enumerate(rows) if o["field"] in SPARSE_THRESHOLDS]
+    m_with = medape(y[sparse_idx], oof_with[sparse_idx])
+    m_without = medape(y[sparse_idx], oof_without[sparse_idx])
+    benchmark.extra_info["sparse_fields_with_correction"] = round(m_with, 2)
+    benchmark.extra_info["sparse_fields_without_correction"] = round(m_without, 2)
+    assert m_with <= m_without * 1.1, (
+        "the sparsity features should not hurt on sparse fields"
+    )
+
+
+def test_augmentation_ablation(benchmark, observations):
+    """With few real observations, augmentation should help (or at
+    least not hurt) — the FXRZ training-cost-reduction claim."""
+    rows, y, groups = _sz3_rows(observations)
+    # Keep only 2 observations per field → scarce-training regime.
+    keep: list[int] = []
+    seen: dict[str, int] = {}
+    for i, g in enumerate(groups):
+        if seen.get(g, 0) < 2:
+            keep.append(i)
+            seen[g] = seen.get(g, 0) + 1
+    rows = [rows[i] for i in keep]
+    y = y[keep]
+    groups = groups[keep]
+
+    def factory(augment_factor):
+        def make():
+            return get_scheme(
+                "rahman2023", augment_factor=augment_factor
+            ).get_predictor(make_compressor("sz3", pressio__abs=1e-3))
+        return make
+
+    def run():
+        plain = _grouped_oof(factory(1.0), rows, y, groups)
+        augmented = _grouped_oof(factory(4.0), rows, y, groups)
+        return medape(y, plain), medape(y, augmented)
+
+    m_plain, m_augmented = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["scarce_no_augment"] = round(m_plain, 2)
+    benchmark.extra_info["scarce_with_augment"] = round(m_augmented, 2)
+    assert m_augmented <= m_plain * 1.35  # must not substantially hurt
+
+
+def test_bandwidth_prediction(benchmark, runner, observations):
+    """Future work 4: predict compression bandwidth with FXRZ features."""
+    scheme = get_scheme("rahman2023_bandwidth")
+    # The campaign was collected with the CR-targeted rahman2023 scheme;
+    # the bandwidth variant consumes the identical metric set, so its
+    # support flag aliases the original's.
+    observations = [
+        {**o, "scheme:rahman2023_bandwidth:supported": o.get("scheme:rahman2023:supported", False)}
+        for o in observations
+    ]
+    row = benchmark.pedantic(
+        runner.evaluate_scheme,
+        args=(scheme, "sz3", observations),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["bandwidth_medape"] = round(row.medape_pct, 2)
+    benchmark.extra_info["n_observations"] = row.n_observations
+    # Bandwidth is runtime-noisy; require it to be a usable estimate.
+    assert row.medape_pct < 100.0
+
+
+def test_zperf_counterfactual_accuracy(benchmark, hurricane):
+    """Predict the CR of sz3 with a *different* predictor stage without
+    running that configuration, then check against actually running it."""
+    scheme = get_scheme("wang2023")
+    comp = make_compressor("sz3", pressio__abs=1e-3)
+
+    entries = [hurricane.load_data(i) for i in range(0, len(hurricane), 3)]
+
+    def collect_and_fit():
+        rows, targets = [], []
+        for data in entries:
+            arr = data.array
+            eb = 1e-4 * float(arr.max() - arr.min() or 1.0)
+            c = make_compressor("sz3", pressio__abs=eb)
+            res = scheme.req_metrics_opts(c).evaluate(data).to_dict()
+            rows.append((res, eb))
+            size = SizeMetrics()
+            c.set_metrics([size])
+            c.compress(data)
+            targets.append(c.get_metrics_results()["size:compression_ratio"])
+        predictor = scheme.get_predictor(comp)
+        predictor.fit([r for r, _ in rows], targets)
+        return predictor, rows
+
+    predictor, rows = benchmark.pedantic(collect_and_fit, rounds=1, iterations=1)
+
+    cf_preds, cf_truths = [], []
+    for (res, eb), data in zip(rows, entries):
+        cf_preds.append(predictor.predict_counterfactual(res, order=2))
+        actual = make_compressor("sz3", pressio__abs=eb)
+        actual.set_options({"sz3:predictor": "lorenzo2"})
+        size = SizeMetrics()
+        actual.set_metrics([size])
+        actual.compress(data)
+        cf_truths.append(actual.get_metrics_results()["size:compression_ratio"])
+    err = medape(cf_truths, cf_preds)
+    benchmark.extra_info["counterfactual_medape"] = round(err, 2)
+    assert err < 120.0  # counterfactuals are coarse but must be usable
+
+
+@pytest.mark.parametrize("fraction", [0.02, 0.1, 0.4])
+def test_secre_sampling_fraction(benchmark, observations, fraction, hurricane):
+    """More sampling → khan converges towards jin's full-data accuracy."""
+    scheme = get_scheme("khan2023", fraction=fraction)
+    truths, preds = [], []
+
+    def run():
+        truths.clear()
+        preds.clear()
+        for i in range(0, len(hurricane), 5):
+            data = hurricane.load_data(i)
+            arr = data.array
+            eb = 1e-4 * float(arr.max() - arr.min() or 1.0)
+            comp = make_compressor("sz3", pressio__abs=eb)
+            res = scheme.req_metrics_opts(comp).evaluate(data).to_dict()
+            preds.append(scheme.get_predictor(comp).predict(res))
+            size = SizeMetrics()
+            comp.set_metrics([size])
+            comp.compress(data)
+            truths.append(comp.get_metrics_results()["size:compression_ratio"])
+        return medape(truths, preds)
+
+    err = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["medape"] = round(err, 2)
+    benchmark.extra_info["fraction"] = fraction

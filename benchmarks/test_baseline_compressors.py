@@ -1,0 +1,75 @@
+"""§6 baseline: compressor compress/decompress wall times.
+
+Paper (Hurricane, per field): SZ3 compression 322.8 ± 30.1 ms,
+decompression 101.98 ± 26.72 ms; ZFP 65.49 ± 25.33 / 33.86 ± 16.21 ms.
+"This is the number that sampling methods aim to defeat."
+
+Expected shape on our substrate: ZFP compresses and decompresses several
+times faster than SZ3 (no entropy-coding stage), with absolute numbers
+scaled down by the smaller synthetic grid.
+"""
+
+import pytest
+
+from repro.compressors import make_compressor
+
+PAPER_MS = {
+    ("sz3", "compress"): 322.8,
+    ("sz3", "decompress"): 101.98,
+    ("zfp", "compress"): 65.49,
+    ("zfp", "decompress"): 33.86,
+}
+
+
+def _eb(data) -> float:
+    arr = data.array
+    return 1e-4 * float(arr.max() - arr.min())
+
+
+@pytest.mark.parametrize("name", ["sz3", "zfp", "szx"])
+def test_compress_time(benchmark, name, pressure_field):
+    comp = make_compressor(name, pressio__abs=_eb(pressure_field))
+    result = benchmark(comp.compress, pressure_field)
+    benchmark.extra_info["compression_ratio"] = pressure_field.nbytes / result.nbytes
+    if (name, "compress") in PAPER_MS:
+        benchmark.extra_info["paper_ms"] = PAPER_MS[(name, "compress")]
+
+
+@pytest.mark.parametrize("name", ["sz3", "zfp", "szx"])
+def test_decompress_time(benchmark, name, pressure_field):
+    comp = make_compressor(name, pressio__abs=_eb(pressure_field))
+    stream = comp.compress(pressure_field)
+    benchmark(comp.decompress, stream)
+    if (name, "decompress") in PAPER_MS:
+        benchmark.extra_info["paper_ms"] = PAPER_MS[(name, "decompress")]
+
+
+def test_zfp_faster_than_sz3(benchmark, observations):
+    """The paper's headline baseline contrast: ZFP ~5x faster than SZ3.
+
+    Measured the way the paper does — averaged over *all* fields,
+    timesteps and both bounds (a single smooth field at a liberal bound
+    can flip the ordering because SZ3's Huffman stage gets trivially
+    cheap there; the tight-bound sparse/dense mix is where the entropy
+    coder's cost dominates).
+    """
+    import numpy as np
+
+    def summarise():
+        out = {}
+        for name in ("sz3", "zfp"):
+            times = [
+                o["time:compress"] for o in observations
+                if o["compressor"] == name and "time:compress" in o
+            ]
+            out[name] = float(np.mean(times))
+        return out
+
+    times = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    assert times["zfp"] < times["sz3"], (
+        f"expected zfp faster than sz3 on campaign average, got {times}"
+    )
+    benchmark.extra_info["sz3_mean_ms"] = round(times["sz3"] * 1e3, 2)
+    benchmark.extra_info["zfp_mean_ms"] = round(times["zfp"] * 1e3, 2)
+    benchmark.extra_info["speedup"] = round(times["sz3"] / times["zfp"], 2)
+    benchmark.extra_info["paper_speedup"] = round(322.8 / 65.49, 2)

@@ -1,0 +1,142 @@
+"""Extended experiment: the black-box trained schemes on Table 2's
+protocol.
+
+The paper excluded krasowska2021 / underwood2023 / ganguli2023 "due to
+time constraints" (§5) while predicting (§6) that the mixture model of
+ganguli2023 "would also do well in this use case" — its paper reports a
+worst-case error under 12.5% on a hurricane subset.  This bench closes
+that gap: same dataset, same grouped 10-fold CV, all schemes.
+
+Expected shape: the trained black-box schemes beat the sampling-based
+khan2023, and the mixture+conformal ganguli2023 handles the sparse/dense
+mix better than the single linear fit of krasowska2021.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentRunner, format_table2
+from repro.compressors import make_compressor
+from repro.mlkit import coverage
+from repro.predict import get_scheme
+
+BLACKBOX = ("krasowska2021", "underwood2023", "ganguli2023")
+
+
+@pytest.fixture(scope="module")
+def blackbox_runner(hurricane, tmp_path_factory):
+    from repro.bench import CheckpointStore
+
+    store = CheckpointStore(
+        str(tmp_path_factory.mktemp("blackbox") / "checkpoint.db")
+    )
+    return ExperimentRunner(
+        hurricane,
+        compressors=("sz3", "zfp"),
+        bounds=(1e-6, 1e-4),
+        schemes=BLACKBOX + ("khan2023",),
+        store=store,
+        n_folds=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def blackbox_obs(blackbox_runner):
+    obs, stats = blackbox_runner.collect()
+    assert stats.failed == 0
+    return obs
+
+
+def test_blackbox_quality(benchmark, blackbox_runner, blackbox_obs):
+    rows = benchmark.pedantic(
+        blackbox_runner.table2, args=(blackbox_obs,), rounds=1, iterations=1
+    )
+    by_key = {(r.method, r.compressor): r for r in rows}
+    print()
+    print(format_table2(rows, title="Black-box schemes (extended experiment)"))
+    for comp in ("sz3", "zfp"):
+        ganguli = by_key[("ganguli2023", comp)].medape_pct
+        krasowska = by_key[("krasowska2021", comp)].medape_pct
+        # §6's expectation: the mixture model handles the sparse/dense
+        # split better than a single linear fit.
+        assert ganguli < krasowska, (
+            f"mixture model should beat single linear fit on {comp}"
+        )
+        # Every black-box scheme must remain a usable estimator.
+        for m in BLACKBOX:
+            measured = by_key[(m, comp)].medape_pct
+            assert measured < 120.0, (m, comp, measured)
+            benchmark.extra_info[f"{comp}_{m}_medape"] = round(measured, 2)
+        # khan2023 is reported for context: on this substrate the
+        # stage-model methods enjoy a structural advantage (the codec
+        # *is* their model), so no cross-family ordering is asserted.
+        benchmark.extra_info[f"{comp}_khan2023_medape"] = round(
+            by_key[("khan2023", comp)].medape_pct, 2
+        )
+
+
+def test_ganguli_conformal_coverage(benchmark, blackbox_obs):
+    """Ganguli's differentiator: calibrated bounds on the estimate.
+
+    Split conformal guarantees marginal coverage under exchangeability,
+    so the headline check uses a random (exchangeable) split.  Coverage
+    under *field-level* covariate shift — training without some fields
+    entirely — is also measured and reported: it degrades, which is
+    exactly why the HDF5 use case keeps an append fallback.
+    """
+
+    def run(split_by_field: bool) -> float:
+        scheme = get_scheme("ganguli2023", alpha=0.1)
+        comp = make_compressor("sz3", pressio__abs=1e-3)
+        obs = [o for o in blackbox_obs if o["compressor"] == "sz3"]
+        if split_by_field:
+            fields = sorted({o["field"] for o in obs})
+            held_out = set(fields[::4])
+            train = [o for o in obs if o["field"] not in held_out]
+            test = [o for o in obs if o["field"] in held_out]
+        else:
+            rng = np.random.default_rng(0)
+            perm = rng.permutation(len(obs))
+            cut = len(obs) * 3 // 4
+            train = [obs[i] for i in perm[:cut]]
+            test = [obs[i] for i in perm[cut:]]
+        y_train = [o["size:compression_ratio"] for o in train]
+        y_test = np.asarray([o["size:compression_ratio"] for o in test])
+        predictor = scheme.get_predictor(comp)
+        predictor.fit(train, y_train)
+        intervals = [predictor.predict_interval(o) for o in test]
+        lo = np.asarray([iv[1] for iv in intervals])
+        hi = np.asarray([iv[2] for iv in intervals])
+        return coverage(y_test, lo, hi)
+
+    def measure():
+        return run(split_by_field=False), run(split_by_field=True)
+
+    cov_iid, cov_shift = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["coverage_exchangeable"] = round(cov_iid, 3)
+    benchmark.extra_info["coverage_field_shift"] = round(cov_shift, 3)
+    benchmark.extra_info["nominal"] = 0.9
+    assert cov_iid >= 0.7  # finite-sample slack around the 0.9 nominal
+
+
+def test_underwood_stage_split(benchmark, blackbox_obs):
+    """Underwood's profile: heavy error-agnostic stage, light
+    error-dependent stage (the amortisation profile of §6)."""
+    agn = [
+        o["time:underwood2023:error_agnostic"]
+        for o in blackbox_obs
+        if "time:underwood2023:error_agnostic" in o
+    ]
+    dep = [
+        o["time:underwood2023:error_dependent"]
+        for o in blackbox_obs
+        if "time:underwood2023:error_dependent" in o
+    ]
+
+    def summarise():
+        return float(np.mean(agn)), float(np.mean(dep))
+
+    agn_mean, dep_mean = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    assert agn_mean > dep_mean
+    benchmark.extra_info["error_agnostic_ms"] = round(agn_mean * 1e3, 3)
+    benchmark.extra_info["error_dependent_ms"] = round(dep_mean * 1e3, 3)

@@ -1,0 +1,129 @@
+"""Extended coverage: all five codecs and the non-weather datasets.
+
+The paper limits its evaluation to SZ3/ZFP on Hurricane "due to time
+constraints" (§5) and lists broader dataset coverage as future work 2.
+These benches extend both axes on our substrate:
+
+1. every codec (sz3, zfp, szx, sperr) under the khan2023 and tao2019
+   untrained schemes — SECRE's own paper targets SZx and SPERR;
+2. the SZ3 predictor-stage ablation (none/lorenzo/lorenzo2/interp) —
+   both the CR effect and the ZPerf counterfactual's raw material;
+3. cross-dataset evaluation: rahman2023 trained on Hurricane applied to
+   CESM/Nyx/S3D/turbulence, versus trained in-domain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import make_compressor
+from repro.core import SizeMetrics
+from repro.mlkit import medape
+from repro.predict import get_scheme
+
+ALL_CODECS = ("sz3", "zfp", "szx", "sperr")
+
+
+def _true_cr(comp, data) -> float:
+    size = SizeMetrics()
+    comp.set_metrics([size])
+    comp.compress(data)
+    cr = comp.get_metrics_results()["size:compression_ratio"]
+    comp.set_metrics([])
+    return cr
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+@pytest.mark.parametrize("scheme_name", ["khan2023", "tao2019"])
+def test_untrained_schemes_all_codecs(benchmark, codec, scheme_name, hurricane):
+    """Estimate vs truth across codecs for the no-training schemes."""
+    scheme = get_scheme(scheme_name)
+    entries = [hurricane.load_data(i) for i in range(0, len(hurricane), 7)]
+
+    def run():
+        truths, preds = [], []
+        for data in entries:
+            arr = data.array
+            eb = 1e-4 * float(arr.max() - arr.min() or 1.0)
+            comp = make_compressor(codec, pressio__abs=eb)
+            res = scheme.req_metrics_opts(comp).evaluate(data).to_dict()
+            preds.append(scheme.get_predictor(comp).predict(res))
+            truths.append(_true_cr(comp, data))
+        return medape(truths, preds)
+
+    err = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["medape"] = round(err, 2)
+    assert err < 250.0  # usable even in the paper's worst case (381 was zfp khan)
+
+
+def test_sz3_predictor_stage_ablation(benchmark, pressure_field):
+    """CR across SZ3's predictor stages; interp should lead on the
+    smooth pressure field (SZ3's real-world default for a reason)."""
+    arr = pressure_field.array
+    eb = 1e-4 * float(arr.max() - arr.min())
+
+    def run():
+        out = {}
+        for predictor in ("none", "lorenzo", "lorenzo2", "interp"):
+            comp = make_compressor("sz3", pressio__abs=eb)
+            comp.set_options({"sz3:predictor": predictor})
+            out[predictor] = arr.nbytes / comp.compress(pressure_field).nbytes
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, cr in ratios.items():
+        benchmark.extra_info[f"cr_{name}"] = round(cr, 2)
+    assert ratios["lorenzo"] > ratios["none"], ratios
+    assert ratios["interp"] > ratios["none"], ratios
+
+
+def test_cross_dataset_transfer(benchmark):
+    """Train FXRZ on Hurricane, deploy on the non-weather datasets.
+
+    Out-of-domain transfer degrades versus in-domain training — the
+    quantitative backing for future work 2's call to broaden training
+    data.
+    """
+    from repro.dataset import HurricaneDataset, make_scientific_suite
+
+    scheme = get_scheme("rahman2023")
+    comp = make_compressor("sz3", pressio__abs=1e-3)
+
+    def collect(dataset):
+        rows, targets = [], []
+        for i in range(len(dataset)):
+            data = dataset.load_data(i)
+            arr = data.array
+            vrange = float(arr.max() - arr.min() or 1.0)
+            for rel in (1e-5, 1e-4, 1e-3):
+                c = make_compressor("sz3", pressio__abs=rel * vrange)
+                res = scheme.req_metrics_opts(c).evaluate(data).to_dict()
+                res.update(scheme.config_features(c))
+                rows.append(res)
+                targets.append(_true_cr(c, data))
+        return rows, np.asarray(targets)
+
+    def run():
+        hur_rows, hur_y = collect(HurricaneDataset(shape=(16, 16, 8), timesteps=[0, 24]))
+        suite = make_scientific_suite(timesteps=1)
+        results = {}
+        for name, ds in suite.items():
+            test_rows, test_y = collect(ds)
+            # Out-of-domain: trained on Hurricane only.
+            transfer = scheme.get_predictor(comp)
+            transfer.fit(hur_rows, hur_y)
+            ood = medape(test_y, transfer.predict_many(test_rows))
+            # In-domain: leave-one-out within the target dataset.
+            joint = scheme.get_predictor(comp)
+            joint.fit(hur_rows + test_rows[::2], np.concatenate([hur_y, test_y[::2]]))
+            mixed = medape(test_y[1::2], joint.predict_many(test_rows[1::2]))
+            results[name] = (ood, mixed)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    improved = 0
+    for name, (ood, mixed) in results.items():
+        benchmark.extra_info[f"{name}_transfer_medape"] = round(ood, 2)
+        benchmark.extra_info[f"{name}_indomain_medape"] = round(mixed, 2)
+        improved += mixed <= ood * 1.05
+    # Adding in-domain data helps (or at worst ties) on most datasets.
+    assert improved >= len(results) - 1

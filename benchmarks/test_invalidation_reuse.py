@@ -1,0 +1,115 @@
+"""Q1 ablation: invalidation-aware metric reuse (Figure 1 / §4.2).
+
+The paper's first key question: "How to generically enable maximum reuse
+of previously observed metrics in predictions to reduce the
+computational overhead?"  This ablation sweeps error bounds for the
+rahman2023 feature set with and without the evaluator's cache and
+measures the speedup — the benefit is exactly the error-agnostic work
+that does not repeat.
+"""
+
+import time
+
+import pytest
+
+from repro.compressors import make_compressor
+from repro.predict import ALL_INVALIDATIONS, get_scheme
+
+BOUNDS = [10.0 ** e for e in (-6, -5, -4, -3, -2)]
+
+
+def _vrange(data) -> float:
+    arr = data.array
+    return float(arr.max() - arr.min())
+
+
+def test_sweep_with_reuse(benchmark, pressure_field):
+    scheme = get_scheme("rahman2023")
+    vrange = _vrange(pressure_field)
+
+    def sweep():
+        comp = make_compressor("sz3", pressio__abs=BOUNDS[0] * vrange)
+        evaluator = scheme.req_metrics_opts(comp)
+        evaluator.evaluate(pressure_field)
+        for eb in BOUNDS[1:]:
+            evaluator.set_options({"pressio:abs": eb * vrange})
+            evaluator.evaluate(pressure_field, changed=["pressio:abs"])
+        return evaluator
+
+    evaluator = benchmark(sweep)
+    assert evaluator.reused > 0
+
+
+def test_sweep_without_reuse(benchmark, pressure_field):
+    scheme = get_scheme("rahman2023")
+    vrange = _vrange(pressure_field)
+
+    def sweep():
+        comp = make_compressor("sz3", pressio__abs=BOUNDS[0] * vrange)
+        evaluator = scheme.req_metrics_opts(comp)
+        for eb in BOUNDS:
+            evaluator.set_options({"pressio:abs": eb * vrange})
+            # Naming every class forces full recomputation each step.
+            evaluator.evaluate(pressure_field, changed=ALL_INVALIDATIONS)
+        return evaluator
+
+    evaluator = benchmark(sweep)
+    assert evaluator.reused == 0
+
+
+def test_reuse_speedup(benchmark, pressure_field):
+    """Cached sweep must be decisively faster than the naive sweep."""
+    scheme = get_scheme("rahman2023")
+    vrange = _vrange(pressure_field)
+
+    def run(reuse: bool) -> float:
+        comp = make_compressor("sz3", pressio__abs=BOUNDS[0] * vrange)
+        evaluator = scheme.req_metrics_opts(comp)
+        t0 = time.perf_counter()
+        for k, eb in enumerate(BOUNDS):
+            evaluator.set_options({"pressio:abs": eb * vrange})
+            changed = (
+                ALL_INVALIDATIONS if not reuse
+                else (ALL_INVALIDATIONS if k == 0 else ["pressio:abs"])
+            )
+            evaluator.evaluate(pressure_field, changed=changed)
+        return time.perf_counter() - t0
+
+    def measure():
+        return run(reuse=True), run(reuse=False)
+
+    cached_s, naive_s = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert cached_s < naive_s
+    benchmark.extra_info["speedup"] = round(naive_s / cached_s, 2)
+    benchmark.extra_info["bounds_swept"] = len(BOUNDS)
+
+
+def test_reuse_across_compressor_bound_matrix(benchmark, pressure_field):
+    """Interactive development scenario from Q1: evaluating one scheme
+    across many (compressor, bound) pairs on the same data — the
+    error-agnostic features never recompute."""
+    scheme = get_scheme("rahman2023")
+    vrange = _vrange(pressure_field)
+
+    def matrix():
+        total_computed = 0
+        total_reused = 0
+        for comp_name in ("sz3", "zfp", "szx"):
+            comp = make_compressor(comp_name, pressio__abs=1e-6 * vrange)
+            evaluator = scheme.req_metrics_opts(comp)
+            for k, eb in enumerate(BOUNDS):
+                evaluator.set_options({"pressio:abs": eb * vrange})
+                evaluator.evaluate(
+                    pressure_field,
+                    changed=ALL_INVALIDATIONS if k == 0 else ["pressio:abs"],
+                )
+            total_computed += evaluator.computed
+            total_reused += evaluator.reused
+        return total_computed, total_reused
+
+    computed, reused = benchmark(matrix)
+    # 3 metrics x 3 compressors x 5 bounds = 45 evaluations; all but the
+    # first per compressor are reused (features are error-agnostic).
+    assert reused >= computed
+    benchmark.extra_info["computed"] = computed
+    benchmark.extra_info["reused"] = reused

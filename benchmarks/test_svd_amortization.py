@@ -1,0 +1,102 @@
+"""§6 narrative: amortising the SVD's error-agnostic cost.
+
+"Other works that use training such as [Underwood 2023] are competitive
+in terms of their error-dependent metrics with less than 43ms.  However,
+this work requires the computation of the SVD truncation which takes
+closer to 771ms making it suitable for cases where multiple compression
+operations are performed on the same data."
+
+Expected shape: the SVD stage costs an order of magnitude more than the
+error-dependent stage, and with the invalidation-aware evaluator its
+cost is paid once per dataset, so a sweep over K bounds approaches the
+cost of K error-dependent evaluations.
+"""
+
+import time
+
+import pytest
+
+from repro.compressors import make_compressor
+from repro.core import PressioData
+from repro.predict import get_scheme
+from repro.predict.metrics import QuantizedEntropyMetric, SVDTruncationMetric
+
+
+def _eb(data) -> float:
+    arr = data.array
+    return 1e-4 * float(arr.max() - arr.min())
+
+
+def test_svd_stage_cost(benchmark, pressure_field):
+    metric = SVDTruncationMetric()
+    opts = make_compressor("sz3", pressio__abs=_eb(pressure_field)).get_options()
+
+    def run():
+        metric.reset()
+        metric.begin_compress_impl(pressure_field, opts)
+        return metric.get_metrics_results()
+
+    result = benchmark(run)
+    benchmark.extra_info["truncation_rank"] = result["svd:truncation_rank"]
+    benchmark.extra_info["paper_ms"] = 771.0
+
+
+def test_error_dependent_stage_cost(benchmark, pressure_field):
+    metric = QuantizedEntropyMetric()
+    opts = make_compressor("sz3", pressio__abs=_eb(pressure_field)).get_options()
+
+    def run():
+        metric.reset()
+        metric.begin_compress_impl(pressure_field, opts)
+        return metric.get_metrics_results()
+
+    benchmark(run)
+    benchmark.extra_info["paper_ms"] = 43.0
+
+
+def test_svd_dominates_error_dependent(benchmark, pressure_field):
+    """The cost asymmetry that motivates amortisation."""
+    opts = make_compressor("sz3", pressio__abs=_eb(pressure_field)).get_options()
+
+    def measure():
+        svd = SVDTruncationMetric()
+        qent = QuantizedEntropyMetric()
+        t0 = time.perf_counter()
+        svd.begin_compress_impl(pressure_field, opts)
+        svd_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        qent.begin_compress_impl(pressure_field, opts)
+        qent_s = time.perf_counter() - t0
+        return svd_s, qent_s
+
+    svd_s, qent_s = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert svd_s > qent_s, "SVD must be the expensive stage"
+    benchmark.extra_info["ratio"] = svd_s / qent_s
+    benchmark.extra_info["paper_ratio"] = 771.0 / 43.0
+
+
+def test_amortized_sweep(benchmark, pressure_field):
+    """Underwood scheme over K bounds: the SVD is computed once and the
+    remaining sweep steps only pay the error-dependent metric."""
+    bounds = [10.0 ** e for e in (-6, -5, -4, -3, -2)]
+    arr = pressure_field.array
+    vrange = float(arr.max() - arr.min())
+    scheme = get_scheme("underwood2023")
+
+    def sweep():
+        comp = make_compressor("sz3", pressio__abs=bounds[0] * vrange)
+        evaluator = scheme.req_metrics_opts(comp)
+        evaluator.evaluate(pressure_field)  # pays the SVD once
+        for eb in bounds[1:]:
+            evaluator.set_options({"pressio:abs": eb * vrange})
+            evaluator.evaluate(pressure_field, changed=["pressio:abs"])
+        return evaluator
+
+    evaluator = benchmark(sweep)
+    stats = evaluator.stats()
+    # The SVD ran once; the quantized entropy ran once per bound.
+    assert stats["reused"] >= len(bounds) - 1
+    benchmark.extra_info["reused_metric_evaluations"] = stats["reused"]
+    benchmark.extra_info["svd_seconds_total"] = round(
+        stats.get("seconds_error_agnostic", 0.0), 4
+    )

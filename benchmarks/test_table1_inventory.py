@@ -1,0 +1,115 @@
+"""Table 1 completeness: all ten estimation methods under one protocol.
+
+The paper's Table 1 catalogues ten methods but §5 ports only three.
+This bench runs the complete inventory on the Hurricane campaign (sz3,
+both bounds, grouped 10-fold CV for trained schemes) — the "more
+systematic comparison" the paper's conclusion calls for, and the
+shared-API payoff the infrastructure exists to deliver: every row below
+costs one `get_scheme(...)` call.
+
+Taxonomy checks are asserted from Table 1's columns: which methods
+train, which sample, which are black-box, and which support which
+compressors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentRunner, format_table2
+from repro.compressors import make_compressor
+from repro.core import UnsupportedError
+from repro.predict import available_schemes, get_scheme
+
+TABLE1 = {
+    # scheme id        (training, black_box)
+    "tao2019": (False, None),  # "~" in the paper: block size from internals
+    "krasowska2021": (True, True),
+    "underwood2023": (True, True),
+    "ganguli2023": (True, True),
+    "jin2022": (False, False),
+    "khan2023": (False, False),
+    "rahman2023": (True, None),  # "~" in the paper
+    "lu2018": (True, False),
+    "qin2020": (True, False),
+    "wang2023": (True, False),
+}
+
+
+def test_all_table1_methods_registered(benchmark):
+    names = benchmark.pedantic(available_schemes, rounds=1, iterations=1)
+    for scheme_id in TABLE1:
+        assert scheme_id in names, f"Table 1 method {scheme_id} missing"
+    benchmark.extra_info["registered"] = len(names)
+
+
+def test_taxonomy_training_column(benchmark):
+    def check():
+        out = {}
+        for scheme_id, (training, _bb) in TABLE1.items():
+            scheme = get_scheme(scheme_id)
+            assert scheme.needs_training == training, scheme_id
+            out[scheme_id] = scheme.needs_training
+        return out
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_compressor_support_matrix(benchmark):
+    """The N/A structure: jin/wang are SZ3-only; lu/qin are SZ/ZFP-era;
+    the black-box methods support everything."""
+
+    def check():
+        sz3 = make_compressor("sz3", pressio__abs=1e-3)
+        zfp = make_compressor("zfp", pressio__abs=1e-3)
+        szx = make_compressor("szx", pressio__abs=1e-3)
+        for scheme_id in ("jin2022", "wang2023"):
+            get_scheme(scheme_id).get_predictor(sz3)
+            with pytest.raises(UnsupportedError):
+                get_scheme(scheme_id).get_predictor(zfp)
+        for scheme_id in ("lu2018", "qin2020"):
+            get_scheme(scheme_id).get_predictor(zfp)
+            with pytest.raises(UnsupportedError):
+                get_scheme(scheme_id).get_predictor(szx)
+        for scheme_id in ("krasowska2021", "underwood2023", "ganguli2023", "rahman2023", "tao2019"):
+            get_scheme(scheme_id).get_predictor(szx)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_full_inventory_on_hurricane(benchmark, hurricane, tmp_path_factory):
+    """MedAPE for all ten methods on sz3, one table."""
+    from repro.bench import CheckpointStore
+
+    schemes = [s for s in TABLE1 if s != "wang2023"] + ["wang2023"]
+    runner = ExperimentRunner(
+        hurricane,
+        compressors=("sz3",),
+        bounds=(1e-6, 1e-4),
+        schemes=schemes,
+        store=CheckpointStore(
+            str(tmp_path_factory.mktemp("table1") / "checkpoint.db")
+        ),
+        n_folds=10,
+    )
+
+    def run():
+        obs, stats = runner.collect()
+        assert stats.failed == 0
+        return runner.table2(obs)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table2(rows, title="All ten Table-1 methods on sz3 (Hurricane)"))
+    by_method = {r.method: r for r in rows if r.method != "sz3"}
+    assert len(by_method) == 10
+    for method, row in by_method.items():
+        assert row.supported, method
+        assert np.isfinite(row.medape_pct), method
+        benchmark.extra_info[f"{method}_medape"] = round(row.medape_pct, 2)
+    # Every method must be a usable estimator on this protocol, and the
+    # modern trained methods should sit at the accurate end.
+    assert all(r.medape_pct < 300.0 for r in by_method.values())
+    modern = min(by_method[m].medape_pct for m in ("rahman2023", "ganguli2023", "jin2022"))
+    oldest = by_method["tao2019"].medape_pct
+    assert modern <= oldest, "a decade of progress should show"

@@ -1,0 +1,151 @@
+"""Table 2 (timing columns): per-stage costs of the three ported schemes.
+
+Paper values (ms), Hurricane, 10-fold CV:
+
+=============== ============= ============= ========== ======= =========
+method          error-dep     error-agn     training   fit     inference
+=============== ============= ============= ========== ======= =========
+sz3 khan2023    5 ± .47       N/A           N/A        N/A     N/A
+sz3 jin2022     518 ± .43     N/A           N/A        N/A     N/A
+sz3 rahman2023  N/A           7 ± 0.51      322.8      370.34  0.135
+zfp khan2023    5 ± .47       N/A           N/A        N/A     N/A
+zfp rahman2023  N/A           7 ± .51       65.49      360.49  .09
+=============== ============= ============= ========== ======= =========
+
+Expected shape: khan ≪ compression time; jin is the slowest of the three
+prediction stages (its probe covers the full array); rahman has *only*
+an error-agnostic stage, a training cost equal to the compressor run,
+a fit cost of a few hundred ms, and sub-ms inference.
+
+Known deviation (see EXPERIMENTS.md): the paper measured jin *slower
+than the compressor itself* and attributes that to C++ shared-pointer
+overhead in their port — an artifact their future-work item 3 expects to
+remove; our vectorised probe sits below the compression time, on the
+side the authors project.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import make_compressor
+from repro.predict import get_scheme
+
+
+def _eb(data) -> float:
+    arr = data.array
+    return 1e-4 * float(arr.max() - arr.min())
+
+
+def _evaluator(scheme_name, comp):
+    return get_scheme(scheme_name).req_metrics_opts(comp)
+
+
+@pytest.mark.parametrize("compressor", ["sz3", "zfp"])
+def test_khan_error_dependent_stage(benchmark, compressor, pressure_field):
+    comp = make_compressor(compressor, pressio__abs=_eb(pressure_field))
+    scheme = get_scheme("khan2023")
+
+    def stage():
+        evaluator = scheme.req_metrics_opts(comp)
+        return evaluator.evaluate(pressure_field)
+
+    benchmark(stage)
+    benchmark.extra_info["paper_ms"] = 5.0
+
+
+def test_jin_error_dependent_stage(benchmark, pressure_field):
+    comp = make_compressor("sz3", pressio__abs=_eb(pressure_field))
+    scheme = get_scheme("jin2022")
+
+    def stage():
+        evaluator = scheme.req_metrics_opts(comp)
+        return evaluator.evaluate(pressure_field)
+
+    benchmark(stage)
+    benchmark.extra_info["paper_ms"] = 518.0
+    benchmark.extra_info["paper_note"] = (
+        "paper number inflated by shared_ptr overhead in their port"
+    )
+
+
+@pytest.mark.parametrize("compressor", ["sz3", "zfp"])
+def test_rahman_error_agnostic_stage(benchmark, compressor, pressure_field):
+    comp = make_compressor(compressor, pressio__abs=_eb(pressure_field))
+    scheme = get_scheme("rahman2023")
+
+    def stage():
+        evaluator = scheme.req_metrics_opts(comp)
+        return evaluator.evaluate(pressure_field)
+
+    benchmark(stage)
+    benchmark.extra_info["paper_ms"] = 7.0
+
+
+def test_rahman_fit_stage(benchmark, runner, observations):
+    """Fit cost of the FXRZ forest on the campaign's sz3 observations."""
+    scheme = get_scheme("rahman2023")
+    comp = make_compressor("sz3", pressio__abs=1e-3)
+    rows = [
+        o for o in observations
+        if o["compressor"] == "sz3" and o.get("scheme:rahman2023:supported")
+    ]
+    y = np.asarray([o["size:compression_ratio"] for o in rows])
+
+    def fit():
+        predictor = scheme.get_predictor(comp)
+        predictor.fit(rows, y)
+        return predictor
+
+    benchmark(fit)
+    benchmark.extra_info["n_train"] = len(rows)
+    benchmark.extra_info["paper_ms"] = 370.34
+
+
+def test_rahman_inference_stage(benchmark, runner, observations):
+    """Single-row inference cost (paper: 0.135 ms on sz3)."""
+    scheme = get_scheme("rahman2023")
+    comp = make_compressor("sz3", pressio__abs=1e-3)
+    rows = [
+        o for o in observations
+        if o["compressor"] == "sz3" and o.get("scheme:rahman2023:supported")
+    ]
+    y = np.asarray([o["size:compression_ratio"] for o in rows])
+    predictor = scheme.get_predictor(comp)
+    predictor.fit(rows, y)
+
+    benchmark(predictor.predict, rows[0])
+    benchmark.extra_info["paper_ms"] = 0.135
+
+
+def test_stage_cost_ordering(benchmark):
+    """khan ≪ jin on paper-scale data: jin's probe covers the whole
+    array so its cost grows with the field, while khan's sampled probe
+    stays flat.  At tiny grids fixed overheads mask the contrast, so
+    this check uses a paper-scale 64×64×32 field.
+    """
+    import time
+
+    from repro.dataset import HurricaneGenerator
+
+    field = HurricaneGenerator(shape=(64, 64, 32), timesteps=2).generate("TC", 0)
+    eb = 1e-4 * float(field.max() - field.min())
+    comp = make_compressor("sz3", pressio__abs=eb)
+
+    def measure():
+        out = {}
+        for name in ("khan2023", "jin2022"):
+            scheme = get_scheme(name)
+            t0 = time.perf_counter()
+            scheme.req_metrics_opts(comp).evaluate(field)
+            out[name] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        comp.compress(field)
+        out["compress"] = time.perf_counter() - t0
+        return out
+
+    times = benchmark.pedantic(measure, rounds=5, iterations=1)
+    assert times["khan2023"] < times["jin2022"], times
+    assert times["khan2023"] < times["compress"], times
+    benchmark.extra_info["khan_ms"] = round(times["khan2023"] * 1e3, 2)
+    benchmark.extra_info["jin_ms"] = round(times["jin2022"] * 1e3, 2)
+    benchmark.extra_info["compress_ms"] = round(times["compress"] * 1e3, 2)

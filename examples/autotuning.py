@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Use case 2 (§2.1): OptZConfig/FXRZ-style configuration auto-tuning.
+
+Find the loosest error bound whose predicted compression ratio first
+meets a target CR — using a *trained* predictor so that the search costs
+metric evaluations, not compressor runs.  This is where invalidation
+reuse shines (Q1): the error-agnostic features are computed once per
+field and reused across every candidate bound in the sweep.
+
+Run:  python examples/autotuning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.compressors import make_compressor
+from repro.core import ERROR_DEPENDENT, SizeMetrics
+from repro.dataset import HurricaneDataset
+from repro.predict import get_scheme
+
+TARGET_CR = 6.0
+CANDIDATE_BOUNDS = [10.0 ** e for e in (-6, -5.5, -5, -4.5, -4, -3.5, -3, -2.5, -2)]
+TRAIN_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)  # cover the whole sweep range
+
+
+def train_predictor(scheme, dataset):
+    """Fit rahman2023 on a training slice (several fields x bounds)."""
+    rows, targets = [], []
+    for i in range(len(dataset)):
+        data = dataset.load_data(i)
+        vrange = float(data.array.max() - data.array.min() or 1.0)
+        for rel_eb in TRAIN_BOUNDS:
+            comp = make_compressor("sz3", pressio__abs=rel_eb * vrange)
+            results = scheme.req_metrics_opts(comp).evaluate(data).to_dict()
+            results.update(scheme.config_features(comp))
+            rows.append(results)
+            size = SizeMetrics()
+            comp.set_metrics([size])
+            comp.compress(data)
+            targets.append(comp.get_metrics_results()["size:compression_ratio"])
+    predictor = scheme.get_predictor(make_compressor("sz3", pressio__abs=1e-4))
+    predictor.fit(rows, targets)
+    return predictor
+
+
+def tune_field(scheme, predictor, data):
+    """Sweep bounds from tight to loose; stop at the first predicted hit."""
+    vrange = float(data.array.max() - data.array.min() or 1.0)
+    comp = make_compressor("sz3", pressio__abs=CANDIDATE_BOUNDS[0] * vrange)
+    evaluator = scheme.req_metrics_opts(comp)
+    chosen = None
+    for k, rel_eb in enumerate(CANDIDATE_BOUNDS):
+        evaluator.set_options({"pressio:abs": rel_eb * vrange})
+        # First sweep step computes everything; later steps invalidate
+        # only the bound, so error-agnostic features are served from
+        # the evaluator's cache.
+        changed = None if k == 0 else ["pressio:abs"]
+        results = evaluator.evaluate(
+            data, changed=changed if changed is not None else ("predictors:error_agnostic", ERROR_DEPENDENT)
+        )
+        row = results.to_dict()
+        row.update(scheme.config_features(comp))
+        predicted = predictor.predict(row)
+        if predicted >= TARGET_CR:
+            chosen = (rel_eb, predicted)
+            break
+    return chosen, evaluator
+
+
+def main() -> None:
+    train_ds = HurricaneDataset(shape=(24, 24, 12), timesteps=[0, 16])
+    scheme = get_scheme("rahman2023")
+    print("training rahman2023 (FXRZ) on 2 timesteps x 13 fields x 5 bounds ...")
+    t0 = time.perf_counter()
+    predictor = train_predictor(scheme, train_ds)
+    print(f"trained in {time.perf_counter() - t0:.1f}s\n")
+
+    deploy = HurricaneDataset(shape=(24, 24, 12), timesteps=[32])
+    print(f"{'field':10s} {'chosen rel eb':>13s} {'predicted CR':>13s} "
+          f"{'actual CR':>10s} {'reused':>7s}")
+    for i in range(len(deploy)):
+        data = deploy.load_data(i)
+        choice, evaluator = tune_field(scheme, predictor, data)
+        field = data.metadata["field"]
+        if choice is None:
+            print(f"{field:10s} {'<none meets target>':>13s}")
+            continue
+        rel_eb, predicted = choice
+        vrange = float(data.array.max() - data.array.min() or 1.0)
+        comp = make_compressor("sz3", pressio__abs=rel_eb * vrange)
+        size = SizeMetrics()
+        comp.set_metrics([size])
+        comp.compress(data)
+        actual = comp.get_metrics_results()["size:compression_ratio"]
+        stats = evaluator.stats()
+        print(f"{field:10s} {rel_eb:13.2e} {predicted:13.2f} {actual:10.2f} "
+              f"{stats['reused']:7d}")
+    print(f"\ntarget CR was {TARGET_CR}; 'reused' counts metric evaluations "
+          "served from the invalidation-aware cache during each sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Use case 1 (§2.1): choose the best compressor *without* running them all.
+
+Tao 2019's original motivation: given several lossy compressors, use fast
+CR estimates to pick the winner per field, then verify how often the
+estimated ranking matches the true ranking.  The estimate "needs to be
+fast but actually does not need to be tremendously accurate since it
+needs to only preserve the ranking".
+
+Run:  python examples/compressor_selection.py
+"""
+
+import time
+
+from repro.compressors import make_compressor
+from repro.core import SizeMetrics
+from repro.dataset import HurricaneDataset
+from repro.predict import get_scheme
+
+COMPRESSORS = ("sz3", "zfp", "szx")
+REL_BOUND = 1e-4
+
+
+def true_cr(name: str, data, eb: float) -> float:
+    comp = make_compressor(name, pressio__abs=eb)
+    size = SizeMetrics()
+    comp.set_metrics([size])
+    comp.compress(data)
+    return comp.get_metrics_results()["size:compression_ratio"]
+
+
+def main() -> None:
+    dataset = HurricaneDataset(shape=(32, 32, 16), timesteps=[0, 24])
+    scheme = get_scheme("tao2019", fraction=0.1)
+
+    agreements = 0
+    est_seconds = 0.0
+    true_seconds = 0.0
+    print(f"{'field':10s} {'t':>3s}  {'est winner':12s} {'true winner':12s} match")
+    for i in range(len(dataset)):
+        data = dataset.load_data(i)
+        eb = REL_BOUND * float(data.array.max() - data.array.min() or 1.0)
+
+        t0 = time.perf_counter()
+        estimates = {}
+        for name in COMPRESSORS:
+            comp = make_compressor(name, pressio__abs=eb)
+            predictor = scheme.get_predictor(comp)
+            results = scheme.req_metrics_opts(comp).evaluate(data)
+            estimates[name] = predictor.predict(results.to_dict())
+        est_seconds += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        truths = {name: true_cr(name, data, eb) for name in COMPRESSORS}
+        true_seconds += time.perf_counter() - t0
+
+        est_winner = max(estimates, key=estimates.get)
+        true_winner = max(truths, key=truths.get)
+        agreements += est_winner == true_winner
+        field = data.metadata["field"]
+        step = data.metadata["timestep"]
+        print(f"{field:10s} {step:3d}  {est_winner:12s} {true_winner:12s} "
+              f"{'✓' if est_winner == true_winner else '✗'}")
+
+    n = len(dataset)
+    print(f"\nranking agreement: {agreements}/{n} ({100 * agreements / n:.0f}%)")
+    print(f"estimation cost : {est_seconds:.2f}s   exhaustive cost: {true_seconds:.2f}s "
+          f"({true_seconds / est_seconds:.1f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Use case 3 (§2.1): accelerate parallel writes to a shared file.
+
+HDF5-style parallel compressed writes need every rank's file *offset*
+before the compressed sizes are known.  The trick (Jin 2022 / HDF5
+integration): predict each chunk's compressed size, pre-allocate offsets
+with a safety factor, write in parallel, and fall back to appending the
+rare chunk that overflows its slot.  Conformal prediction intervals
+(Ganguli 2023) let you *choose* the safety factor for a target
+misprediction rate instead of guessing.
+
+This example simulates the shared file as a byte buffer and reports how
+many chunks each strategy had to re-append.
+
+Run:  python examples/parallel_write.py
+"""
+
+import numpy as np
+
+from repro.compressors import make_compressor
+from repro.core import SizeMetrics
+from repro.dataset import HurricaneDataset
+from repro.predict import get_scheme
+
+REL_BOUND = 1e-4
+
+
+def collect(dataset, scheme):
+    """Per-chunk metric rows + true compressed sizes (training data)."""
+    rows, sizes, streams = [], [], []
+    for i in range(len(dataset)):
+        data = dataset.load_data(i)
+        eb = REL_BOUND * float(data.array.max() - data.array.min() or 1.0)
+        comp = make_compressor("sz3", pressio__abs=eb)
+        results = scheme.req_metrics_opts(comp).evaluate(data).to_dict()
+        results.update(scheme.config_features(comp))
+        rows.append(results)
+        size = SizeMetrics()
+        comp.set_metrics([size])
+        stream = comp.compress(data)
+        sizes.append(stream.nbytes)
+        streams.append(stream)
+    return rows, np.asarray(sizes, dtype=float), streams
+
+
+def simulate_write(predicted_slots, streams):
+    """Lay chunks at predicted offsets; overflowing chunks fall back to
+    appending at the end of the file (the slow path)."""
+    offsets = np.concatenate(([0], np.cumsum(predicted_slots)[:-1]))
+    end = float(np.sum(predicted_slots))
+    fallbacks = 0
+    for slot, stream in zip(predicted_slots, streams):
+        if stream.nbytes > slot:
+            fallbacks += 1
+            end += stream.nbytes  # appended serially at the tail
+    return fallbacks, end
+
+
+def main() -> None:
+    # Train on early timesteps, deploy on a later one (the storm has
+    # moved and intensified, so this is genuine extrapolation).
+    train_ds = HurricaneDataset(shape=(24, 24, 12), timesteps=[0, 4, 8, 12, 16, 20])
+    deploy_ds = HurricaneDataset(shape=(24, 24, 12), timesteps=[30])
+    scheme = get_scheme("ganguli2023", alpha=0.1, n_components=2)  # conformal intervals
+    comp = make_compressor("sz3", pressio__abs=1e-3)
+
+    rows, sizes, _ = collect(train_ds, scheme)
+    predictor = scheme.get_predictor(comp)
+    # Targets here are compressed *sizes*: predict bytes instead of CR.
+    predictor.fit(rows, sizes)
+
+    deploy_rows, true_sizes, streams = collect(deploy_ds, scheme)
+    raw_bytes = sum(s.nbytes for s in streams)
+
+    print(f"{'strategy':34s} {'fallbacks':>9s} {'file bytes':>12s}")
+    # Strategy A: no prediction — reserve uncompressed size (always safe).
+    uncompressed = np.full(len(streams), deploy_ds.load_data(0).nbytes, dtype=float)
+    fb, end = simulate_write(uncompressed, streams)
+    print(f"{'reserve uncompressed size':34s} {fb:9d} {int(end):12d}")
+
+    # Strategy B: point prediction with a fixed 1.2x safety factor.
+    points = predictor.predict_many(deploy_rows)
+    fb, end = simulate_write(points * 1.2, streams)
+    print(f"{'point prediction x1.2 safety':34s} {fb:9d} {int(end):12d}")
+
+    # Strategy C: conformal upper bound (target <=10% misprediction).
+    uppers = np.array([predictor.predict_interval(r)[2] for r in deploy_rows])
+    fb, end = simulate_write(uppers, streams)
+    print(f"{'conformal 90% upper bound':34s} {fb:9d} {int(end):12d}")
+
+    print(f"\nactual compressed payload: {raw_bytes} bytes "
+          f"({len(streams)} chunks)")
+    print("conformal slots cost "
+          f"{np.sum(uppers) / raw_bytes:.2f}x the payload vs "
+          f"{np.sum(uncompressed) / raw_bytes:.2f}x for the no-prediction reserve")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: estimate a compression ratio without running the compressor.
+
+This walks the inference flow of the paper's Figure 4:
+
+1. load a dataset entry (a synthetic Hurricane Isabel field);
+2. pick a compressor and a prediction scheme from the registries;
+3. ask the scheme which metrics the prediction needs, evaluate them;
+4. predict — and compare against the truth from actually compressing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compressors import make_compressor
+from repro.core import SizeMetrics, TimeMetrics
+from repro.dataset import HurricaneDataset
+from repro.predict import available_schemes, get_scheme
+
+
+def main() -> None:
+    # -- 1. data -----------------------------------------------------------
+    dataset = HurricaneDataset(shape=(48, 48, 24), timesteps=[0])
+    entry = dataset.fields.index("P")  # the pressure field: dense, smooth
+    data = dataset.load_data(entry)
+    print(f"loaded {data.data_id()}  shape={data.shape}  dtype={data.dtype}")
+
+    # -- 2. compressor + scheme ----------------------------------------------
+    vrange = float(data.array.max() - data.array.min())
+    comp = make_compressor("sz3", pressio__abs=1e-4 * vrange)
+    print(f"compressor: sz3 @ abs bound {comp.abs_bound:.3g}")
+    print(f"available schemes: {', '.join(available_schemes())}")
+    scheme = get_scheme("jin2022")  # analytic ratio-quality model, no training
+
+    # -- 3. evaluate the metrics the scheme asks for ---------------------------
+    predictor = scheme.get_predictor(comp)
+    evaluator = scheme.req_metrics_opts(comp)
+    results = evaluator.evaluate(data)
+    results.merge(scheme.config_features(comp))
+    print(f"metrics computed: {evaluator.computed}, "
+          f"stage seconds: { {k: round(v, 4) for k, v in evaluator.stage_seconds.items()} }")
+
+    # -- 4. predict vs truth ----------------------------------------------------
+    estimated = predictor.predict(results.to_dict())
+
+    size, timer = SizeMetrics(), TimeMetrics()
+    comp.set_metrics([size, timer])
+    comp.decompress(comp.compress(data))
+    truth = comp.get_metrics_results()
+    actual = truth["size:compression_ratio"]
+
+    print(f"\nestimated CR : {estimated:8.2f}")
+    print(f"actual CR    : {actual:8.2f}")
+    print(f"APE          : {abs(estimated - actual) / actual * 100:8.2f}%")
+    print(f"compress time: {truth['time:compress'] * 1e3:8.1f} ms "
+          f"(the cost the prediction avoided)")
+
+
+if __name__ == "__main__":
+    main()

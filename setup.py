@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline with setuptools 65 and no ``wheel``
+package, so PEP-660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` take the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

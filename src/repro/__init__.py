@@ -1,0 +1,24 @@
+"""repro — a reproduction of *LibPressio-Predict* (SC-W 2023).
+
+Infrastructure for inferring compression performance without running
+compressors: error-bounded compressor substrates (SZ3/ZFP/SZx style),
+a dataset-loading pipeline, eight prediction schemes behind one API with
+invalidation-aware metric reuse, and a resilient benchmark harness.
+
+Quick start::
+
+    from repro.compressors import make_compressor
+    from repro.dataset import HurricaneDataset
+    from repro.predict import get_scheme
+
+    data = HurricaneDataset(timesteps=[0]).load_data(2)      # field "P"
+    comp = make_compressor("sz3", pressio__abs=1e-2)
+    scheme = get_scheme("khan2023")
+    predictor = scheme.get_predictor(comp)
+    results = scheme.req_metrics_opts(comp).evaluate(data)
+    estimated_cr = predictor.predict(results.to_dict())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["bench", "compressors", "core", "dataset", "encoding", "mlkit", "predict"]

@@ -1,0 +1,34 @@
+"""LibPressio-Predict-Bench: scalable, resilient training & evaluation.
+
+Components (§4.3): a SQLite :class:`CheckpointStore` keyed by stable
+option hashes; a :class:`TaskQueue` with locality-aware scheduling and
+retry-based fault tolerance; a discrete-event :class:`SimulatedCluster`
+standing in for multi-node MPI runs; and the :class:`ExperimentRunner`
+producing Table-2-shaped results under k-fold cross-validation.
+"""
+
+from .checkpoint import CheckpointStore
+from .report import format_table2, rows_to_records
+from .runner import ExperimentRunner, StageStat, Table2Row
+from .simcluster import SimReport, SimulatedCluster, scaling_sweep
+from .tasks import Task, precompute_keys
+from .taskqueue import FaultInjector, LocalityScheduler, QueueStats, TaskQueue, TaskResult
+
+__all__ = [
+    "CheckpointStore",
+    "ExperimentRunner",
+    "FaultInjector",
+    "LocalityScheduler",
+    "QueueStats",
+    "SimReport",
+    "SimulatedCluster",
+    "StageStat",
+    "Table2Row",
+    "Task",
+    "TaskQueue",
+    "TaskResult",
+    "format_table2",
+    "precompute_keys",
+    "rows_to_records",
+    "scaling_sweep",
+]

@@ -1,0 +1,187 @@
+"""SQLite checkpoint store (§4.3).
+
+"Checkpointing is enabled via an embedded SQLite database.  A database
+was chosen both because of atomicity guarantees in the case of failures
+— no accidental partial results — but also the ability to query and
+partially restore the key state — the metrics results."
+
+Rows are keyed by the stable hash combining compressor configuration,
+dataset configuration, experimental metadata, and replicate id (see
+:func:`repro.core.hashing.combined_hash`); payloads are JSON so the
+metrics results stay queryable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+from ..core.hashing import HASH_VERSION
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    compressor_hash TEXT NOT NULL,
+    dataset_hash TEXT NOT NULL,
+    experiment_hash TEXT NOT NULL,
+    replicate INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_parts
+    ON results (compressor_hash, dataset_hash, experiment_hash);
+"""
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / arrays so payloads serialise cleanly."""
+    if hasattr(value, "item") and not isinstance(value, (list, dict)):
+        try:
+            return value.item()
+        except (ValueError, AttributeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and value != value:  # NaN → null round-trips
+        return None
+    return value
+
+
+class CheckpointStore:
+    """A process-local handle on the checkpoint database.
+
+    Writes use ``INSERT OR REPLACE`` inside implicit transactions, so a
+    crash mid-write never leaves a partial row; readers see either the
+    previous state or the full new row.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        if path != ":memory:":
+            os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        # The thread-pool engine writes results from worker threads;
+        # SQLite connections default to thread affinity, so share one
+        # connection guarded by our own lock instead.
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        self._db.executescript(_SCHEMA)
+        self._check_hash_version()
+
+    def _check_hash_version(self) -> None:
+        """Refuse to mix checkpoints written under a different canonical
+        hash encoding — silent key mismatches would masquerade as
+        'everything needs recomputing'."""
+        cur = self._db.execute("SELECT value FROM meta WHERE key='hash_version'")
+        row = cur.fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO meta (key, value) VALUES ('hash_version', ?)",
+                (str(HASH_VERSION),),
+            )
+            self._db.commit()
+        elif int(row[0]) != HASH_VERSION:
+            raise RuntimeError(
+                f"checkpoint {self.path!r} was written with hash version "
+                f"{row[0]}, this build uses {HASH_VERSION}"
+            )
+
+    # -- writes ----------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        payload: Mapping[str, Any],
+        *,
+        compressor_hash: str = "",
+        dataset_hash: str = "",
+        experiment_hash: str = "",
+        replicate: int = 0,
+    ) -> None:
+        """Store one result atomically (replacing any prior value)."""
+        encoded = json.dumps(_jsonable(dict(payload)))
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, compressor_hash, dataset_hash, experiment_hash, replicate,"
+                " payload, created_at) VALUES (?,?,?,?,?,?,?)",
+                (
+                    key,
+                    compressor_hash,
+                    dataset_hash,
+                    experiment_hash,
+                    replicate,
+                    encoded,
+                    time.time(),
+                ),
+            )
+            self._db.commit()
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._db.execute("DELETE FROM results WHERE key=?", (key,))
+            self._db.commit()
+
+    # -- reads -----------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        with self._lock:
+            cur = self._db.execute("SELECT 1 FROM results WHERE key=?", (key,))
+            return cur.fetchone() is not None
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            cur = self._db.execute("SELECT payload FROM results WHERE key=?", (key,))
+            row = cur.fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def pending(self, keys: Iterable[str]) -> list[str]:
+        """The subset of *keys* not yet present (what a restart must run)."""
+        return [k for k in keys if not self.has(k)]
+
+    def count(self) -> int:
+        with self._lock:
+            cur = self._db.execute("SELECT COUNT(*) FROM results")
+            return int(cur.fetchone()[0])
+
+    def query(
+        self,
+        *,
+        compressor_hash: str | None = None,
+        dataset_hash: str | None = None,
+        experiment_hash: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Partial restore: fetch payloads matching the given hashes."""
+        clauses = []
+        args: list[str] = []
+        for col, val in (
+            ("compressor_hash", compressor_hash),
+            ("dataset_hash", dataset_hash),
+            ("experiment_hash", experiment_hash),
+        ):
+            if val is not None:
+                clauses.append(f"{col}=?")
+                args.append(val)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        with self._lock:
+            cur = self._db.execute(f"SELECT payload FROM results{where}", args)
+            rows = cur.fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

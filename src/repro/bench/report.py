@@ -1,0 +1,93 @@
+"""Rendering Table-2-style reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .runner import Table2Row
+
+_COLUMNS = (
+    ("method", 18),
+    ("Error-Dep (ms)", 18),
+    ("Error-Agn (ms)", 18),
+    ("Training (ms)", 18),
+    ("Fit (ms)", 18),
+    ("Inference (ms)", 18),
+    ("Comp/Decomp (ms)", 26),
+    ("MedAPE (%)", 11),
+)
+
+
+def _fmt_medape(value: float) -> str:
+    if value != value or math.isinf(value):
+        return "N/A"
+    return f"{value:.2f}"
+
+
+def format_row(row: Table2Row) -> str:
+    """One line of the table, matching the paper's column set."""
+    if row.method == row.compressor:  # baseline compressor row
+        comp = (
+            f"{row.compress.ms()}/{row.decompress.ms()}"
+            if row.compress.available
+            else "N/A"
+        )
+        cells = [row.method, "", "", "", "", "", comp, ""]
+    elif not row.supported:
+        cells = [f"{row.compressor} {row.method}", "N/A", "N/A", "N/A", "N/A", "N/A", "", "N/A"]
+    else:
+        cells = [
+            f"{row.compressor} {row.method}",
+            row.error_dependent.ms(),
+            row.error_agnostic.ms(),
+            row.training.ms(),
+            row.fit.ms(),
+            row.inference.ms(),
+            "",
+            _fmt_medape(row.medape_pct),
+        ]
+    return " | ".join(c.ljust(w) for c, (_, w) in zip(cells, _COLUMNS))
+
+
+def format_table2(rows: Sequence[Table2Row], title: str | None = None) -> str:
+    """Render the rows as the paper's Table 2 layout."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(name.ljust(w) for name, w in _COLUMNS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def rows_to_records(rows: Sequence[Table2Row]) -> list[dict]:
+    """Rows as plain dicts (for JSON dumps / further analysis)."""
+    out = []
+    for r in rows:
+        out.append(
+            {
+                "method": r.method,
+                "compressor": r.compressor,
+                "supported": r.supported,
+                "n_observations": r.n_observations,
+                "medape_pct": r.medape_pct,
+                **{
+                    f"{stage}_ms": getattr(r, stage).mean * 1e3
+                    if getattr(r, stage).available
+                    else None
+                    for stage in (
+                        "error_dependent",
+                        "error_agnostic",
+                        "training",
+                        "fit",
+                        "inference",
+                        "compress",
+                        "decompress",
+                    )
+                },
+            }
+        )
+    return out

@@ -1,0 +1,141 @@
+"""Discrete-event simulated cluster (the multi-node substitution).
+
+The paper runs LibPressio-Predict-Bench across supercomputer nodes over
+an MPI task queue; this environment has one core and no MPI, so scaling
+*behaviour* — how locality-aware placement, local caches, and node
+counts shape makespan — is measured on a virtual clock instead.  The
+simulator reuses the same :class:`~repro.bench.taskqueue.LocalityScheduler`
+policy and a simple cost model:
+
+* loading an uncached datum costs ``nbytes / load_bandwidth`` (plus a
+  per-file latency); a cached datum costs the cache hit time;
+* compute costs come from a caller-supplied callable (e.g. measured
+  single-task seconds from a real calibration run).
+
+Determinism: no randomness; events tie-break on (time, node id).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .taskqueue import LocalityScheduler
+from .tasks import Task
+
+
+@dataclass
+class SimReport:
+    """Virtual-time outcome of one simulated campaign."""
+
+    makespan: float
+    total_load_seconds: float
+    total_compute_seconds: float
+    cache_hits: int
+    cache_misses: int
+    per_node_busy: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def load_fraction(self) -> float:
+        busy = self.total_load_seconds + self.total_compute_seconds
+        return self.total_load_seconds / busy if busy else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        if not self.per_node_busy or self.makespan == 0:
+            return 0.0
+        return sum(self.per_node_busy.values()) / (len(self.per_node_busy) * self.makespan)
+
+
+class SimulatedCluster:
+    """Simulate a bench campaign on *n_nodes* with a virtual clock."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        *,
+        load_bandwidth: float = 2e9,
+        load_latency: float = 5e-3,
+        cache_hit_seconds: float = 2e-4,
+        cache_capacity_entries: int = 64,
+        locality_aware: bool = True,
+    ) -> None:
+        self.n_nodes = max(1, int(n_nodes))
+        self.load_bandwidth = float(load_bandwidth)
+        self.load_latency = float(load_latency)
+        self.cache_hit_seconds = float(cache_hit_seconds)
+        self.cache_capacity_entries = int(cache_capacity_entries)
+        self.locality_aware = bool(locality_aware)
+
+    def load_cost(self, task: Task, cached: bool) -> float:
+        if cached:
+            return self.cache_hit_seconds
+        return self.load_latency + task.nbytes / self.load_bandwidth
+
+    def run(
+        self,
+        tasks: list[Task],
+        compute_cost: Callable[[Task], float],
+    ) -> SimReport:
+        """Simulate executing *tasks*; returns the virtual-time report."""
+        pending: deque[Task] = deque(tasks)
+        scheduler = LocalityScheduler() if self.locality_aware else None
+        caches: dict[int, deque[str]] = {n: deque() for n in range(self.n_nodes)}
+        # Event heap: (time, node) = node becomes free at time.
+        events = [(0.0, n) for n in range(self.n_nodes)]
+        heapq.heapify(events)
+        total_load = 0.0
+        total_compute = 0.0
+        hits = 0
+        misses = 0
+        busy: dict[int, float] = {n: 0.0 for n in range(self.n_nodes)}
+        makespan = 0.0
+        while pending:
+            t, node = heapq.heappop(events)
+            if scheduler is not None:
+                task = scheduler.pick(node, pending)
+            else:
+                task = pending.popleft()
+            if task is None:
+                continue
+            cache = caches[node]
+            cached = task.data_id in cache
+            hits += cached
+            misses += not cached
+            if not cached:
+                cache.append(task.data_id)
+                while len(cache) > self.cache_capacity_entries:
+                    evicted = cache.popleft()
+                    if scheduler is not None:
+                        scheduler.worker_cache[node].discard(evicted)
+            load_s = self.load_cost(task, cached)
+            compute_s = float(compute_cost(task))
+            total_load += load_s
+            total_compute += compute_s
+            busy[node] += load_s + compute_s
+            finish = t + load_s + compute_s
+            makespan = max(makespan, finish)
+            heapq.heappush(events, (finish, node))
+        return SimReport(
+            makespan=makespan,
+            total_load_seconds=total_load,
+            total_compute_seconds=total_compute,
+            cache_hits=hits,
+            cache_misses=misses,
+            per_node_busy=busy,
+        )
+
+
+def scaling_sweep(
+    tasks: list[Task],
+    compute_cost: Callable[[Task], float],
+    node_counts: list[int],
+    **cluster_kwargs,
+) -> dict[int, SimReport]:
+    """Run the same campaign at several node counts (strong scaling)."""
+    return {
+        n: SimulatedCluster(n_nodes=n, **cluster_kwargs).run(list(tasks), compute_cost)
+        for n in node_counts
+    }

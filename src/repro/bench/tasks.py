@@ -1,0 +1,81 @@
+"""The bench task model.
+
+A task is one (dataset entry × compressor configuration × replicate)
+evaluation.  "Individual results are uniquely identified by their
+compressor configuration, dataset configuration, experimental metadata,
+and replicate ID" (§4.3) — :meth:`Task.key` realises exactly that with
+the stable option hashing, and "we compute these hashes once upfront
+before execution begins" — :func:`precompute_keys`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.hashing import combined_hash, options_hash
+from ..core.options import PressioOptions
+
+
+@dataclass
+class Task:
+    """One unit of bench work."""
+
+    #: Index of the entry within the dataset.
+    data_index: int
+    #: Locality key — which data this task reads (scheduler input).
+    data_id: str
+    #: Compressor plugin id ("sz3").
+    compressor_id: str
+    #: Full compressor option structure for this run.
+    compressor_options: Mapping[str, Any]
+    #: Stable description of the dataset entry.
+    dataset_config: Mapping[str, Any]
+    #: Experimental metadata (scheme set, fold protocol, versions...).
+    experiment: Mapping[str, Any] = field(default_factory=dict)
+    #: Replicate id for nondeterministic metrics.
+    replicate: int = 0
+    #: Estimated payload bytes (cost model input for the simulator).
+    nbytes: int = 0
+
+    _key: str | None = field(default=None, repr=False, compare=False)
+
+    def compressor_hash(self) -> str:
+        opts = PressioOptions(dict(self.compressor_options))
+        opts["pressio:id"] = self.compressor_id
+        return options_hash(opts)
+
+    def dataset_hash(self) -> str:
+        return options_hash(dict(self.dataset_config))
+
+    def experiment_hash(self) -> str:
+        return options_hash(dict(self.experiment))
+
+    def key(self) -> str:
+        """The checkpoint key (computed once, then cached)."""
+        if self._key is None:
+            self._key = combined_hash(
+                {**dict(self.compressor_options), "pressio:id": self.compressor_id},
+                dict(self.dataset_config),
+                dict(self.experiment),
+                str(self.replicate),
+            )
+        return self._key
+
+
+def precompute_keys(tasks: list[Task]) -> dict[str, Task]:
+    """Hash every task up front; returns key → task (and checks clashes).
+
+    Duplicate keys mean two tasks would silently share a checkpoint row
+    — always a configuration bug, so it raises.
+    """
+    out: dict[str, Task] = {}
+    for task in tasks:
+        key = task.key()
+        if key in out:
+            raise ValueError(
+                f"duplicate task key {key[:12]}… for data {task.data_id!r}; "
+                "tasks must differ in config or replicate"
+            )
+        out[key] = task
+    return out

@@ -1,0 +1,35 @@
+"""Error-bounded lossy compressors (the paper's compressor substrate).
+
+Importing this package registers ``sz3``, ``zfp``, ``szx`` and ``noop``
+with :data:`repro.core.compressor.compressor_registry`; use
+:func:`repro.core.make_compressor` to instantiate by id.
+"""
+
+from ..core.compressor import NoopCompressor, compressor_registry, make_compressor
+from .interp import interp_decode, interp_encode
+from .sz3 import SZ3Compressor, dequantize, lorenzo_forward, lorenzo_inverse, quantize
+from .szx import SZXCompressor, classify_blocks
+from .wavelet import SperrCompressor, wavelet_forward, wavelet_inverse
+from .zfp import ZFPCompressor, block_transform_forward, block_transform_inverse, inverse_gain
+
+__all__ = [
+    "NoopCompressor",
+    "SZ3Compressor",
+    "SZXCompressor",
+    "SperrCompressor",
+    "ZFPCompressor",
+    "interp_decode",
+    "interp_encode",
+    "wavelet_forward",
+    "wavelet_inverse",
+    "block_transform_forward",
+    "block_transform_inverse",
+    "classify_blocks",
+    "compressor_registry",
+    "dequantize",
+    "inverse_gain",
+    "lorenzo_forward",
+    "lorenzo_inverse",
+    "make_compressor",
+    "quantize",
+]

@@ -1,0 +1,148 @@
+"""SZx-style ultra-fast error-bounded compressor.
+
+SZx (Yu et al.) targets throughput over ratio with a deliberately shallow
+pipeline: fixed-size 1-D blocks are classified as *constant* (the whole
+block fits inside the error bound around one representative) or
+*non-constant* (values are stored quantized at fixed width).  Both paths
+are trivially vectorisable, which is exactly why the real SZx saturates
+memory bandwidth — and why the Khan 2023 (SECRE) scheme can model it with
+a couple of sampled statistics.
+
+Constant blocks store the block midrange (``(min+max)/2``), which is
+within ``eb`` of every member by the classification test.  Non-constant
+blocks store ``round((x - lo) / (2·eb))`` at the per-block minimal bit
+width, giving the same ``|x − x̂| ≤ eb`` guarantee as SZ3's quantizer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from ..core.compressor import CompressorPlugin, compressor_registry
+from ..core.errors import CorruptStreamError, OptionError
+from ..core.options import PressioOptions
+from ..encoding.bitio import read_uint_array, write_uint_array
+from ..encoding.lz import lossless_compress, lossless_decompress
+
+DEFAULT_BLOCK = 128
+
+
+def classify_blocks(flat: np.ndarray, block: int, eb: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad to whole blocks and classify each as constant/non-constant.
+
+    Returns ``(padded, lo, is_constant)`` where ``lo``/``is_constant``
+    are per-block arrays; padding replicates the last value so it never
+    creates an artificial non-constant block.
+    """
+    n = flat.size
+    nblocks = (n + block - 1) // block
+    pad = nblocks * block - n
+    if pad:
+        flat = np.concatenate([flat, np.repeat(flat[-1] if n else 0.0, pad)])
+    mat = flat.reshape(nblocks, block)
+    lo = mat.min(axis=1)
+    hi = mat.max(axis=1)
+    return flat, lo, (hi - lo) <= 2.0 * eb
+
+
+@compressor_registry.register("szx")
+class SZXCompressor(CompressorPlugin):
+    """Constant-block + fixed-width quantization codec (SZx style)."""
+
+    id = "szx"
+    error_affecting_options: Sequence[str] = ("pressio:abs", "pressio:rel")
+
+    def default_options(self) -> PressioOptions:
+        return PressioOptions(
+            {
+                "pressio:abs": 1e-4,
+                "szx:block_size": DEFAULT_BLOCK,
+                "szx:lossless": "zlib",
+            }
+        )
+
+    def compress_impl(self, array: np.ndarray) -> bytes:
+        eb = self.abs_bound
+        if eb <= 0:
+            raise OptionError("pressio:abs must be positive")
+        block = int(self._options.get("szx:block_size", DEFAULT_BLOCK))
+        flat = np.asarray(array, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            return struct.pack("<dIQQQQ", eb, block, 0, 0, 0, 0)
+        padded, lo, const = classify_blocks(flat, block, eb)
+        mat = padded.reshape(-1, block)
+        nblocks = mat.shape[0]
+        hi = mat.max(axis=1)
+        reps = np.where(const, (lo + hi) * 0.5, lo).astype(np.float64)
+        # Non-constant blocks: quantize against the block minimum at the
+        # narrowest width that can represent the block's span.
+        nc = ~const
+        codes_payload = b""
+        widths = np.zeros(nblocks, dtype=np.uint8)
+        if nc.any():
+            ncmat = mat[nc]
+            q = np.round((ncmat - lo[nc][:, None]) / (2.0 * eb)).astype(np.uint64)
+            qmax = q.max(axis=1)
+            w = np.ceil(np.log2(qmax.astype(np.float64) + 1.0)).astype(np.int64)
+            w = np.maximum(w, 1)
+            widths[nc] = w.astype(np.uint8)
+            # Group blocks by width so each group packs in one vector op.
+            parts: list[bytes] = []
+            for width in np.unique(w):
+                sel = w == width
+                parts.append(write_uint_array(q[sel].reshape(-1), int(width)))
+            codes_payload = b"".join(parts)
+        flags = np.packbits(const.astype(np.uint8)).tobytes()
+        meta = lossless_compress(
+            reps.astype("<f8").tobytes() + widths.tobytes() + flags, backend="zlib"
+        )
+        backend = self._options.get("szx:lossless", "zlib")
+        body = lossless_compress(codes_payload, backend=backend)
+        head = struct.pack("<dIQQQQ", eb, block, flat.size, nblocks, len(meta), len(body))
+        return head + meta + body
+
+    def decompress_impl(self, payload: bytes, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+        hdr = struct.calcsize("<dIQQQQ")
+        if len(payload) < hdr:
+            raise CorruptStreamError("szx payload too short")
+        eb, block, n, nblocks, meta_size, body_size = struct.unpack_from("<dIQQQQ", payload, 0)
+        if n == 0:
+            return np.zeros(shape, dtype=dtype)
+        off = hdr
+        meta = lossless_decompress(payload[off : off + meta_size])
+        body = lossless_decompress(payload[off + meta_size : off + meta_size + body_size])
+        reps = np.frombuffer(meta, dtype="<f8", count=nblocks)
+        widths = np.frombuffer(meta, dtype=np.uint8, count=nblocks, offset=8 * nblocks)
+        flag_bytes = meta[9 * nblocks :]
+        const = np.unpackbits(np.frombuffer(flag_bytes, dtype=np.uint8))[:nblocks].astype(bool)
+        out = np.repeat(reps, block).reshape(nblocks, block)
+        nc = ~const
+        if nc.any():
+            w = widths[nc].astype(np.int64)
+            # Codes were grouped by width at encode time; regroup the same way.
+            offset_bits = 0
+            ncmat = np.zeros((int(nc.sum()), block), dtype=np.float64)
+            body_arr = body
+            cursor = 0
+            for width in np.unique(w):
+                sel = w == width
+                count = int(sel.sum()) * block
+                nbytes = (int(width) * count + 7) // 8
+                codes = read_uint_array(body_arr[cursor : cursor + nbytes], int(width), count)
+                ncmat[sel] = codes.reshape(-1, block).astype(np.float64)
+                cursor += nbytes
+            out[nc] = reps[nc][:, None] + 2.0 * eb * ncmat
+        return out.reshape(-1)[:n].reshape(shape).astype(dtype)
+
+    # -- introspection for SECRE-style estimators ---------------------------
+    def constant_block_fraction(self, array: np.ndarray) -> float:
+        """Fraction of blocks classified constant at the current bound."""
+        flat = np.asarray(array, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            return 1.0
+        block = int(self._options.get("szx:block_size", DEFAULT_BLOCK))
+        _, _, const = classify_blocks(flat, block, self.abs_bound)
+        return float(const.mean())

@@ -1,0 +1,113 @@
+"""Configuration introspection helpers.
+
+LibPressio-Predict-Bench "handles configuration via LibPressio object
+introspection which allows automatically converting the configuration
+flags into options structures for both the compressor and the dataset"
+(§4.3).  This module implements that conversion for command-line style
+flag lists and flat dictionaries, e.g.::
+
+    parse_flags(["-o", "pressio:abs=1e-4", "-o", "sz3:block_size=64"])
+
+returns a :class:`PressioOptions` with values coerced using simple type
+inference (int, float, bool, str — matching how the C tooling parses
+``-o key=value`` flags).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .errors import OptionError
+from .options import PressioOptions
+
+
+def coerce_scalar(raw: str) -> Any:
+    """Infer a Python value from a flag string.
+
+    Order matters: booleans, then ints, then floats, then plain strings.
+    Quoted strings keep their literal content.
+    """
+    text = raw.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    low = text.lower()
+    if low in ("true", "on", "yes"):
+        return True
+    if low in ("false", "off", "no"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_assignment(spec: str) -> tuple[str, Any]:
+    """Split one ``key=value`` assignment and coerce the value."""
+    if "=" not in spec:
+        raise OptionError(f"expected key=value, got {spec!r}")
+    key, _, raw = spec.partition("=")
+    key = key.strip()
+    if not key:
+        raise OptionError(f"empty option key in {spec!r}")
+    return key, coerce_scalar(raw)
+
+
+def parse_flags(argv: Iterable[str], flag: str = "-o") -> PressioOptions:
+    """Convert ``[-o key=value, ...]`` flags into options.
+
+    Bare ``key=value`` tokens (without the flag) are also accepted, so
+    config files can be concatenated into the same stream.
+    """
+    out = PressioOptions()
+    it = iter(argv)
+    for token in it:
+        if token == flag:
+            try:
+                spec = next(it)
+            except StopIteration:
+                raise OptionError(f"flag {flag} requires an argument") from None
+        elif "=" in token and not token.startswith("-"):
+            spec = token
+        else:
+            raise OptionError(f"unrecognised token {token!r}")
+        key, value = parse_assignment(spec)
+        out[key] = value
+    return out
+
+
+def options_from_mapping(mapping: Mapping[str, Any]) -> PressioOptions:
+    """Build options from a flat mapping, coercing string values."""
+    out = PressioOptions()
+    for key, value in mapping.items():
+        out[key] = coerce_scalar(value) if isinstance(value, str) else value
+    return out
+
+
+def split_component_options(
+    opts: PressioOptions, components: Iterable[str]
+) -> dict[str, PressioOptions]:
+    """Partition options by component prefix.
+
+    Keys in the generic ``pressio:`` namespace are duplicated into every
+    component's bucket (every LibPressio plugin understands them); keys
+    with an unknown prefix land in an ``"extra"`` bucket so callers can
+    detect typos.
+    """
+    comps = list(components)
+    out: dict[str, PressioOptions] = {c: PressioOptions() for c in comps}
+    out["extra"] = PressioOptions()
+    for key, value in opts.items():
+        prefix = key.split(":", 1)[0]
+        if prefix == "pressio":
+            for comp in comps:
+                out[comp][key] = value
+        elif prefix in out:
+            out[prefix][key] = value
+        else:
+            out["extra"][key] = value
+    return out

@@ -1,0 +1,153 @@
+"""Buffer abstraction (``pressio_data`` analog).
+
+LibPressio moves data between plugins as ``pressio_data`` handles that
+carry a dtype, dimensions, and a memory domain (host/device).  Here the
+storage is a NumPy array; we keep the thin wrapper because:
+
+* dataset plugins attach provenance metadata (source file, field name,
+  timestep) that the bench scheduler uses for locality-aware placement;
+* compressed streams and decoded buffers flow through the same type;
+* a ``domain`` tag lets the dataset pipeline model host/device movement
+  (Figure 2's device-placement stage) without real GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from .errors import TypeMismatchError
+
+
+class PressioData:
+    """A typed n-dimensional buffer with provenance metadata.
+
+    Parameters
+    ----------
+    array:
+        The payload.  Stored as-is (no copy) unless ``copy=True``.
+    metadata:
+        Free-form provenance (e.g. ``{"file": ..., "field": "QRAIN",
+        "timestep": 12}``).  Copied shallowly.
+    domain:
+        Memory domain tag, ``"host"`` by default.  The simulated device
+        mover in :mod:`repro.dataset` flips this to ``"device"``.
+    """
+
+    __slots__ = ("array", "metadata", "domain")
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        *,
+        metadata: Mapping[str, Any] | None = None,
+        domain: str = "host",
+        copy: bool = False,
+    ) -> None:
+        if not isinstance(array, np.ndarray):
+            array = np.asarray(array)
+        self.array = array.copy() if copy else array
+        self.metadata: dict[str, Any] = dict(metadata or {})
+        self.domain = domain
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, ...], dtype: Any = np.float32) -> "PressioData":
+        """Allocate an uninitialised buffer of the given shape/dtype."""
+        return cls(np.empty(shape, dtype=dtype))
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, *, metadata: Mapping[str, Any] | None = None) -> "PressioData":
+        """Wrap an opaque byte string (e.g. a compressed stream)."""
+        return cls(np.frombuffer(payload, dtype=np.uint8), metadata=metadata)
+
+    # -- shape/type queries --------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.array.shape)
+
+    @property
+    def ndim(self) -> int:
+        return self.array.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.array.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def tobytes(self) -> bytes:
+        return self.array.tobytes()
+
+    # -- conversions -----------------------------------------------------------
+    def astype(self, dtype: Any) -> "PressioData":
+        """Return a copy cast to *dtype*, preserving metadata."""
+        return PressioData(self.array.astype(dtype), metadata=self.metadata, domain=self.domain)
+
+    def ravel(self) -> np.ndarray:
+        """A flat view when possible, else a flat copy."""
+        return self.array.reshape(-1)
+
+    def to_domain(self, domain: str) -> "PressioData":
+        """Return this buffer tagged as living in *domain*.
+
+        Movement is simulated: the bytes do not change, only the tag —
+        enough for the dataset pipeline and scheduler to account for
+        placement.  Same-domain moves return ``self``.
+        """
+        if domain == self.domain:
+            return self
+        return PressioData(self.array, metadata=self.metadata, domain=domain)
+
+    def with_metadata(self, **extra: Any) -> "PressioData":
+        """Return a shallow copy with extra provenance entries."""
+        merged = dict(self.metadata)
+        merged.update(extra)
+        return PressioData(self.array, metadata=merged, domain=self.domain)
+
+    def require_floating(self) -> np.ndarray:
+        """Return the payload, asserting it is a float array.
+
+        Error-bounded compressors only accept floating payloads; giving
+        them integer data is a caller bug surfaced with a clear message.
+        """
+        if not np.issubdtype(self.array.dtype, np.floating):
+            raise TypeMismatchError(
+                f"expected floating-point data, got dtype {self.array.dtype}"
+            )
+        return self.array
+
+    # -- misc ---------------------------------------------------------------
+    def data_id(self) -> str:
+        """A provenance-derived identity used for caching and locality.
+
+        Prefers explicit metadata (file/field/timestep); falls back to
+        the object id, which is stable for the lifetime of the buffer.
+        """
+        meta = self.metadata
+        if "data_id" in meta:
+            return str(meta["data_id"])
+        parts = [str(meta[k]) for k in ("file", "field", "timestep") if k in meta]
+        if parts:
+            return "/".join(parts)
+        return f"anon-{id(self):x}"
+
+    def __repr__(self) -> str:
+        return (
+            f"PressioData(shape={self.shape}, dtype={self.dtype}, "
+            f"domain={self.domain!r}, id={self.data_id()!r})"
+        )
+
+
+def as_data(value: PressioData | np.ndarray) -> PressioData:
+    """Coerce an ndarray (or pass through a PressioData) into a buffer."""
+    if isinstance(value, PressioData):
+        return value
+    return PressioData(np.asarray(value))

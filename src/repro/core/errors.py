@@ -1,0 +1,106 @@
+"""Status codes and exception hierarchy for the pressio-style core.
+
+LibPressio reports errors through integer status codes attached to each
+plugin (``error_code`` / ``error_msg``).  In Python we favour exceptions,
+but we keep the numeric codes so benchmark checkpoints and external
+metric bridges can persist a faithful record of failures.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Status(enum.IntEnum):
+    """Numeric status codes mirroring LibPressio's conventions.
+
+    ``SUCCESS`` is zero; genuine failures are positive; warnings are
+    negative (LibPressio reserves negative codes for warnings that do
+    not abort the operation).
+    """
+
+    SUCCESS = 0
+    GENERIC_ERROR = 1
+    INVALID_OPTION = 2
+    INVALID_TYPE = 3
+    MISSING_OPTION = 4
+    UNSUPPORTED = 5
+    CORRUPT_STREAM = 6
+    BOUND_VIOLATION = 7
+    TASK_FAILED = 8
+    WARNING = -1
+
+
+class PressioError(Exception):
+    """Base class for all errors raised by this library.
+
+    Parameters
+    ----------
+    msg:
+        Human readable message.
+    status:
+        Numeric status code; persisted by the bench checkpoint layer.
+    """
+
+    status: Status = Status.GENERIC_ERROR
+
+    def __init__(self, msg: str, *, status: Status | None = None) -> None:
+        super().__init__(msg)
+        if status is not None:
+            self.status = Status(status)
+
+
+class OptionError(PressioError):
+    """An option was set with an unknown key or an incompatible value."""
+
+    status = Status.INVALID_OPTION
+
+
+class MissingOptionError(PressioError):
+    """A required option was not provided before an operation."""
+
+    status = Status.MISSING_OPTION
+
+
+class TypeMismatchError(PressioError):
+    """An option or buffer had the wrong type."""
+
+    status = Status.INVALID_TYPE
+
+
+class UnsupportedError(PressioError):
+    """The requested operation is not supported by this plugin.
+
+    Raised, for example, when a prediction scheme is asked for a
+    predictor for a compressor it cannot model (e.g. the Jin/sian
+    ratio-quality model on ZFP, reported as N/A in the paper's Table 2).
+    """
+
+    status = Status.UNSUPPORTED
+
+
+class CorruptStreamError(PressioError):
+    """A compressed stream failed validation during decode."""
+
+    status = Status.CORRUPT_STREAM
+
+
+class BoundViolationError(PressioError):
+    """An error-bounded compressor failed to honour its bound.
+
+    This is never expected in normal operation; it exists so the
+    property-based test-suite can assert the invariant explicitly and so
+    fault-injection tests have a domain-specific failure to raise.
+    """
+
+    status = Status.BOUND_VIOLATION
+
+
+class TaskFailedError(PressioError):
+    """A bench task failed; carries the task key for checkpoint replay."""
+
+    status = Status.TASK_FAILED
+
+    def __init__(self, msg: str, *, task_key: str | None = None) -> None:
+        super().__init__(msg)
+        self.task_key = task_key

@@ -1,0 +1,304 @@
+"""Metrics plugin framework (Figure 3 of the paper).
+
+Metrics observe compressor invocations through lifecycle hooks and
+publish results as an option structure.  LibPressio-Predict extends each
+metric with a ``predictors:invalidate`` declaration: the list of option
+keys (or special classes of keys) whose change invalidates the metric's
+cached result.  The four special keys, quoted from §4.2:
+
+* ``predictors:error_dependent`` — sensitive to any compressor setting
+  that affects the error (e.g. ``pressio:abs``);
+* ``predictors:error_agnostic`` — never affected by error settings
+  (depends on the input data only);
+* ``predictors:runtime`` — depends on runtime factors (machine load,
+  performance-related settings);
+* ``predictors:nondeterministic`` — may vary between runs with the same
+  inputs (timings, randomized SVD); callers may want replicates.
+
+A fifth key, ``predictors:training``, is used only when *requesting*
+metrics (it asks for the extra observations needed to train, typically a
+full compressor run); metrics never list it themselves (footnote 2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from .data import PressioData
+from .options import PressioOptions
+
+# Special invalidation keys (shared vocabulary across the library).
+ERROR_DEPENDENT = "predictors:error_dependent"
+ERROR_AGNOSTIC = "predictors:error_agnostic"
+RUNTIME = "predictors:runtime"
+NONDETERMINISTIC = "predictors:nondeterministic"
+TRAINING = "predictors:training"
+
+SPECIAL_INVALIDATIONS = frozenset(
+    {ERROR_DEPENDENT, ERROR_AGNOSTIC, RUNTIME, NONDETERMINISTIC}
+)
+
+
+class MetricsPlugin:
+    """Base class for metrics observing a compressor's lifecycle.
+
+    Subclasses typically provide *error-agnostic* metrics by overriding
+    :meth:`begin_compress_impl` (they only see the uncompressed input)
+    and *error-dependent* ones by also overriding
+    :meth:`end_decompress_impl`; results are returned from
+    :meth:`get_metrics_results` (Figure 3).
+    """
+
+    #: Short id used in registries and result prefixes.
+    id: str = "metric"
+
+    #: Invalidation declaration: option keys and/or special keys above.
+    invalidations: Sequence[str] = (ERROR_AGNOSTIC,)
+
+    def __init__(self, **options: Any) -> None:
+        self._options = PressioOptions()
+        self.set_options(PressioOptions(options))
+
+    # -- lifecycle hooks (no-ops by default) --------------------------------
+    def begin_compress_impl(self, input_data: PressioData, options: PressioOptions) -> None:
+        """Observe the raw input before compression starts."""
+
+    def end_compress_impl(
+        self,
+        input_data: PressioData,
+        compressed: PressioData,
+        rc: int,
+        elapsed: float,
+    ) -> None:
+        """Observe the compressed stream (and wall time) after compression."""
+
+    def begin_decompress_impl(self, compressed: PressioData, options: PressioOptions) -> None:
+        """Observe the stream before decompression starts."""
+
+    def end_decompress_impl(
+        self,
+        compressed: PressioData,
+        output_data: PressioData,
+        rc: int,
+        elapsed: float,
+    ) -> None:
+        """Observe the reconstruction after decompression completes."""
+
+    # -- results & configuration ---------------------------------------------
+    def get_metrics_results(self) -> PressioOptions:
+        """Return the metric values observed so far.
+
+        Keys are conventionally prefixed with the metric id
+        (``"entropy:quantized_entropy"``).
+        """
+        return PressioOptions()
+
+    def set_options(self, opts: PressioOptions) -> None:
+        """Accept configuration; unknown keys are ignored (pressio style)."""
+        self._options.merge(opts)
+
+    def get_options(self) -> PressioOptions:
+        """Return the current configuration."""
+        return self._options.copy()
+
+    def get_configuration(self) -> PressioOptions:
+        """Static metadata: id and the invalidation declaration."""
+        return PressioOptions(
+            {
+                "pressio:id": self.id,
+                "predictors:invalidate": list(self.invalidations),
+            }
+        )
+
+    def reset(self) -> None:
+        """Discard observed state before reuse on new data."""
+
+    # -- helpers -----------------------------------------------------------
+    def _prefixed(self, values: dict[str, Any]) -> PressioOptions:
+        return PressioOptions({f"{self.id}:{k}": v for k, v in values.items()})
+
+
+class CompositeMetrics(MetricsPlugin):
+    """Fan-out wrapper running several metrics as one (LibPressio's
+    ``composite``); results are merged, later plugins win on key clashes."""
+
+    id = "composite"
+
+    def __init__(self, plugins: Sequence[MetricsPlugin]) -> None:
+        super().__init__()
+        self.plugins = list(plugins)
+
+    @property
+    def invalidations(self) -> list[str]:  # type: ignore[override]
+        out: list[str] = []
+        for plugin in self.plugins:
+            for key in plugin.invalidations:
+                if key not in out:
+                    out.append(key)
+        return out
+
+    def begin_compress_impl(self, input_data, options):
+        for plugin in self.plugins:
+            plugin.begin_compress_impl(input_data, options)
+
+    def end_compress_impl(self, input_data, compressed, rc, elapsed):
+        for plugin in self.plugins:
+            plugin.end_compress_impl(input_data, compressed, rc, elapsed)
+
+    def begin_decompress_impl(self, compressed, options):
+        for plugin in self.plugins:
+            plugin.begin_decompress_impl(compressed, options)
+
+    def end_decompress_impl(self, compressed, output_data, rc, elapsed):
+        for plugin in self.plugins:
+            plugin.end_decompress_impl(compressed, output_data, rc, elapsed)
+
+    def get_metrics_results(self) -> PressioOptions:
+        out = PressioOptions()
+        for plugin in self.plugins:
+            out.merge(plugin.get_metrics_results())
+        return out
+
+    def reset(self) -> None:
+        for plugin in self.plugins:
+            plugin.reset()
+
+
+class TimeMetrics(MetricsPlugin):
+    """Wall-clock timings of compress/decompress (LibPressio's ``time``).
+
+    Timings are runtime-dependent and nondeterministic by nature, which
+    is exactly what their invalidation declaration says.
+    """
+
+    id = "time"
+    invalidations = (RUNTIME, NONDETERMINISTIC)
+
+    def __init__(self, **options: Any) -> None:
+        super().__init__(**options)
+        self.reset()
+
+    def reset(self) -> None:
+        self._compress_ns: list[float] = []
+        self._decompress_ns: list[float] = []
+
+    def end_compress_impl(self, input_data, compressed, rc, elapsed):
+        self._compress_ns.append(elapsed)
+
+    def end_decompress_impl(self, compressed, output_data, rc, elapsed):
+        self._decompress_ns.append(elapsed)
+
+    def get_metrics_results(self) -> PressioOptions:
+        out: dict[str, Any] = {}
+        if self._compress_ns:
+            out["compress"] = float(self._compress_ns[-1])
+            out["compress_all"] = list(self._compress_ns)
+        if self._decompress_ns:
+            out["decompress"] = float(self._decompress_ns[-1])
+            out["decompress_all"] = list(self._decompress_ns)
+        return self._prefixed(out)
+
+
+class SizeMetrics(MetricsPlugin):
+    """Compressed/uncompressed sizes and the realised compression ratio
+    (LibPressio's ``size``).  Error-dependent: the stream size changes
+    whenever an error-affecting option changes."""
+
+    id = "size"
+    invalidations = (ERROR_DEPENDENT,)
+
+    def __init__(self, **options: Any) -> None:
+        super().__init__(**options)
+        self.reset()
+
+    def reset(self) -> None:
+        self._uncompressed: int | None = None
+        self._compressed: int | None = None
+
+    def end_compress_impl(self, input_data, compressed, rc, elapsed):
+        self._uncompressed = input_data.nbytes
+        self._compressed = compressed.nbytes
+
+    def get_metrics_results(self) -> PressioOptions:
+        out: dict[str, Any] = {}
+        if self._uncompressed is not None and self._compressed is not None:
+            out["uncompressed_size"] = self._uncompressed
+            out["compressed_size"] = self._compressed
+            if self._compressed > 0:
+                out["compression_ratio"] = self._uncompressed / self._compressed
+        return self._prefixed(out)
+
+
+class ErrorStatMetrics(MetricsPlugin):
+    """Reconstruction-error statistics (LibPressio's ``error_stat``).
+
+    Mixed-kind metric: value-range/min/max of the *input* are
+    error-agnostic while the error statistics are error-dependent — the
+    per-key classification the paper describes for ``error_stat``.
+    """
+
+    id = "error_stat"
+    invalidations = (ERROR_DEPENDENT,)
+
+    #: per-result-key classification, consulted by the evaluator when a
+    #: finer-grained invalidation decision is possible.
+    key_classes = {
+        "min": ERROR_AGNOSTIC,
+        "max": ERROR_AGNOSTIC,
+        "value_range": ERROR_AGNOSTIC,
+        "max_error": ERROR_DEPENDENT,
+        "mse": ERROR_DEPENDENT,
+        "rmse": ERROR_DEPENDENT,
+        "psnr": ERROR_DEPENDENT,
+        "mae": ERROR_DEPENDENT,
+    }
+
+    def __init__(self, **options: Any) -> None:
+        super().__init__(**options)
+        self.reset()
+
+    def reset(self) -> None:
+        self._input: np.ndarray | None = None
+        self._results: dict[str, Any] = {}
+
+    def begin_compress_impl(self, input_data, options):
+        arr = input_data.array
+        self._input = arr
+        lo = float(arr.min()) if arr.size else 0.0
+        hi = float(arr.max()) if arr.size else 0.0
+        self._results.update({"min": lo, "max": hi, "value_range": hi - lo})
+
+    def end_decompress_impl(self, compressed, output_data, rc, elapsed):
+        if self._input is None:
+            return
+        orig = np.asarray(self._input, dtype=np.float64)
+        recon = np.asarray(output_data.array, dtype=np.float64)
+        if orig.shape != recon.shape:
+            recon = recon.reshape(orig.shape)
+        diff = orig - recon
+        mse = float(np.mean(diff * diff)) if diff.size else 0.0
+        vrange = self._results.get("value_range", 0.0)
+        self._results.update(
+            {
+                "max_error": float(np.max(np.abs(diff))) if diff.size else 0.0,
+                "mae": float(np.mean(np.abs(diff))) if diff.size else 0.0,
+                "mse": mse,
+                "rmse": mse ** 0.5,
+                "psnr": (
+                    float(20 * np.log10(vrange) - 10 * np.log10(mse))
+                    if mse > 0 and vrange > 0
+                    else float("inf")
+                ),
+            }
+        )
+
+    def get_metrics_results(self) -> PressioOptions:
+        return self._prefixed(dict(self._results))
+
+
+def now() -> float:
+    """Monotonic wall time in seconds (shared clock for all timings)."""
+    return time.perf_counter()

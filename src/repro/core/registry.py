@@ -1,0 +1,71 @@
+"""Generic plugin registry.
+
+Every extensible component family in LibPressio (compressors, metrics,
+dataset loaders, predictors, schemes) is discovered through a registry
+keyed by short string ids ("sz3", "zfp", "tao2019", ...).  This module
+provides one reusable implementation with:
+
+* decorator-based registration (``@registry.register("sz3")``),
+* instantiation with option overrides,
+* enumeration for introspection (the bench CLI lists available plugins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterator, TypeVar
+
+from .errors import OptionError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A name → factory mapping for one plugin family."""
+
+    def __init__(self, family: str) -> None:
+        self.family = family
+        self._factories: dict[str, Callable[..., T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Class decorator registering *name* for this family.
+
+        Re-registering an existing name replaces the factory — this is
+        deliberate, so tests and downstream users can shadow built-ins.
+        """
+
+        def deco(factory: Callable[..., T]) -> Callable[..., T]:
+            self._factories[name] = factory
+            return factory
+
+        return deco
+
+    def add(self, name: str, factory: Callable[..., T]) -> None:
+        """Imperative registration (for closures/lambdas)."""
+        self._factories[name] = factory
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> T:
+        """Instantiate the plugin registered under *name*."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise OptionError(
+                f"unknown {self.family} plugin {name!r}; known: {known}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def names(self) -> list[str]:
+        """Sorted plugin ids currently registered."""
+        return sorted(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.family!r}, {self.names()})"

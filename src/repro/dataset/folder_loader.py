@@ -1,0 +1,86 @@
+"""Directory-walking dataset (the ``folder_loader`` of Figure 2).
+
+Walks a directory tree for files matching a glob pattern, delegates the
+actual reads to :class:`~repro.dataset.io_loader.IOLoader`, and
+"attaches metadata to them about the files from which each dataset
+came" — including field name and timestep parsed from the filename when
+a parse template is configured.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import re
+from typing import Any
+
+from ..core.data import PressioData
+from .base import DatasetPlugin, dataset_registry
+from .io_loader import IOLoader
+
+#: Default filename convention used by the synthetic Hurricane writer:
+#: ``<FIELD>_t<TIMESTEP>.<ext>`` (e.g. ``QRAIN_t07.npy``).
+FIELD_TIMESTEP_RE = re.compile(r"^(?P<field>[A-Za-z0-9]+)_t(?P<timestep>\d+)\.")
+
+
+def parse_field_timestep(filename: str) -> dict[str, Any]:
+    """Extract field/timestep metadata from a filename, if present."""
+    m = FIELD_TIMESTEP_RE.match(os.path.basename(filename))
+    if not m:
+        return {}
+    return {"field": m.group("field"), "timestep": int(m.group("timestep"))}
+
+
+@dataset_registry.register("folder")
+class FolderLoader(DatasetPlugin):
+    """All files under *root* matching *pattern*, sorted deterministically."""
+
+    id = "folder"
+
+    def __init__(self, root: str, pattern: str = "*.npy", recursive: bool = True, **options: Any) -> None:
+        super().__init__(**options)
+        self.root = os.fspath(root)
+        self.pattern = pattern
+        self.recursive = recursive
+        self._paths = self._scan()
+        self._io = IOLoader(self._paths)
+        self._io.set_options(self._options)
+
+    def _scan(self) -> list[str]:
+        found: list[str] = []
+        if self.recursive:
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    if fnmatch.fnmatch(name, self.pattern):
+                        found.append(os.path.join(dirpath, name))
+        else:
+            for name in os.listdir(self.root):
+                path = os.path.join(self.root, name)
+                if os.path.isfile(path) and fnmatch.fnmatch(name, self.pattern):
+                    found.append(path)
+        return sorted(found)
+
+    def rescan(self) -> None:
+        """Re-walk the directory (new files appeared)."""
+        self._paths = self._scan()
+        self._io = IOLoader(self._paths)
+        self._io.set_options(self._options)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def load_metadata(self, index: int) -> dict[str, Any]:
+        meta = self._io.load_metadata(index)
+        meta.update(parse_field_timestep(self._paths[index]))
+        return meta
+
+    def load_data(self, index: int) -> PressioData:
+        data = self._io.load_data(index)
+        extra = parse_field_timestep(self._paths[index])
+        return self._count_load(data.with_metadata(**extra) if extra else data)
+
+    def get_configuration(self):
+        out = super().get_configuration()
+        out["folder:root"] = self.root
+        out["folder:pattern"] = self.pattern
+        return out

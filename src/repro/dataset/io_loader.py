@@ -1,0 +1,112 @@
+"""File-backed dataset loading (the ``io_loader`` of Figure 2).
+
+Dispatches on file extension the way LibPressio's io plugins do
+(``.bin`` → ``fread``, ``.h5`` → ``H5Dread``): here ``.npy``/``.npz``
+use NumPy's native readers and ``.bin``/``.f32``/``.f64`` are raw dumps
+described by ``io:dtype``/``io:shape`` options (the format the SDRBench
+archives — including the real Hurricane Isabel — ship as).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.errors import OptionError
+from .base import DatasetPlugin, dataset_registry
+
+_RAW_EXTENSIONS = {".bin": None, ".f32": np.float32, ".f64": np.float64, ".dat": None}
+
+
+def read_array(path: str, *, dtype: Any = None, shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Read one array from *path*, dispatching on extension."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        return np.load(path)
+    if ext == ".npz":
+        with np.load(path) as archive:
+            names = list(archive.files)
+            if len(names) != 1:
+                raise OptionError(
+                    f"{path}: .npz with {len(names)} members needs an explicit member"
+                )
+            return archive[names[0]]
+    if ext in _RAW_EXTENSIONS:
+        dt = np.dtype(dtype) if dtype is not None else _RAW_EXTENSIONS[ext]
+        if dt is None:
+            raise OptionError(f"{path}: raw files require io:dtype")
+        flat = np.fromfile(path, dtype=dt)
+        if shape is not None:
+            return flat.reshape(shape)
+        return flat
+    raise OptionError(f"unsupported file extension {ext!r} for {path}")
+
+
+def write_array(path: str, array: np.ndarray) -> None:
+    """Write one array; format chosen by extension (inverse of read)."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        np.save(path, array)
+    elif ext in _RAW_EXTENSIONS:
+        np.ascontiguousarray(array).tofile(path)
+    else:
+        raise OptionError(f"unsupported file extension {ext!r} for {path}")
+
+
+@dataset_registry.register("io")
+class IOLoader(DatasetPlugin):
+    """A dataset over an explicit list of file paths.
+
+    Options: ``io:dtype`` and ``io:shape`` describe raw binary files;
+    typed formats ignore them.  Metadata reads only the file header /
+    stat, never the payload.
+    """
+
+    id = "io"
+
+    def __init__(self, paths: list[str], **options: Any) -> None:
+        super().__init__(**options)
+        self.paths = [os.fspath(p) for p in paths]
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def _raw_kwargs(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self._options.get("io:dtype") is not None:
+            out["dtype"] = self._options["io:dtype"]
+        if self._options.get("io:shape") is not None:
+            out["shape"] = tuple(self._options["io:shape"])
+        return out
+
+    def load_metadata(self, index: int) -> dict[str, Any]:
+        path = self.paths[index]
+        meta: dict[str, Any] = {
+            "file": path,
+            "data_id": path,
+            "size_bytes": os.path.getsize(path),
+        }
+        ext = os.path.splitext(path)[1].lower()
+        if ext == ".npy":
+            with open(path, "rb") as fh:
+                version = np.lib.format.read_magic(fh)
+                reader = getattr(
+                    np.lib.format, f"read_array_header_{version[0]}_{version[1]}"
+                )
+                shape, _, dtype = reader(fh)
+            meta.update({"shape": tuple(shape), "dtype": str(dtype)})
+        else:
+            kw = self._raw_kwargs()
+            if "shape" in kw:
+                meta["shape"] = kw["shape"]
+            if "dtype" in kw:
+                meta["dtype"] = str(np.dtype(kw["dtype"]))
+        return meta
+
+    def load_data(self, index: int) -> PressioData:
+        path = self.paths[index]
+        array = read_array(path, **self._raw_kwargs())
+        return self._count_load(PressioData(array, metadata={"file": path, "data_id": path}))

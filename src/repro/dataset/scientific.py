@@ -1,0 +1,251 @@
+"""Additional synthetic scientific datasets (paper future work 2).
+
+§7: "We would like to expand our analysis to non-weather datasets and
+explore a wider variety of scientific data from wider domains.
+Different datasets have different structural patterns that are best
+exploited by different kinds of compressors."  These generators provide
+that variety, each modelled on a standard SDRBench family and each
+stressing a different structural pattern:
+
+* :class:`CESMDataset` — CESM-ATM-like 2-D climate slices: large-scale
+  zonal banding + multiscale spectral texture (very smooth, favours
+  transform coders);
+* :class:`NyxDataset` — Nyx-like cosmology boxes: log-normal baryon
+  density with sharp halos (huge dynamic range, heavy tails);
+* :class:`S3DDataset` — S3D-like combustion: thin reacting flame sheets
+  embedded in quiescent background (locally extreme gradients);
+* :class:`TurbulenceDataset` — isotropic turbulence velocity with a
+  Kolmogorov ``k^-5/3`` spectrum (scale-free roughness, the hard case
+  for prediction-based coders).
+
+All are deterministic per (field, timestep) like the Hurricane
+generator, so they slot straight into the bench.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.data import PressioData
+from .base import DatasetPlugin, dataset_registry
+from .hurricane import _field_seed, spectral_field
+
+
+class _GeneratedDataset(DatasetPlugin):
+    """Shared machinery for (field × timestep) generated datasets."""
+
+    #: subclasses set: mapping field name -> generator method name
+    field_names: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        timesteps: int | list[int] = 4,
+        fields: list[str] | None = None,
+        seed: int = 7,
+        **options: Any,
+    ) -> None:
+        super().__init__(**options)
+        self.shape = tuple(int(s) for s in shape)
+        self.steps = list(range(timesteps)) if isinstance(timesteps, int) else list(timesteps)
+        self.fields = list(fields) if fields is not None else list(self.field_names)
+        unknown = set(self.fields) - set(self.field_names)
+        if unknown:
+            raise ValueError(f"unknown {self.id} fields: {sorted(unknown)}")
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.fields) * len(self.steps)
+
+    def entry(self, index: int) -> tuple[str, int]:
+        return (
+            self.fields[index // len(self.steps)],
+            self.steps[index % len(self.steps)],
+        )
+
+    def load_metadata(self, index: int) -> dict[str, Any]:
+        field, t = self.entry(index)
+        return {
+            "field": field,
+            "timestep": t,
+            "data_id": f"{self.id}/{field}/{t}",
+            "shape": self.shape,
+            "dtype": "float32",
+        }
+
+    def generate(self, field: str, t: int) -> np.ndarray:
+        method: Callable[[int, int], np.ndarray] = getattr(self, f"_gen_{field.lower()}")
+        seed = _field_seed(self.seed, f"{self.id}/{field}", t)
+        return np.ascontiguousarray(method(seed, t), dtype=np.float32)
+
+    def load_data(self, index: int) -> PressioData:
+        field, t = self.entry(index)
+        return self._count_load(
+            PressioData(self.generate(field, t), metadata=self.load_metadata(index))
+        )
+
+    def get_configuration(self):
+        out = super().get_configuration()
+        out.merge(
+            {
+                f"{self.id}:shape": list(self.shape),
+                f"{self.id}:fields": list(self.fields),
+                f"{self.id}:steps": list(self.steps),
+                f"{self.id}:seed": self.seed,
+            }
+        )
+        return out
+
+
+@dataset_registry.register("cesm")
+class CESMDataset(_GeneratedDataset):
+    """CESM-ATM-like 2-D climate fields (smooth, banded)."""
+
+    id = "cesm"
+    field_names = ("TS", "PSL", "PRECT", "CLDTOT")
+
+    def __init__(self, shape: tuple[int, ...] = (96, 144), **kwargs: Any) -> None:
+        if len(shape) != 2:
+            raise ValueError("CESM fields are 2-D (lat, lon)")
+        super().__init__(shape, **kwargs)
+
+    def _latitude(self) -> np.ndarray:
+        lat = np.linspace(-np.pi / 2, np.pi / 2, self.shape[0])
+        return np.broadcast_to(lat[:, None], self.shape)
+
+    def _gen_ts(self, seed: int, t: int) -> np.ndarray:
+        """Surface temperature: strong meridional gradient + weather."""
+        lat = self._latitude()
+        seasonal = 2.0 * np.sin(2 * np.pi * t / 12.0)
+        return 288.0 + 40.0 * np.cos(lat) + seasonal + 3.0 * spectral_field(self.shape, seed, 3.0)
+
+    def _gen_psl(self, seed: int, t: int) -> np.ndarray:
+        """Sea-level pressure: banded highs/lows, very smooth."""
+        lat = self._latitude()
+        bands = 15.0 * np.cos(3 * lat)
+        return 1013.0 + bands + 5.0 * spectral_field(self.shape, seed, 3.5)
+
+    def _gen_prect(self, seed: int, t: int) -> np.ndarray:
+        """Precipitation rate: ITCZ band + heavy-tailed convection, sparse."""
+        lat = self._latitude()
+        itcz = np.exp(-((lat / 0.15) ** 2))
+        storms = np.maximum(spectral_field(self.shape, seed, 2.0) - 1.0, 0.0)
+        return (1e-7 * (itcz + 4.0 * storms) * np.exp(
+            spectral_field(self.shape, seed + 1, 2.5)
+        )).astype(np.float64)
+
+    def _gen_cldtot(self, seed: int, t: int) -> np.ndarray:
+        """Total cloud fraction: bounded in [0, 1] with plateaus."""
+        raw = 0.55 + 0.35 * spectral_field(self.shape, seed, 2.8)
+        return np.clip(raw, 0.0, 1.0)
+
+
+@dataset_registry.register("nyx")
+class NyxDataset(_GeneratedDataset):
+    """Nyx-like cosmology boxes (log-normal density, huge dynamic range)."""
+
+    id = "nyx"
+    field_names = ("baryon_density", "temperature", "velocity_x")
+
+    def __init__(self, shape: tuple[int, ...] = (32, 32, 32), **kwargs: Any) -> None:
+        if len(shape) != 3:
+            raise ValueError("Nyx fields are 3-D")
+        super().__init__(shape, **kwargs)
+
+    def _gen_baryon_density(self, seed: int, t: int) -> np.ndarray:
+        """exp of a correlated Gaussian field: a log-normal web with
+        halos spanning ~6 orders of magnitude."""
+        growth = 1.0 + 0.1 * t  # structure sharpens over time
+        base = spectral_field(self.shape, seed, 2.2) * 1.8 * growth
+        return np.exp(base).astype(np.float64)
+
+    def _gen_temperature(self, seed: int, t: int) -> np.ndarray:
+        """Tight power-law relation with density plus scatter."""
+        rho = self._gen_baryon_density(_field_seed(self.seed, f"{self.id}/baryon_density", t), t)
+        scatter = 0.1 * spectral_field(self.shape, seed, 2.0)
+        return 1e4 * rho**0.6 * np.exp(scatter)
+
+    def _gen_velocity_x(self, seed: int, t: int) -> np.ndarray:
+        """Bulk flows: smooth large-scale velocity field."""
+        return 300.0 * spectral_field(self.shape, seed, 3.0)
+
+
+@dataset_registry.register("s3d")
+class S3DDataset(_GeneratedDataset):
+    """S3D-like combustion fields: thin flame sheets, quiescent bulk."""
+
+    id = "s3d"
+    field_names = ("temperature", "oh_mass_fraction", "pressure")
+
+    def __init__(self, shape: tuple[int, ...] = (32, 32, 16), **kwargs: Any) -> None:
+        if len(shape) != 3:
+            raise ValueError("S3D fields are 3-D")
+        super().__init__(shape, **kwargs)
+
+    def _flame_surface(self, seed: int, t: int) -> np.ndarray:
+        """Signed distance to a wrinkled flame sheet near mid-domain."""
+        nx = self.shape[0]
+        x = np.linspace(0, 1, nx)[:, None, None]
+        wrinkle = 0.08 * spectral_field(self.shape[1:], seed, 2.5)[None, :, :]
+        centre = 0.5 + 0.02 * np.sin(0.7 * t) + wrinkle
+        return x - centre
+
+    def _gen_temperature(self, seed: int, t: int) -> np.ndarray:
+        """Sharp tanh front: 800K unburnt → 2200K burnt."""
+        d = self._flame_surface(seed, t)
+        return 1500.0 + 700.0 * np.tanh(d / 0.02) + 10.0 * spectral_field(self.shape, seed + 1, 2.5)
+
+    def _gen_oh_mass_fraction(self, seed: int, t: int) -> np.ndarray:
+        """OH radical: a thin shell around the front — extremely sparse."""
+        d = self._flame_surface(seed, t)
+        shell = np.exp(-((d / 0.015) ** 2))
+        out = 5e-3 * shell
+        out[out < 1e-4] = 0.0  # chemistry cutoff creates exact zeros
+        return out
+
+    def _gen_pressure(self, seed: int, t: int) -> np.ndarray:
+        """Acoustically smooth, tiny fluctuations around 1 atm."""
+        return 101325.0 * (1.0 + 1e-3 * spectral_field(self.shape, seed, 3.2))
+
+
+@dataset_registry.register("turbulence")
+class TurbulenceDataset(_GeneratedDataset):
+    """Isotropic turbulence velocity components (Kolmogorov spectrum)."""
+
+    id = "turbulence"
+    field_names = ("u", "v", "w")
+
+    def __init__(self, shape: tuple[int, ...] = (32, 32, 32), **kwargs: Any) -> None:
+        if len(shape) != 3:
+            raise ValueError("turbulence fields are 3-D")
+        super().__init__(shape, **kwargs)
+
+    def _gen_component(self, seed: int) -> np.ndarray:
+        # power ∝ k^(-5/3) → beta = 5/3 in spectral_field's convention.
+        return spectral_field(self.shape, seed, 5.0 / 3.0)
+
+    def _gen_u(self, seed: int, t: int) -> np.ndarray:
+        return self._gen_component(seed)
+
+    def _gen_v(self, seed: int, t: int) -> np.ndarray:
+        return self._gen_component(seed)
+
+    def _gen_w(self, seed: int, t: int) -> np.ndarray:
+        return self._gen_component(seed)
+
+
+ALL_SCIENTIFIC = ("cesm", "nyx", "s3d", "turbulence")
+
+
+def make_scientific_suite(
+    *, seed: int = 7, timesteps: int = 2
+) -> dict[str, _GeneratedDataset]:
+    """One small instance of each non-weather dataset family."""
+    return {
+        "cesm": CESMDataset(timesteps=timesteps, seed=seed),
+        "nyx": NyxDataset(timesteps=timesteps, seed=seed),
+        "s3d": S3DDataset(timesteps=timesteps, seed=seed),
+        "turbulence": TurbulenceDataset(timesteps=timesteps, seed=seed),
+    }

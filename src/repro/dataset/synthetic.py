@@ -1,0 +1,73 @@
+"""Generic synthetic dataset plugins for tests and micro-benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.data import PressioData
+from .base import DatasetPlugin, dataset_registry
+
+
+@dataset_registry.register("synthetic")
+class SyntheticDataset(DatasetPlugin):
+    """A dataset of seeded generator functions.
+
+    Each entry is ``(name, factory)`` where ``factory(rng) -> ndarray``;
+    the per-entry RNG is seeded from the dataset seed + index so entries
+    are independent and reproducible.
+    """
+
+    id = "synthetic"
+
+    def __init__(
+        self,
+        entries: list[tuple[str, Callable[[np.random.Generator], np.ndarray]]],
+        seed: int = 0,
+        **options: Any,
+    ) -> None:
+        super().__init__(**options)
+        self.entries = list(entries)
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def load_metadata(self, index: int) -> dict[str, Any]:
+        name, _ = self.entries[index]
+        return {"data_id": f"synthetic/{name}", "field": name}
+
+    def load_data(self, index: int) -> PressioData:
+        name, factory = self.entries[index]
+        rng = np.random.default_rng(self.seed + index)
+        array = np.asarray(factory(rng))
+        return self._count_load(
+            PressioData(array, metadata=self.load_metadata(index))
+        )
+
+
+def standard_test_fields(shape: tuple[int, ...] = (32, 32, 16), seed: int = 0) -> SyntheticDataset:
+    """A small mixed dataset: smooth, rough, sparse, and constant fields."""
+
+    def smooth(rng: np.random.Generator) -> np.ndarray:
+        grids = np.meshgrid(*[np.linspace(0, 3, s) for s in shape], indexing="ij")
+        base = np.sin(grids[0]) * np.cos(grids[1])
+        for g in grids[2:]:
+            base = base * np.exp(-0.2 * g)
+        return (base + 0.01 * rng.standard_normal(shape)).astype(np.float32)
+
+    def rough(rng: np.random.Generator) -> np.ndarray:
+        return rng.standard_normal(shape).astype(np.float32)
+
+    def sparse(rng: np.random.Generator) -> np.ndarray:
+        data = rng.standard_normal(shape)
+        return np.where(data > 1.2, data, 0.0).astype(np.float32)
+
+    def constant(rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, 3.25, dtype=np.float32)
+
+    return SyntheticDataset(
+        [("smooth", smooth), ("rough", rough), ("sparse", sparse), ("constant", constant)],
+        seed=seed,
+    )

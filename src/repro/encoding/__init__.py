@@ -1,0 +1,41 @@
+"""Lossless coding substrate: bit I/O, Huffman, RLE, LZ, entropy math."""
+
+from .bitio import pack_codes, read_uint_array, unpack_bits, windows_at_every_position, write_uint_array
+from .entropy import (
+    coding_gain,
+    cross_entropy_bits,
+    empirical_entropy,
+    histogram_probabilities,
+    huffman_expected_length,
+    quantized_entropy,
+    shannon_entropy,
+)
+from .huffman import HuffmanCode, build_code, decode, encode
+from .lz import lossless_compress, lossless_decompress
+from .rle import find_runs, longest_run, rle_decode, rle_encode, zero_run_ratio
+
+__all__ = [
+    "HuffmanCode",
+    "build_code",
+    "coding_gain",
+    "cross_entropy_bits",
+    "decode",
+    "empirical_entropy",
+    "encode",
+    "find_runs",
+    "histogram_probabilities",
+    "huffman_expected_length",
+    "longest_run",
+    "lossless_compress",
+    "lossless_decompress",
+    "pack_codes",
+    "quantized_entropy",
+    "read_uint_array",
+    "rle_decode",
+    "rle_encode",
+    "shannon_entropy",
+    "unpack_bits",
+    "windows_at_every_position",
+    "write_uint_array",
+    "zero_run_ratio",
+]

@@ -1,0 +1,107 @@
+"""Vectorised bit-level I/O on NumPy arrays.
+
+Variable-length entropy coders need to concatenate millions of codes of
+differing bit lengths.  A per-symbol Python loop would dominate the
+runtime of the whole library (the hpc-parallel guides' first rule:
+vectorise the hot loop), so both directions are expressed as whole-array
+NumPy operations:
+
+* **packing** — given per-symbol ``(code, length)`` arrays, bit offsets
+  come from a cumulative sum of lengths and each *bit plane* of the codes
+  is scattered with one vectorised masked assignment (at most
+  ``max_length`` passes, independent of the number of symbols);
+* **unpacking** — ``np.unpackbits`` plus sliding windows give the
+  ``k``-bit integer starting at *every* bit position in one shot, which
+  is the primitive the table-driven Huffman decoder builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import CorruptStreamError
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Concatenate variable-length codes into a packed byte string.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer code values; only the low ``lengths[i]`` bits of
+        ``codes[i]`` are emitted, most-significant bit first.
+    lengths:
+        Bit length of each code (0 is allowed and emits nothing).
+
+    Returns
+    -------
+    (payload, total_bits):
+        The packed bytes (zero padded to a byte boundary) and the exact
+        number of meaningful bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if codes.size == 0:
+        return b"", 0
+    total_bits = int(lengths.sum())
+    if total_bits == 0:
+        return b"", 0
+    # Start offset of each code in the output bit stream.
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max())
+    for j in range(max_len):
+        # Bit j (from the MSB of each code) lands at offset + j for every
+        # code long enough to have that bit.
+        mask = lengths > j
+        if not mask.any():
+            continue
+        shift = (lengths[mask] - 1 - j).astype(np.uint64)
+        bits[offsets[mask] + j] = ((codes[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def unpack_bits(payload: bytes, total_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`' packing: the raw bit array."""
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if len(payload) * 8 < total_bits:
+        raise CorruptStreamError("bit payload shorter than declared length")
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    return bits[:total_bits]
+
+
+def windows_at_every_position(bits: np.ndarray, width: int) -> np.ndarray:
+    """Return the ``width``-bit integer starting at every bit position.
+
+    The stream is zero padded on the right so positions near the end are
+    well defined.  Output dtype is int64; ``out[p]`` reads bits
+    ``p .. p+width-1`` MSB-first.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    n = bits.size
+    padded = np.concatenate([bits.astype(np.int64), np.zeros(width, dtype=np.int64)])
+    view = np.lib.stride_tricks.sliding_window_view(padded, width)[: max(n, 1)]
+    weights = (np.int64(1) << np.arange(width - 1, -1, -1, dtype=np.int64))
+    return view @ weights
+
+
+def write_uint_array(values: np.ndarray, bit_width: int) -> bytes:
+    """Pack fixed-width unsigned integers (used for escape values)."""
+    values = np.asarray(values, dtype=np.uint64)
+    lengths = np.full(values.shape, bit_width, dtype=np.int64)
+    payload, _ = pack_codes(values, lengths)
+    return payload
+
+
+def read_uint_array(payload: bytes, bit_width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`write_uint_array`."""
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    bits = unpack_bits(payload, bit_width * count)
+    mat = bits.reshape(count, bit_width).astype(np.uint64)
+    weights = (np.uint64(1) << np.arange(bit_width - 1, -1, -1, dtype=np.uint64))
+    return mat @ weights

@@ -1,0 +1,266 @@
+"""Canonical Huffman coding, from scratch, with a vectorised decoder.
+
+The encoder is the standard two-queue/heap construction followed by a
+zlib-style length-limiting pass and canonical code assignment.  Codes are
+packed with :func:`repro.encoding.bitio.pack_codes` (bit-plane scatter,
+no per-symbol Python loop).
+
+The decoder avoids the classic sequential bit-walk entirely.  Because
+code lengths are limited to ``max_length`` bits, a single lookup table
+maps every ``max_length``-bit window to ``(symbol, code_length)``.  We
+evaluate that table at *every* bit position of the stream at once, build
+the "next code starts at" jump array ``J[p] = p + len[p]``, and then
+recover the positions of all ``N`` codes with **binary lifting**: the
+position of the ``k``-th code is found by composing jumps of
+2^j codes for the set bits of ``k``, and the jump-by-2^(j+1) table is the
+jump-by-2^j table applied to itself.  Every step is a whole-array gather,
+so the decode is ``O(T log N)`` vectorised work instead of ``N``
+iterations of interpreted Python — the list-ranking trick from parallel
+algorithms applied to entropy decoding.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+
+import numpy as np
+
+from ..core.errors import CorruptStreamError
+from .bitio import pack_codes, unpack_bits, windows_at_every_position
+
+DEFAULT_MAX_LENGTH = 16
+
+
+def huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
+    """Optimal (unlimited) Huffman code lengths for positive *counts*.
+
+    Standard heap construction; ties are broken deterministically by
+    insertion order so the resulting lengths are reproducible.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = counts.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n == 1:
+        return np.ones(1, dtype=np.int64)
+    # Heap items: (weight, tiebreak, list of leaf indices in this subtree).
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(c), i, [i]) for i, c in enumerate(counts)
+    ]
+    heapify(heap)
+    lengths = np.zeros(n, dtype=np.int64)
+    tiebreak = n
+    while len(heap) > 1:
+        w1, _, leaves1 = heappop(heap)
+        w2, _, leaves2 = heappop(heap)
+        merged = leaves1 + leaves2
+        lengths[merged] += 1
+        heappush(heap, (w1 + w2, tiebreak, merged))
+        tiebreak += 1
+    return lengths
+
+
+def limit_code_lengths(lengths: np.ndarray, max_length: int) -> np.ndarray:
+    """Clamp code lengths to *max_length* while keeping Kraft equality.
+
+    The zlib approach: count codes per length, move overflowed codes to
+    ``max_length``, then repair the Kraft sum by repeatedly splitting the
+    deepest available shorter code; finally re-assign lengths to symbols
+    so that more frequent symbols (shorter original lengths) keep the
+    shorter final lengths.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0 or int(lengths.max(initial=0)) <= max_length:
+        return lengths.copy()
+    bl_count = np.bincount(np.minimum(lengths, max_length), minlength=max_length + 1)
+    # Kraft sum scaled by 2^max_length must equal 2^max_length for a
+    # complete code (it can exceed it after clamping).
+    kraft = int(
+        sum(int(bl_count[l]) << (max_length - l) for l in range(1, max_length + 1))
+    )
+    budget = 1 << max_length
+    while kraft > budget:
+        # Find the deepest length < max_length with at least one code,
+        # push one of its codes one level deeper (splitting frees space).
+        for l in range(max_length - 1, 0, -1):
+            if bl_count[l] > 0:
+                bl_count[l] -= 1
+                bl_count[l + 1] += 1
+                kraft -= 1 << (max_length - l - 1)
+                break
+        else:  # pragma: no cover - cannot happen for a valid code
+            raise RuntimeError("unable to repair Kraft inequality")
+    # Re-assign: sort symbols by original length (stable), hand out the
+    # new multiset of lengths shortest-first.
+    order = np.argsort(lengths, kind="stable")
+    new_lengths = np.zeros_like(lengths)
+    out_lens = np.repeat(
+        np.arange(max_length + 1), bl_count.astype(np.int64)
+    )
+    new_lengths[order] = out_lens[: lengths.size]
+    return new_lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values for the given lengths (RFC-1951 style).
+
+    Symbols are ranked by (length, symbol index); codes within one length
+    are consecutive, and the first code of each length is derived from
+    the counts of shorter codes.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    if lengths.size == 0:
+        return codes
+    max_len = int(lengths.max())
+    bl_count = np.bincount(lengths, minlength=max_len + 1)
+    bl_count[0] = 0
+    next_code = np.zeros(max_len + 1, dtype=np.uint64)
+    code = 0
+    for l in range(1, max_len + 1):
+        code = (code + int(bl_count[l - 1])) << 1
+        next_code[l] = code
+    for l in range(1, max_len + 1):
+        idx = np.flatnonzero(lengths == l)
+        if idx.size:
+            codes[idx] = next_code[l] + np.arange(idx.size, dtype=np.uint64)
+    return codes
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical code book over an integer alphabet."""
+
+    symbols: np.ndarray  # distinct symbol values, sorted (int64)
+    lengths: np.ndarray  # bits per symbol (int64)
+    codes: np.ndarray  # canonical code values (uint64)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max(initial=0))
+
+    def expected_bits_per_symbol(self, counts: np.ndarray) -> float:
+        """Average code length under the empirical counts."""
+        counts = np.asarray(counts, dtype=np.float64)
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        return float((counts * self.lengths).sum() / total)
+
+    def decode_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full lookup tables of size ``2**max_length``.
+
+        ``sym_table[w]`` / ``len_table[w]`` give the decoded symbol index
+        and its code length for any window *w* whose leading bits match a
+        code.  Windows that match no code get length 0 (detected as
+        corruption during decode).
+        """
+        width = max(self.max_length, 1)
+        size = 1 << width
+        sym_table = np.zeros(size, dtype=np.int64)
+        len_table = np.zeros(size, dtype=np.int64)
+        for i in range(self.symbols.size):
+            l = int(self.lengths[i])
+            if l == 0:
+                continue
+            base = int(self.codes[i]) << (width - l)
+            span = 1 << (width - l)
+            sym_table[base : base + span] = i
+            len_table[base : base + span] = l
+        return sym_table, len_table
+
+
+def build_code(values: np.ndarray | None = None, *, counts: np.ndarray | None = None,
+               symbols: np.ndarray | None = None,
+               max_length: int = DEFAULT_MAX_LENGTH) -> HuffmanCode:
+    """Build a canonical code from raw values or a (symbols, counts) pair."""
+    if values is not None:
+        symbols, counts = np.unique(np.asarray(values, dtype=np.int64), return_counts=True)
+    if symbols is None or counts is None:
+        raise ValueError("provide either values or (symbols, counts)")
+    symbols = np.asarray(symbols, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    lengths = huffman_code_lengths(counts)
+    lengths = limit_code_lengths(lengths, max_length)
+    return HuffmanCode(symbols=symbols, lengths=lengths, codes=canonical_codes(lengths))
+
+
+_STREAM_HEADER = struct.Struct("<IQQB3x")  # n_symbols, n_values, total_bits, max_length
+
+
+def encode(values: np.ndarray, *, max_length: int = DEFAULT_MAX_LENGTH,
+           code: HuffmanCode | None = None) -> bytes:
+    """Huffman-encode an int array into a self-contained byte stream.
+
+    The stream embeds the code book (symbols + lengths) so decode needs
+    no side channel.  An externally supplied *code* may be reused (e.g.
+    by SECRE-style sampled estimators) as long as it covers all values.
+    """
+    values = np.asarray(values, dtype=np.int64).reshape(-1)
+    if code is None:
+        code = build_code(values, max_length=max_length)
+    idx = np.searchsorted(code.symbols, values)
+    if values.size and (
+        (idx >= code.symbols.size).any() or (code.symbols[np.minimum(idx, code.symbols.size - 1)] != values).any()
+    ):
+        raise ValueError("values contain symbols outside the supplied code book")
+    payload, total_bits = pack_codes(code.codes[idx], code.lengths[idx]) if values.size else (b"", 0)
+    head = _STREAM_HEADER.pack(code.symbols.size, values.size, total_bits, code.max_length)
+    return b"".join([
+        head,
+        code.symbols.astype("<i8").tobytes(),
+        code.lengths.astype("<u1").tobytes(),
+        payload,
+    ])
+
+
+def decode(stream: bytes) -> np.ndarray:
+    """Decode a stream produced by :func:`encode` (vectorised, see module docs)."""
+    if len(stream) < _STREAM_HEADER.size:
+        raise CorruptStreamError("huffman stream too short")
+    n_symbols, n_values, total_bits, width = _STREAM_HEADER.unpack_from(stream, 0)
+    off = _STREAM_HEADER.size
+    if len(stream) < off + 9 * n_symbols:
+        raise CorruptStreamError("huffman code table truncated")
+    symbols = np.frombuffer(stream, dtype="<i8", count=n_symbols, offset=off).astype(np.int64)
+    off += 8 * n_symbols
+    lengths = np.frombuffer(stream, dtype="<u1", count=n_symbols, offset=off).astype(np.int64)
+    off += n_symbols
+    if n_values == 0:
+        return np.zeros(0, dtype=np.int64)
+    code = HuffmanCode(symbols=symbols, lengths=lengths, codes=canonical_codes(lengths))
+    if n_symbols == 1:
+        # Degenerate single-symbol alphabet: the bit stream is all the
+        # same 1-bit code; no table walk needed.
+        return np.full(n_values, symbols[0], dtype=np.int64)
+    bits = unpack_bits(stream[off:], total_bits)
+    width = max(int(width), 1)
+    windows = windows_at_every_position(bits, width)
+    sym_table, len_table = code.decode_tables()
+    sym_at = sym_table[windows]
+    len_at = len_table[windows]
+    if (len_at[0] == 0) if total_bits else False:
+        raise CorruptStreamError("invalid prefix at stream start")
+    # Jump array with a sink at index T: J[p] = start of the next code.
+    T = int(total_bits)
+    jump = np.minimum(np.arange(T, dtype=np.int64) + len_at, T)
+    jump = np.append(jump, T)  # sink maps to itself
+    # Binary lifting: position of the k-th code for all k at once.
+    ks = np.arange(n_values, dtype=np.int64)
+    pos = np.zeros(n_values, dtype=np.int64)
+    step = jump
+    level_bits = max(int(n_values - 1).bit_length(), 1)
+    for j in range(level_bits):
+        mask = ((ks >> j) & 1).astype(bool)
+        if mask.any():
+            pos[mask] = step[pos[mask]]
+        if j + 1 < level_bits:
+            step = step[step]
+    if (pos >= T).any():
+        raise CorruptStreamError("huffman stream truncated")
+    decoded_idx = sym_at[pos]
+    if (len_at[pos] == 0).any():
+        raise CorruptStreamError("invalid huffman code in stream")
+    return symbols[decoded_idx]

@@ -1,0 +1,166 @@
+"""Final-stage lossless byte compression.
+
+SZ3 finishes with a general-purpose lossless pass (zstd upstream).  We
+provide two interchangeable backends behind one two-byte-tagged format:
+
+* ``"lz77"`` — a from-scratch hash-chain LZ77 with greedy matching and a
+  simple literal/match token stream.  This is the reference
+  implementation used to validate the format and exercised by the test
+  suite on bounded inputs (its inner loop is interpreted Python, so we
+  do not put it on the hot path for large arrays).
+* ``"zlib"`` — the C-speed DEFLATE from the Python standard library,
+  the default production backend.  DEFLATE is itself LZ77 + Huffman,
+  i.e. the same algorithm family as zstd's literal path, so the residual
+  redundancy removal the Jin model estimates behaves comparably.
+
+Both produce streams decodable by :func:`lossless_decompress` regardless
+of which backend encoded them.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..core.errors import CorruptStreamError, OptionError
+
+_TAG_RAW = 0
+_TAG_ZLIB = 1
+_TAG_LZ77 = 2
+
+_MIN_MATCH = 4
+_MAX_MATCH = 255 + _MIN_MATCH
+_WINDOW = 1 << 16
+
+
+def _lz77_compress(data: bytes) -> bytes:
+    """Greedy hash-chain LZ77.
+
+    Token format: a control byte per token; 0x00 prefixes a literal run
+    (length byte + literals), 0x01 prefixes a match (2-byte distance,
+    1-byte length-_MIN_MATCH).
+    """
+    n = len(data)
+    out = bytearray()
+    literals = bytearray()
+    head: dict[bytes, int] = {}
+    i = 0
+
+    def flush_literals() -> None:
+        j = 0
+        while j < len(literals):
+            chunk = literals[j : j + 255]
+            out.append(0x00)
+            out.append(len(chunk))
+            out.extend(chunk)
+            j += 255
+        literals.clear()
+
+    while i < n:
+        match_len = 0
+        match_dist = 0
+        if i + _MIN_MATCH <= n:
+            key = data[i : i + _MIN_MATCH]
+            cand = head.get(key)
+            if cand is not None and i - cand <= _WINDOW:
+                # Extend the candidate match as far as it goes.
+                length = _MIN_MATCH
+                limit = min(_MAX_MATCH, n - i)
+                while length < limit and data[cand + length] == data[i + length]:
+                    length += 1
+                match_len = length
+                match_dist = i - cand
+            head[key] = i
+        if match_len >= _MIN_MATCH:
+            flush_literals()
+            out.append(0x01)
+            out.extend(struct.pack("<HB", match_dist, match_len - _MIN_MATCH))
+            # Insert hash entries sparsely inside the match to bound cost.
+            step = max(1, match_len // 8)
+            for k in range(i + 1, min(i + match_len, n - _MIN_MATCH), step):
+                head[data[k : k + _MIN_MATCH]] = k
+            i += match_len
+        else:
+            literals.append(data[i])
+            i += 1
+    flush_literals()
+    return bytes(out)
+
+
+def _lz77_decompress(stream: bytes, expected_size: int) -> bytes:
+    out = bytearray()
+    i = 0
+    n = len(stream)
+    while i < n:
+        tag = stream[i]
+        i += 1
+        if tag == 0x00:
+            if i >= n:
+                raise CorruptStreamError("lz77 literal header truncated")
+            count = stream[i]
+            i += 1
+            if i + count > n:
+                raise CorruptStreamError("lz77 literal run truncated")
+            out.extend(stream[i : i + count])
+            i += count
+        elif tag == 0x01:
+            if i + 3 > n:
+                raise CorruptStreamError("lz77 match token truncated")
+            dist, extra = struct.unpack_from("<HB", stream, i)
+            i += 3
+            length = extra + _MIN_MATCH
+            start = len(out) - dist
+            if start < 0:
+                raise CorruptStreamError("lz77 match reaches before stream start")
+            for _ in range(length):  # overlapping copies are legal in LZ77
+                out.append(out[start])
+                start += 1
+        else:
+            raise CorruptStreamError(f"unknown lz77 token {tag}")
+    if len(out) != expected_size:
+        raise CorruptStreamError("lz77 output size mismatch")
+    return bytes(out)
+
+
+def lossless_compress(data: bytes | np.ndarray, backend: str = "zlib", level: int = 6) -> bytes:
+    """Compress a byte payload with the chosen backend.
+
+    If the backend expands the data (incompressible input), the stream is
+    stored raw — the decoder handles all three tags transparently.
+    """
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    if backend == "zlib":
+        body = zlib.compress(data, level)
+        tag = _TAG_ZLIB
+    elif backend == "lz77":
+        body = _lz77_compress(data)
+        tag = _TAG_LZ77
+    else:
+        raise OptionError(f"unknown lossless backend {backend!r}")
+    if len(body) >= len(data):
+        tag, body = _TAG_RAW, data
+    return struct.pack("<BQ", tag, len(data)) + body
+
+
+def lossless_decompress(stream: bytes) -> bytes:
+    """Decompress a stream from :func:`lossless_compress` (any backend)."""
+    if len(stream) < 9:
+        raise CorruptStreamError("lossless stream too short")
+    tag, size = struct.unpack_from("<BQ", stream, 0)
+    body = stream[9:]
+    if tag == _TAG_RAW:
+        if len(body) != size:
+            raise CorruptStreamError("raw stream size mismatch")
+        return body
+    if tag == _TAG_ZLIB:
+        out = zlib.decompress(body)
+    elif tag == _TAG_LZ77:
+        out = _lz77_decompress(body, size)
+    else:
+        raise CorruptStreamError(f"unknown lossless tag {tag}")
+    if len(out) != size:
+        raise CorruptStreamError("lossless output size mismatch")
+    return out

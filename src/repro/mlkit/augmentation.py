@@ -1,0 +1,61 @@
+"""Interpolation-based data augmentation (the FXRZ innovation).
+
+Rahman 2023's key training-cost reduction: "artificially accumulating
+additional training data by interpolation between observed values".
+Compression-ratio labels vary smoothly with the features that drive
+them, so convex combinations of nearby (feature, label) pairs are cheap,
+plausible synthetic samples — cutting the number of real compressor runs
+needed for a given accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interpolation_augment(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    factor: float = 2.0,
+    n_neighbors: int = 3,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Augment (X, y) with interpolated synthetic samples.
+
+    For each synthetic sample: pick a random anchor, pick one of its
+    *n_neighbors* nearest neighbours in (standardised) feature space,
+    and take a random convex combination of both features and label.
+    Returns the concatenation of real and synthetic samples; with
+    ``factor <= 1`` the input is returned unchanged.
+
+    Parameters
+    ----------
+    factor:
+        Output size as a multiple of the input size (2.0 doubles it).
+    n_neighbors:
+        Interpolation partners are restricted to this many nearest
+        neighbours, keeping synthetic points on the local manifold.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    n = X.shape[0]
+    n_new = int(round((factor - 1.0) * n))
+    if n_new <= 0 or n < 2:
+        return X, y
+    rng = np.random.default_rng(random_state)
+    # Standardise once so neighbour distances are scale-free.
+    std = X.std(axis=0)
+    Xs = (X - X.mean(axis=0)) / np.where(std > 0, std, 1.0)
+    # Full pairwise distances are fine at training-set scale.
+    d2 = ((Xs[:, None, :] - Xs[None, :, :]) ** 2).sum(axis=2)
+    np.fill_diagonal(d2, np.inf)
+    k = min(n_neighbors, n - 1)
+    neighbors = np.argsort(d2, axis=1)[:, :k]
+    anchors = rng.integers(0, n, size=n_new)
+    partner_slot = rng.integers(0, k, size=n_new)
+    partners = neighbors[anchors, partner_slot]
+    t = rng.random(n_new)[:, None]
+    X_new = (1 - t) * X[anchors] + t * X[partners]
+    y_new = (1 - t[:, 0]) * y[anchors] + t[:, 0] * y[partners]
+    return np.vstack([X, X_new]), np.concatenate([y, y_new])

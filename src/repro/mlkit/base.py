@@ -1,0 +1,143 @@
+"""Estimator base class (scikit-learn's ``BaseEstimator`` analog).
+
+The paper models ``predict_plugin`` on scikit-learn's estimator API:
+``fit``/``predict`` plus the requirements that parameters be
+introspectable and that trained state be *serialisable* (so the bench can
+checkpoint models and applications can reload them, as in Figure 4's
+``predictors:state``).  This module supplies those framework behaviours
+so each model implementation only writes the math.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+
+class BaseEstimator:
+    """Common introspection + serialisation for all mlkit models.
+
+    Conventions (matching scikit-learn):
+
+    * constructor arguments are hyper-parameters, stored verbatim on
+      ``self`` under the same names;
+    * attributes ending in ``_`` are learned state created by ``fit``;
+    * :meth:`get_state` / :meth:`set_state` round-trip the learned state
+      through plain dicts of numpy arrays/scalars (JSON-adjacent, no
+      pickle) for checkpointing.
+    """
+
+    def _param_names(self) -> list[str]:
+        sig = inspect.signature(type(self).__init__)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Hyper-parameters as a dict (constructor arguments)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Update hyper-parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(f"{type(self).__name__} has no parameter {name!r}")
+            setattr(self, name, value)
+        return self
+
+    def clone(self) -> "BaseEstimator":
+        """A fresh, unfitted copy with the same hyper-parameters."""
+        return type(self)(**self.get_params())
+
+    # -- serialisable learned state ------------------------------------------
+    def _state_names(self) -> list[str]:
+        return sorted(
+            name
+            for name in vars(self)
+            if name.endswith("_") and not name.startswith("_")
+        )
+
+    def get_state(self) -> dict[str, Any]:
+        """Learned state as a plain dict (numpy arrays pass through)."""
+        out: dict[str, Any] = {"__class__": type(self).__name__}
+        for name in self._state_names():
+            value = getattr(self, name)
+            if isinstance(value, BaseEstimator):
+                value = {"__nested__": True, **value.get_state(),
+                         "__params__": value.get_params()}
+            elif isinstance(value, list) and value and isinstance(value[0], BaseEstimator):
+                value = {
+                    "__nested_list__": True,
+                    "items": [
+                        {**v.get_state(), "__params__": v.get_params()} for v in value
+                    ],
+                    "factory": type(value[0]).__name__,
+                }
+            out[name] = value
+        return out
+
+    def set_state(self, state: dict[str, Any]) -> "BaseEstimator":
+        """Restore learned state captured by :meth:`get_state`."""
+        from . import _estimator_by_name  # late import to avoid cycles
+
+        for name, value in state.items():
+            if name == "__class__":
+                continue
+            if isinstance(value, dict) and value.get("__nested__"):
+                params = value.get("__params__", {})
+                nested = _estimator_by_name(value["__class__"])(**params)
+                nested.set_state({k: v for k, v in value.items()
+                                  if k not in ("__nested__", "__params__")})
+                value = nested
+            elif isinstance(value, dict) and value.get("__nested_list__"):
+                cls = _estimator_by_name(value["factory"])
+                items = []
+                for item in value["items"]:
+                    est = cls(**item.get("__params__", {}))
+                    est.set_state({k: v for k, v in item.items() if k != "__params__"})
+                    items.append(est)
+                value = items
+            setattr(self, name, value)
+        return self
+
+    def is_fitted(self) -> bool:
+        """True when ``fit`` has produced learned state."""
+        return bool(self._state_names())
+
+    # -- the modelling API (implemented by subclasses) ---------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseEstimator":
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a regression design matrix and targets."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    if X.shape[0] != y.shape[0]:
+        if X.shape[1] == y.shape[0]:  # accept transposed 1-feature input
+            X = X.T
+        else:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if not np.isfinite(X).all() or not np.isfinite(y).all():
+        raise ValueError("X and y must be finite")
+    return X, y
+
+
+def check_X(X: np.ndarray, n_features: int | None = None) -> np.ndarray:
+    """Validate a prediction-time design matrix."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    if n_features is not None and X.shape[1] != n_features:
+        raise ValueError(f"expected {n_features} features, got {X.shape[1]}")
+    return X

@@ -1,0 +1,79 @@
+"""Random forest regression (bagged CART trees).
+
+The model family behind FXRZ (Rahman 2023).  Bootstrap sampling plus
+per-split feature subsampling, averaged predictions; deterministic given
+``random_state``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+from .tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor(BaseEstimator):
+    """An ensemble of bootstrap-trained regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = 0,
+    ) -> None:
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X, y = check_X_y(X, y)
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        trees: list[DecisionTreeRegressor] = []
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n)
+        for t in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=seed,
+            )
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree.fit(X[idx], y[idx])
+            trees.append(tree)
+            if self.bootstrap:
+                oob = np.setdiff1d(np.arange(n), idx, assume_unique=False)
+                if oob.size:
+                    oob_sum[oob] += tree.predict(X[oob])
+                    oob_count[oob] += 1
+        self.trees_ = trees
+        self.n_features_ = X.shape[1]
+        seen = oob_count > 0
+        self.oob_prediction_ = np.where(seen, oob_sum / np.maximum(oob_count, 1), np.nan)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features_)
+        out = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out / len(self.trees_)
+
+    def feature_importances(self) -> np.ndarray:
+        """Average split-count importances over the ensemble."""
+        imp = np.zeros(self.n_features_)
+        for tree in self.trees_:
+            imp += tree.feature_importances()
+        return imp / len(self.trees_)

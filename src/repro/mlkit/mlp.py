@@ -1,0 +1,104 @@
+"""A small multilayer perceptron regressor (NumPy + Adam, from scratch).
+
+The model family behind Qin 2020 ("Estimating Lossy Compressibility of
+Scientific Data Using Deep Neural Networks").  Deliberately compact:
+fully-connected tanh layers, mean-squared-error loss, Adam with
+full-batch gradients (training sets here are hundreds of rows), inputs
+and targets standardised internally, deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+
+class MLPRegressor(BaseEstimator):
+    """Feed-forward regressor with tanh hidden layers."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32, 16),
+        epochs: int = 400,
+        learning_rate: float = 1e-2,
+        l2: float = 1e-5,
+        random_state: int = 0,
+    ) -> None:
+        self.hidden = tuple(int(h) for h in hidden)
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.l2 = float(l2)
+        self.random_state = int(random_state)
+
+    # -- forward / backward -------------------------------------------------------
+    def _forward(self, X: np.ndarray, weights, biases):
+        acts = [X]
+        h = X
+        for W, b in zip(weights[:-1], biases[:-1]):
+            h = np.tanh(h @ W + b)
+            acts.append(h)
+        out = h @ weights[-1] + biases[-1]
+        return out[:, 0], acts
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X, y = check_X_y(X, y)
+        rng = np.random.default_rng(self.random_state)
+        self.x_mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self.x_scale_ = np.where(scale > 0, scale, 1.0)
+        Xs = (X - self.x_mean_) / self.x_scale_
+        self.y_mean_ = float(y.mean())
+        y_std = float(y.std())
+        self.y_scale_ = y_std if y_std > 0 else 1.0
+        ys = (y - self.y_mean_) / self.y_scale_
+
+        sizes = [X.shape[1], *self.hidden, 1]
+        weights = [
+            rng.standard_normal((a, b)) * np.sqrt(2.0 / a)
+            for a, b in zip(sizes[:-1], sizes[1:])
+        ]
+        biases = [np.zeros(b) for b in sizes[1:]]
+        # Adam state.
+        mw = [np.zeros_like(W) for W in weights]
+        vw = [np.zeros_like(W) for W in weights]
+        mb = [np.zeros_like(b) for b in biases]
+        vb = [np.zeros_like(b) for b in biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        n = Xs.shape[0]
+        for step in range(1, self.epochs + 1):
+            pred, acts = self._forward(Xs, weights, biases)
+            err = (pred - ys)[:, None] / n  # dL/dout for 0.5*MSE
+            grads_w = []
+            grads_b = []
+            delta = err
+            for layer in range(len(weights) - 1, -1, -1):
+                a_prev = acts[layer]
+                grads_w.append(a_prev.T @ delta + self.l2 * weights[layer])
+                grads_b.append(delta.sum(axis=0))
+                if layer > 0:
+                    delta = (delta @ weights[layer].T) * (1.0 - acts[layer] ** 2)
+            grads_w.reverse()
+            grads_b.reverse()
+            lr = self.learning_rate
+            for i in range(len(weights)):
+                mw[i] = beta1 * mw[i] + (1 - beta1) * grads_w[i]
+                vw[i] = beta2 * vw[i] + (1 - beta2) * grads_w[i] ** 2
+                mb[i] = beta1 * mb[i] + (1 - beta1) * grads_b[i]
+                vb[i] = beta2 * vb[i] + (1 - beta2) * grads_b[i] ** 2
+                mw_hat = mw[i] / (1 - beta1**step)
+                vw_hat = vw[i] / (1 - beta2**step)
+                mb_hat = mb[i] / (1 - beta1**step)
+                vb_hat = vb[i] / (1 - beta2**step)
+                weights[i] -= lr * mw_hat / (np.sqrt(vw_hat) + eps)
+                biases[i] -= lr * mb_hat / (np.sqrt(vb_hat) + eps)
+        self.weights_ = weights
+        self.biases_ = biases
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features_)
+        Xs = (X - self.x_mean_) / self.x_scale_
+        out, _ = self._forward(Xs, self.weights_, self.biases_)
+        return self.y_mean_ + self.y_scale_ * out

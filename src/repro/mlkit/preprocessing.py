@@ -1,0 +1,99 @@
+"""Feature preprocessing: scaling and polynomial expansion."""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean / unit-variance feature scaling.
+
+    Constant features get scale 1 so they pass through unchanged instead
+    of dividing by zero.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.mean_.size)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.mean_.size)
+        return X * self.scale_ + self.mean_
+
+
+class PolynomialFeatures(BaseEstimator):
+    """Polynomial feature expansion up to *degree* (no bias column).
+
+    Produces all monomials of the input features with total degree in
+    ``[1, degree]``, in a deterministic order.
+    """
+
+    def __init__(self, degree: int = 2) -> None:
+        self.degree = int(degree)
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "PolynomialFeatures":
+        X = check_X(X)
+        combos: list[tuple[int, ...]] = []
+        for d in range(1, self.degree + 1):
+            combos.extend(combinations_with_replacement(range(X.shape[1]), d))
+        self.combos_ = combos
+        self.n_input_features_ = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_input_features_)
+        cols = [np.prod(X[:, list(c)], axis=1) for c in self.combos_]
+        return np.column_stack(cols)
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class TargetTransform(BaseEstimator):
+    """Wrap a regressor to model a transformed target (e.g. log CR).
+
+    Compression ratios are strictly positive and span orders of
+    magnitude; fitting in log space and exponentiating predictions is
+    the standard trick the black-box schemes use.
+    """
+
+    def __init__(self, estimator: BaseEstimator, transform: str = "log") -> None:
+        self.estimator = estimator
+        self.transform = transform
+
+    def _fwd(self, y: np.ndarray) -> np.ndarray:
+        if self.transform == "log":
+            if (y <= 0).any():
+                raise ValueError("log target transform requires positive targets")
+            return np.log(y)
+        if self.transform == "identity":
+            return y
+        raise ValueError(f"unknown transform {self.transform!r}")
+
+    def _inv(self, y: np.ndarray) -> np.ndarray:
+        if self.transform == "log":
+            return np.exp(y)
+        return y
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TargetTransform":
+        X, y = check_X_y(X, y)
+        self.fitted_ = self.estimator.clone()
+        self.fitted_.fit(X, self._fwd(y))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._inv(self.fitted_.predict(X))

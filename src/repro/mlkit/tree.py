@@ -1,0 +1,163 @@
+"""CART regression trees (variance-reduction splits).
+
+The FXRZ scheme (Rahman 2023) "primarily used random forests ... to
+predict the compression ratio"; this is the tree those forests bag.  The
+split search is vectorised per (node, feature): one sort plus prefix
+sums evaluates every candidate threshold at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+
+def best_split_for_feature(x: np.ndarray, y: np.ndarray, min_leaf: int) -> tuple[float, float]:
+    """Best (SSE reduction, threshold) for one feature, vectorised.
+
+    Sorts once, then evaluates the sum of squared errors of every
+    prefix/suffix partition with cumulative sums.  Returns
+    ``(-inf, nan)`` when no valid split exists (constant feature or
+    min_leaf infeasible).
+    """
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    ys = y[order]
+    n = xs.size
+    if n < 2 * min_leaf:
+        return -np.inf, np.nan
+    csum = np.cumsum(ys)
+    csum2 = np.cumsum(ys * ys)
+    total = csum[-1]
+    total2 = csum2[-1]
+    # Candidate split after position i (1-based prefix length k = i+1).
+    k = np.arange(1, n)
+    left_sum = csum[:-1]
+    left_sse = csum2[:-1] - left_sum**2 / k
+    right_n = n - k
+    right_sum = total - left_sum
+    right_sse = (total2 - csum2[:-1]) - right_sum**2 / right_n
+    parent_sse = total2 - total**2 / n
+    gain = parent_sse - (left_sse + right_sse)
+    # A split is valid only between distinct x values with both sides
+    # holding at least min_leaf samples.
+    valid = (xs[1:] != xs[:-1]) & (k >= min_leaf) & (right_n >= min_leaf)
+    if not valid.any():
+        return -np.inf, np.nan
+    gain = np.where(valid, gain, -np.inf)
+    best = int(np.argmax(gain))
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(gain[best]), float(threshold)
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """A CART regression tree stored in flat arrays.
+
+    Nodes live in parallel arrays (feature, threshold, children, value)
+    so prediction is an iterative vectorised descent rather than object
+    traversal.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(mf, float):
+            return max(1, int(mf * n_features))
+        return min(int(mf), n_features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        rng = np.random.default_rng(self.random_state)
+        n_features = X.shape[1]
+        k = self._n_candidate_features(n_features)
+
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+
+        def build(idx: np.ndarray, depth: int) -> int:
+            node = len(features)
+            features.append(-1)
+            thresholds.append(np.nan)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(float(y[idx].mean()) if idx.size else 0.0)
+            if depth >= self.max_depth or idx.size < 2 * self.min_samples_leaf:
+                return node
+            if np.ptp(y[idx]) == 0:
+                return node
+            cand = (
+                np.arange(n_features)
+                if k == n_features
+                else rng.choice(n_features, size=k, replace=False)
+            )
+            best_gain, best_feat, best_thr = 0.0, -1, np.nan
+            for j in cand:
+                gain, thr = best_split_for_feature(X[idx, j], y[idx], self.min_samples_leaf)
+                if gain > best_gain:
+                    best_gain, best_feat, best_thr = gain, int(j), thr
+            if best_feat < 0:
+                return node
+            mask = X[idx, best_feat] <= best_thr
+            left_idx, right_idx = idx[mask], idx[~mask]
+            features[node] = best_feat
+            thresholds[node] = best_thr
+            lefts[node] = build(left_idx, depth + 1)
+            rights[node] = build(right_idx, depth + 1)
+            return node
+
+        build(np.arange(X.shape[0]), 0)
+        self.feature_ = np.asarray(features, dtype=np.int64)
+        self.threshold_ = np.asarray(thresholds, dtype=np.float64)
+        self.left_ = np.asarray(lefts, dtype=np.int64)
+        self.right_ = np.asarray(rights, dtype=np.int64)
+        self.value_ = np.asarray(values, dtype=np.float64)
+        self.n_features_ = n_features
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features_)
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        # Vectorised level-by-level descent: all rows advance one level
+        # per iteration until every row reaches a leaf.
+        for _ in range(self.max_depth + 1):
+            active = self.feature_[node] >= 0
+            if not active.any():
+                break
+            feat = self.feature_[node[active]]
+            thr = self.threshold_[node[active]]
+            go_left = X[active, feat] <= thr
+            nxt = np.where(go_left, self.left_[node[active]], self.right_[node[active]])
+            node[active] = nxt
+        return self.value_[node]
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        return int((self.feature_ < 0).sum())
+
+    def feature_importances(self) -> np.ndarray:
+        """Split-count importances (normalised), a cheap diagnostic."""
+        counts = np.bincount(
+            self.feature_[self.feature_ >= 0], minlength=self.n_features_
+        ).astype(np.float64)
+        total = counts.sum()
+        return counts / total if total else counts

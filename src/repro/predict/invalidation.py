@@ -1,0 +1,142 @@
+"""The invalidation model (§4.2 — the heart of LibPressio-Predict).
+
+A metric's ``predictors:invalidate`` declaration lists the conditions
+under which a cached result stops being valid: concrete option keys
+(``sz3:lorenzo``) and/or the four special classes.  An *invalidation
+set* describes what has changed since a cached result was produced —
+again option keys plus special classes (callers may pass
+``predictors:training`` to additionally request training-only metrics;
+it never appears in declarations, footnote 2).
+
+The subtle rule from Figure 4's caption: if a declaration names a
+*specific* error-affecting option (say ``pressio:abs``) the evaluator
+can match on that key precisely; the blanket ``error_dependent`` class
+in the changed-set still triggers metrics that only declared the class.
+Conversely a changed-set naming only ``pressio:abs`` triggers
+class-declared metrics too, because the evaluator expands concrete
+changed keys into the classes they belong to using the compressor's
+``error_affecting`` introspection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.compressor import CompressorPlugin
+from ..core.metrics import (
+    ERROR_AGNOSTIC,
+    ERROR_DEPENDENT,
+    NONDETERMINISTIC,
+    RUNTIME,
+    SPECIAL_INVALIDATIONS,
+    TRAINING,
+)
+from ..core.options import PressioOptions
+
+#: Option keys that are performance- but not error-related: changes to
+#: them invalidate RUNTIME metrics only.
+RUNTIME_OPTION_HINTS = ("nthreads", "chunk", "device", "backend", "lossless")
+
+
+def classify_option_key(key: str, compressor: CompressorPlugin) -> str:
+    """Map a concrete option key to its invalidation class.
+
+    Error-affecting keys (per the compressor's declaration) map to
+    ``predictors:error_dependent``; known performance-tuning keys map to
+    ``predictors:runtime``; everything else is conservatively treated as
+    error-dependent (an unknown setting *might* change the output).
+    """
+    if key in SPECIAL_INVALIDATIONS or key == TRAINING:
+        return key
+    if key in tuple(compressor.error_affecting_options):
+        return ERROR_DEPENDENT
+    suffix = key.rsplit(":", 1)[-1]
+    if any(h in suffix for h in RUNTIME_OPTION_HINTS):
+        return RUNTIME
+    return ERROR_DEPENDENT
+
+
+def expand_invalidations(
+    changed: Iterable[str], compressor: CompressorPlugin
+) -> frozenset[str]:
+    """Expand a changed-set into keys + the classes they imply."""
+    out: set[str] = set()
+    for key in changed:
+        out.add(key)
+        if key not in SPECIAL_INVALIDATIONS and key != TRAINING:
+            out.add(classify_option_key(key, compressor))
+    return frozenset(out)
+
+
+def is_invalidated(
+    declared: Sequence[str],
+    changed: Iterable[str],
+    compressor: CompressorPlugin,
+) -> bool:
+    """Does a change-set invalidate a metric with this declaration?
+
+    True iff the expanded changed-set intersects the declaration, where
+    a declared *class* matches either the explicit class in the
+    changed-set or any concrete changed key belonging to that class, and
+    a declared concrete key matches itself or its class being named
+    wholesale.
+    """
+    changed = tuple(changed)
+    expanded = expand_invalidations(changed, compressor)
+    explicit_classes = frozenset(changed) & SPECIAL_INVALIDATIONS
+    for decl in declared:
+        if decl in expanded:
+            return True
+        if decl not in SPECIAL_INVALIDATIONS:
+            # Declared concrete key: also triggered when its whole class
+            # is named *explicitly* in the changed-set (a different
+            # concrete key merely implying the class must not fire it —
+            # that is the precision Figure 4's caption describes).
+            if classify_option_key(decl, compressor) in explicit_classes:
+                return True
+    return False
+
+
+def dependency_options(
+    declared: Sequence[str], compressor: CompressorPlugin
+) -> PressioOptions:
+    """The option subset a metric's cached result depends on.
+
+    Used as the cache key: an error-dependent metric's result is keyed
+    by the current values of every error-affecting option; a metric
+    declaring concrete keys is keyed by those; error-agnostic metrics
+    depend on nothing (data identity is keyed separately).
+    """
+    opts = compressor.get_options()
+    keys: set[str] = set()
+    for decl in declared:
+        if decl == ERROR_DEPENDENT:
+            keys.update(compressor.error_affecting_options)
+        elif decl in (ERROR_AGNOSTIC, NONDETERMINISTIC):
+            continue
+        elif decl == RUNTIME:
+            keys.update(
+                k for k in opts if any(h in k.rsplit(":", 1)[-1] for h in RUNTIME_OPTION_HINTS)
+            )
+        else:
+            keys.add(decl)
+    out = PressioOptions()
+    for key in sorted(keys):
+        if key in opts:
+            out[key] = opts[key]
+    return out
+
+
+def is_cacheable(declared: Sequence[str], *, cache_nondeterministic: bool = True) -> bool:
+    """Whether a metric's result may be served from cache.
+
+    Runtime metrics are never cached (they measure the current machine
+    state).  Nondeterministic ones are cacheable by default — a cached
+    replicate is still a valid observation — but callers wanting fresh
+    replicates (§4.2) pass ``cache_nondeterministic=False``.
+    """
+    if RUNTIME in declared:
+        return False
+    if NONDETERMINISTIC in declared and not cache_nondeterministic:
+        return False
+    return True

@@ -1,0 +1,50 @@
+"""Prediction-feature metrics (LibPressio-Predict's metric modules)."""
+
+from .features import (
+    SparsityMetric,
+    SpatialMetric,
+    SVDTruncationMetric,
+    ValueStatsMetric,
+    VariogramMetric,
+    lag_correlations,
+    spatial_diversity,
+    spatial_smoothness,
+    svd_truncation_rank,
+    variogram_slope,
+)
+from .external import ExternalMetric, build_command, parse_output, python_external_command
+from .probes import (
+    BoundSparsityMetric,
+    SperrStageProbeMetric,
+    DistortionMetric,
+    QuantizedEntropyMetric,
+    SampledTrialMetric,
+    SZ3StageProbeMetric,
+    SZXStageProbeMetric,
+    ZFPStageProbeMetric,
+)
+
+__all__ = [
+    "BoundSparsityMetric",
+    "DistortionMetric",
+    "ExternalMetric",
+    "build_command",
+    "parse_output",
+    "python_external_command",
+    "QuantizedEntropyMetric",
+    "SZ3StageProbeMetric",
+    "SperrStageProbeMetric",
+    "SZXStageProbeMetric",
+    "SampledTrialMetric",
+    "SparsityMetric",
+    "SpatialMetric",
+    "SVDTruncationMetric",
+    "ValueStatsMetric",
+    "VariogramMetric",
+    "ZFPStageProbeMetric",
+    "lag_correlations",
+    "spatial_diversity",
+    "spatial_smoothness",
+    "svd_truncation_rank",
+    "variogram_slope",
+]

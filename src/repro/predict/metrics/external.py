@@ -1,0 +1,128 @@
+"""External metrics bridge (LibPressio's external-metrics framework).
+
+§4.2: "because we build on LibPressio Metrics, we can also utilize its
+external metrics framework to write new metrics in other languages to
+reuse existing code as much as possible" — at the cost of some overhead
+(Figure 3's caption).
+
+The protocol, modelled on LibPressio's ``external`` metric:
+
+* the input buffer is written to a temporary ``.npy`` file;
+* the user's command is invoked as
+  ``cmd --api 1 --input <path> --dtype <str> --dim <d1> --dim <d2> ...
+  [--option key=value ...]`` with every *stable* compressor option
+  forwarded;
+* the process prints ``name=value`` lines (floats) on stdout; they are
+  collected under ``<metric name>:<name>``;
+* a nonzero exit status or malformed output is recorded as
+  ``<name>:error_code`` / ``<name>:error_msg`` instead of raising, so a
+  broken user metric degrades to missing features rather than a failed
+  campaign (the bench's fault-tolerance posture).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Any, Sequence
+
+import numpy as np
+
+from ...core.data import PressioData
+from ...core.metrics import ERROR_AGNOSTIC, MetricsPlugin
+from ...core.options import PressioOptions
+
+#: Protocol version reported to external commands.
+EXTERNAL_API = 1
+
+
+def build_command(
+    base: Sequence[str],
+    input_path: str,
+    data: PressioData,
+    options: PressioOptions,
+) -> list[str]:
+    """Assemble the argv for one external-metric invocation."""
+    argv = list(base)
+    argv += ["--api", str(EXTERNAL_API), "--input", input_path, "--dtype", str(data.dtype)]
+    for dim in data.shape:
+        argv += ["--dim", str(dim)]
+    for key, value in options.stable_items():
+        if value is not None:
+            argv += ["--option", f"{key}={value}"]
+    return argv
+
+
+def parse_output(stdout: str) -> dict[str, float]:
+    """Parse ``name=value`` lines; non-conforming lines are ignored."""
+    out: dict[str, float] = {}
+    for line in stdout.splitlines():
+        line = line.strip()
+        if not line or "=" not in line or line.startswith("#"):
+            continue
+        key, _, raw = line.partition("=")
+        try:
+            out[key.strip()] = float(raw.strip())
+        except ValueError:
+            continue
+    return out
+
+
+class ExternalMetric(MetricsPlugin):
+    """Run a user-supplied command as a metric plugin."""
+
+    id = "external"
+
+    def __init__(
+        self,
+        command: Sequence[str],
+        *,
+        name: str = "external",
+        invalidations: Sequence[str] = (ERROR_AGNOSTIC,),
+        timeout: float = 60.0,
+        **options: Any,
+    ) -> None:
+        super().__init__(**options)
+        self.command = list(command)
+        self.id = name
+        self.invalidations = tuple(invalidations)
+        self.timeout = float(timeout)
+        self.reset()
+
+    def reset(self) -> None:
+        self._results: dict[str, Any] = {}
+
+    def begin_compress_impl(self, input_data: PressioData, options: PressioOptions) -> None:
+        with tempfile.TemporaryDirectory(prefix="pressio-external-") as tmp:
+            path = os.path.join(tmp, "input.npy")
+            np.save(path, input_data.array)
+            argv = build_command(self.command, path, input_data, options)
+            try:
+                proc = subprocess.run(
+                    argv, capture_output=True, text=True, timeout=self.timeout
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                self._results = {
+                    "error_code": 1.0,
+                    "error_msg": f"{type(exc).__name__}: {exc}",
+                }
+                return
+        if proc.returncode != 0:
+            self._results = {
+                "error_code": float(proc.returncode),
+                "error_msg": proc.stderr.strip()[:500],
+            }
+            return
+        parsed = parse_output(proc.stdout)
+        parsed["error_code"] = 0.0
+        self._results = parsed
+
+    def get_metrics_results(self) -> PressioOptions:
+        return self._prefixed(dict(self._results))
+
+
+def python_external_command(script_path: str) -> list[str]:
+    """Convenience: run a Python script through the current interpreter."""
+    return [sys.executable, script_path]

@@ -1,0 +1,211 @@
+"""Predictor plugins (§4.2, "heavily inspired [by] the BaseEstimator
+from SciKit-Learn").
+
+Two primary methods — ``fit`` and ``predict`` — plus serialisable,
+configurable state.  The two built-in module families mirror the paper:
+
+* :class:`IdentityPredictor` — "simple" methods whose prediction *is*
+  (a formula over) a metric value, with no training stage (Tao, Khan,
+  Jin);
+* :class:`EstimatorPredictor` — wraps an mlkit estimator (the paper's
+  embedded-Python predictor, minus the embedding since we already are
+  Python), handling feature assembly from metric-result dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import MissingOptionError, PressioError
+from ..core.options import PressioOptions, as_options
+from ..mlkit.base import BaseEstimator
+
+
+def feature_vector(results: Mapping[str, Any], keys: Sequence[str]) -> np.ndarray:
+    """Assemble a feature row from a metric-results mapping.
+
+    Missing keys raise :class:`MissingOptionError` naming the key — the
+    scheme asked for a metric the evaluator did not provide, which is a
+    wiring bug worth failing loudly on.
+    """
+    row = np.empty(len(keys), dtype=np.float64)
+    for i, key in enumerate(keys):
+        if key not in results or results[key] is None:
+            raise MissingOptionError(f"feature {key!r} missing from metric results")
+        row[i] = float(results[key])
+    return row
+
+
+class PredictorPlugin:
+    """Base class for trained or formula-based predictors."""
+
+    id: str = "predictor"
+
+    #: Does this predictor require fit() before predict()?
+    needs_training: bool = False
+
+    def __init__(self, **options: Any) -> None:
+        self._options = PressioOptions(
+            {k.replace("__", ":"): v for k, v in options.items()}
+        )
+
+    # -- the two primary methods ----------------------------------------------
+    def fit(self, feature_rows: Sequence[Mapping[str, Any]], targets: Sequence[float]) -> "PredictorPlugin":
+        """Train on per-observation metric results and target values."""
+        return self
+
+    def predict(self, results: Mapping[str, Any]) -> float:
+        """Predict the target metric from one observation's results."""
+        raise NotImplementedError
+
+    def predict_many(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Vector predict; default maps :meth:`predict`."""
+        return np.asarray([self.predict(r) for r in rows], dtype=np.float64)
+
+    # -- configuration & serialisation ------------------------------------------
+    def set_options(self, opts: PressioOptions | dict[str, Any]) -> None:
+        opts = as_options(dict(opts) if not isinstance(opts, PressioOptions) else opts)
+        if "predictors:state" in opts and opts["predictors:state"] is not None:
+            self.set_state(opts["predictors:state"])
+        self._options.merge(opts)
+
+    def get_options(self) -> PressioOptions:
+        return self._options.copy()
+
+    def get_state(self) -> dict[str, Any]:
+        """Serialisable trained state (empty for formula predictors)."""
+        return {}
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`get_state`."""
+
+    def is_fitted(self) -> bool:
+        return not self.needs_training
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.id!r})"
+
+
+class IdentityPredictor(PredictorPlugin):
+    """Prediction = formula(metric results); no training stage.
+
+    ``formula`` maps the results mapping to a float; the common case of
+    passing through one key is spelled ``IdentityPredictor(key=...)``.
+    """
+
+    id = "identity"
+    needs_training = False
+
+    def __init__(
+        self,
+        key: str | None = None,
+        formula: Callable[[Mapping[str, Any]], float] | None = None,
+        **options: Any,
+    ) -> None:
+        super().__init__(**options)
+        if (key is None) == (formula is None):
+            raise PressioError("provide exactly one of key / formula")
+        self.key = key
+        self.formula = formula
+
+    def predict(self, results: Mapping[str, Any]) -> float:
+        if self.formula is not None:
+            return float(self.formula(results))
+        if self.key not in results:
+            raise MissingOptionError(f"metric {self.key!r} missing from results")
+        return float(results[self.key])
+
+
+class EstimatorPredictor(PredictorPlugin):
+    """A trained mlkit estimator over named metric features.
+
+    ``log_target=True`` fits/predicts in log space (compression ratios
+    are positive and heavy-tailed).  Trained state round-trips through
+    :meth:`get_state`, fulfilling the serialisability requirement.
+    """
+
+    id = "estimator"
+    needs_training = True
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        feature_keys: Sequence[str],
+        *,
+        log_target: bool = True,
+        augment: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]] | None = None,
+        **options: Any,
+    ) -> None:
+        super().__init__(**options)
+        self.estimator = estimator
+        self.feature_keys = list(feature_keys)
+        self.log_target = bool(log_target)
+        self.augment = augment
+        self._fitted: BaseEstimator | None = None
+
+    def design_matrix(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        return np.vstack([feature_vector(r, self.feature_keys) for r in rows])
+
+    def fit(self, feature_rows: Sequence[Mapping[str, Any]], targets: Sequence[float]) -> "EstimatorPredictor":
+        X = self.design_matrix(feature_rows)
+        y = np.asarray(targets, dtype=np.float64)
+        if self.log_target:
+            if (y <= 0).any():
+                raise PressioError("log-target predictor requires positive targets")
+            y = np.log(y)
+        if self.augment is not None:
+            X, y = self.augment(X, y)
+        self._fitted = self.estimator.clone()
+        self._fitted.fit(X, y)
+        return self
+
+    def _require_fitted(self) -> BaseEstimator:
+        if self._fitted is None:
+            raise PressioError(f"{self.id}: predict() before fit()")
+        return self._fitted
+
+    def predict(self, results: Mapping[str, Any]) -> float:
+        return float(self.predict_many([results])[0])
+
+    def predict_many(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        model = self._require_fitted()
+        X = self.design_matrix(rows)
+        out = model.predict(X)
+        return np.exp(out) if self.log_target else out
+
+    def predict_interval(self, results: Mapping[str, Any]) -> tuple[float, float, float]:
+        """(point, lo, hi) when the wrapped estimator supports intervals
+        (the Ganguli conformal path); raises otherwise."""
+        model = self._require_fitted()
+        if not hasattr(model, "predict_interval"):
+            raise PressioError(f"{type(model).__name__} does not provide intervals")
+        X = self.design_matrix([results])
+        point, lo, hi = model.predict_interval(X)
+        if self.log_target:
+            return float(np.exp(point[0])), float(np.exp(lo[0])), float(np.exp(hi[0]))
+        return float(point[0]), float(lo[0]), float(hi[0])
+
+    def is_fitted(self) -> bool:
+        return self._fitted is not None
+
+    def get_state(self) -> dict[str, Any]:
+        if self._fitted is None:
+            return {}
+        return {
+            "estimator_state": self._fitted.get_state(),
+            "estimator_params": self._fitted.get_params(),
+            "feature_keys": list(self.feature_keys),
+            "log_target": self.log_target,
+        }
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        if not state:
+            return
+        model = self.estimator.clone()
+        model.set_params(**state.get("estimator_params", {}))
+        model.set_state(state["estimator_state"])
+        self._fitted = model
+        self.feature_keys = list(state.get("feature_keys", self.feature_keys))
+        self.log_target = bool(state.get("log_target", self.log_target))

@@ -1,0 +1,48 @@
+"""Prediction scheme implementations.
+
+Importing this package registers every scheme with
+:data:`repro.predict.scheme.scheme_registry`:
+
+the complete Table-1 inventory of the paper (all ten methods):
+
+==============  ===========================================  ========
+scheme id       method                                       training
+==============  ===========================================  ========
+tao2019         sampled compressor trials                    no
+khan2023        SECRE stage surrogates + coupled sampling    no
+jin2022         full-data ratio-quality model (SZ3 only)     no
+lu2018          Gaussian process over sampled internals      yes
+qin2020         deep network over sampled internals          yes
+wang2023        ZPerf gray-box stages + counterfactuals      yes
+krasowska2021   quantized entropy + variogram, linear fit    yes
+underwood2023   SVD truncation + entropy, cubic splines      yes
+ganguli2023     spatial metrics, mixture + conformal bounds  yes
+rahman2023      FXRZ random forest w/ sparsity + augment     yes
+==============  ===========================================  ========
+
+(The bandwidth-targeted variant ``rahman2023_bandwidth`` implements
+future work 4.)
+"""
+
+from .analytic import CounterfactualPredictor, Jin2022Scheme, Wang2023Scheme, ZPerfProbeMetric
+from .blackbox import Ganguli2023Scheme, Krasowska2021Scheme, Underwood2023Scheme
+from .fxrz import FXRZPredictor, Rahman2023BandwidthScheme, Rahman2023Scheme
+from .legacy import Lu2018Scheme, Qin2020Scheme
+from .sampling import Khan2023Scheme, Tao2019Scheme
+
+__all__ = [
+    "CounterfactualPredictor",
+    "FXRZPredictor",
+    "Ganguli2023Scheme",
+    "Jin2022Scheme",
+    "Khan2023Scheme",
+    "Krasowska2021Scheme",
+    "Lu2018Scheme",
+    "Qin2020Scheme",
+    "Rahman2023BandwidthScheme",
+    "Rahman2023Scheme",
+    "Tao2019Scheme",
+    "Underwood2023Scheme",
+    "Wang2023Scheme",
+    "ZPerfProbeMetric",
+]

@@ -1,0 +1,116 @@
+"""The earlier compressor-internal trained schemes: Lu 2018 and Qin 2020.
+
+These two complete the paper's Table 1 inventory (ten estimation
+methods).  Both predate ZPerf from the same group and both are
+*non-black-box* (they sample compressor internals) and *trained*:
+
+* **Lu 2018** (IPDPS'18) — "Understanding and Modeling Lossy
+  Compression Schemes on HPC Scientific Data": Gaussian-process
+  regression from sampled transform/predictor statistics to the
+  compression ratio; Table 1 row: training ✓, sampling ✓, black-box ✗,
+  goal accurate, approach regression.
+* **Qin 2020** (IEEE LOCS) — "Estimating Lossy Compressibility of
+  Scientific Data Using Deep Neural Networks": a small MLP over the
+  same kind of sampled internal statistics; Table 1 row: training ✓,
+  sampling ✓, black-box ✗, goal accurate, approach deep learning.
+
+Both consume the sampled SZ3/ZFP stage probes (their papers targeted
+SZ/ZFP-generation compressors) plus the bound as an input, and fit in
+log-CR space.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...core.compressor import CompressorPlugin, clone_compressor
+from ...core.metrics import MetricsPlugin
+from ...mlkit.gp import GaussianProcessRegressor
+from ...mlkit.mlp import MLPRegressor
+from ..metrics.probes import SZ3StageProbeMetric, ZFPStageProbeMetric
+from ..predictor import EstimatorPredictor, PredictorPlugin
+from ..scheme import SchemePlugin, scheme_registry
+
+
+class _InternalSampledScheme(SchemePlugin):
+    """Shared wiring: sampled internal statistics + bound feature."""
+
+    needs_training = True
+    supported_compressors = frozenset({"sz3", "zfp"})
+
+    def __init__(self, *, fraction: float = 0.1, seed: int = 0, **options: Any) -> None:
+        super().__init__(**options)
+        self.fraction = float(fraction)
+        self.seed = int(seed)
+
+    def make_metrics(self, compressor: CompressorPlugin) -> list[MetricsPlugin]:
+        self.check_supported(compressor)
+        probe = clone_compressor(compressor)
+        if compressor.id == "sz3":
+            return [SZ3StageProbeMetric(probe, fraction=self.fraction, seed=self.seed)]
+        return [ZFPStageProbeMetric(probe, fraction=self.fraction, seed=self.seed)]
+
+    def _keys_for(self, compressor_id: str) -> list[str]:
+        if compressor_id == "sz3":
+            return [
+                "sz3probe_sampled:huffman_bits_exact",
+                "sz3probe_sampled:entropy_bits",
+                "sz3probe_sampled:escape_fraction",
+                "sz3probe_sampled:zero_residual_fraction",
+                "config:log_abs_bound",
+            ]
+        return [
+            "zfpprobe:ac_bits_per_block",
+            "zfpprobe:dc_bits_per_block",
+            "zfpprobe:mean_width",
+            "zfpprobe:zero_block_fraction",
+            "config:log_abs_bound",
+        ]
+
+    def feature_keys(self) -> list[str]:
+        # Union across supported compressors (for req_metrics listings).
+        return self._keys_for("sz3") + self._keys_for("zfp")
+
+    def config_features(self, compressor: CompressorPlugin) -> dict[str, Any]:
+        return {"config:log_abs_bound": float(np.log10(compressor.abs_bound))}
+
+
+@scheme_registry.register("lu2018")
+class Lu2018Scheme(_InternalSampledScheme):
+    """Lu 2018: Gaussian-process regression over sampled internals."""
+
+    id = "lu2018"
+
+    def get_predictor(self, compressor: CompressorPlugin) -> PredictorPlugin:
+        self.check_supported(compressor)
+        return EstimatorPredictor(
+            GaussianProcessRegressor(noise=1e-2),
+            self._keys_for(compressor.id),
+            log_target=True,
+        )
+
+
+@scheme_registry.register("qin2020")
+class Qin2020Scheme(_InternalSampledScheme):
+    """Qin 2020: a small deep network over sampled internals."""
+
+    id = "qin2020"
+
+    def __init__(self, *, hidden: tuple[int, ...] = (32, 16), epochs: int = 400,
+                 random_state: int = 0, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.hidden = tuple(hidden)
+        self.epochs = int(epochs)
+        self.random_state = int(random_state)
+
+    def get_predictor(self, compressor: CompressorPlugin) -> PredictorPlugin:
+        self.check_supported(compressor)
+        return EstimatorPredictor(
+            MLPRegressor(
+                hidden=self.hidden, epochs=self.epochs, random_state=self.random_state
+            ),
+            self._keys_for(compressor.id),
+            log_target=True,
+        )

@@ -1,0 +1,193 @@
+"""Sampling/trial-based prediction schemes: Tao 2019 and Khan 2023.
+
+Neither has a training stage; both trade accuracy for speed, and both
+inherit the failure mode §6 dissects: on datasets mixing sparse and
+dense regions "there is no guarantee that they sample the portions of
+the data that are representative of the compressibility of the dataset".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ...core.compressor import CompressorPlugin, clone_compressor
+from ...core.errors import UnsupportedError
+from ...core.metrics import MetricsPlugin
+from ..metrics.probes import (
+    SampledTrialMetric,
+    SperrStageProbeMetric,
+    SZ3StageProbeMetric,
+    SZXStageProbeMetric,
+    ZFPStageProbeMetric,
+)
+from ..predictor import IdentityPredictor, PredictorPlugin
+from ..scheme import SchemePlugin, scheme_registry
+
+
+@scheme_registry.register("tao2019")
+class Tao2019Scheme(SchemePlugin):
+    """Tao 2019: run the real compressor on sampled blocks.
+
+    "It uses the average compression ratio for a particular compressor
+    of blocks sampled from the input dataset.  The performance of this
+    method scales with the performance of the compressor" (§2.2).
+    Black-box-ish (~ in Table 1: needs a block size matched to the
+    compressor's internals), fast, trial-based; goal: preserve the
+    *ranking* of compressors, not the absolute CR.
+    """
+
+    id = "tao2019"
+    needs_training = False
+
+    def __init__(self, *, block: int = 8, fraction: float = 0.05, seed: int = 0, **options: Any) -> None:
+        super().__init__(**options)
+        self.block = int(block)
+        self.fraction = float(fraction)
+        self.seed = int(seed)
+
+    def make_metrics(self, compressor: CompressorPlugin) -> list[MetricsPlugin]:
+        return [
+            SampledTrialMetric(
+                clone_compressor(compressor),
+                block=self.block,
+                fraction=self.fraction,
+                seed=self.seed,
+            )
+        ]
+
+    def feature_keys(self) -> list[str]:
+        return ["trial:sampled_cr"]
+
+    def get_predictor(self, compressor: CompressorPlugin) -> PredictorPlugin:
+        self.check_supported(compressor)
+        return IdentityPredictor(key="trial:sampled_cr")
+
+
+def _sz3_secre_formula(lossless_factor: float, prefix: str = "sz3probe_sampled"):
+    """CR estimate from the *sampled* SZ3 stage probe (SECRE).
+
+    Same per-stage cost model as Jin's
+    :func:`~repro.predict.schemes.analytic.estimate_sz3_stream_bits`,
+    but fed with statistics measured on a small sample of blocks — the
+    source of SECRE's speed and, on sparse/dense mixes, of its error:
+    the sampled code distribution and table size extrapolate poorly when
+    a small region dominates the true alphabet (§6's analysis).
+    """
+    from .analytic import estimate_sz3_stream_bits
+
+    def formula(results: Mapping[str, Any]) -> float:
+        est = estimate_sz3_stream_bits(
+            float(results[f"{prefix}:huffman_bits_exact"]),
+            float(results[f"{prefix}:escape_fraction"]),
+            float(results[f"{prefix}:table_symbols"]),
+            # SECRE extrapolates the sampled table to the full data; the
+            # sampled distinct-symbol count scales roughly with the
+            # sample, so the per-value overhead uses probed values.
+            float(results[f"{prefix}:probed_values"]),
+            entropy_bits=float(results.get(f"{prefix}:entropy_bits", 0.0) or 0.0)
+            if f"{prefix}:entropy_bits" in results
+            else None,
+            lossless_factor=lossless_factor,
+        )
+        src_bits = float(results[f"{prefix}:element_bits"])
+        return src_bits / max(est, 0.02)
+
+    return formula
+
+
+def _zfp_secre_formula(lossless_factor: float):
+    """CR estimate from the ZFP stage probe (bits actually packed)."""
+
+    def formula(results: Mapping[str, Any]) -> float:
+        ac = float(results["zfpprobe:ac_bits_per_block"])
+        dc = float(results["zfpprobe:dc_bits_per_block"])
+        ncoef = max(float(results["zfpprobe:block_values"]), 1.0)
+        src_bits = float(results["zfpprobe:element_bits"])
+        side_bits = 5.0 * 8.0  # exponent + shift + width per block
+        est_per_value = (ac * lossless_factor + dc + side_bits) / ncoef
+        return src_bits / max(est_per_value, 0.05)
+
+    return formula
+
+
+def _szx_secre_formula():
+    """CR estimate from the SZx classification probe."""
+
+    def formula(results: Mapping[str, Any]) -> float:
+        const = float(results["szxprobe:constant_fraction"])
+        width = float(results["szxprobe:mean_width"])
+        block = max(float(results["szxprobe:block_size"]), 1.0)
+        src_bits = float(results["szxprobe:element_bits"])
+        # Constant blocks: one double + flag per block; non-constant:
+        # width bits per value + block header.
+        bits_per_value = const * (64.0 + 8.0) / block + (1.0 - const) * (
+            width + (64.0 + 16.0) / block
+        )
+        return src_bits / max(bits_per_value, 0.05)
+
+    return formula
+
+
+@scheme_registry.register("khan2023")
+class Khan2023Scheme(SchemePlugin):
+    """Khan 2023 (SECRE): surrogate stage modelling + coupled sampling.
+
+    "Takes the approach of modeling the various stages of the internals
+    of the compressor but combines this with tightly coupled sampling"
+    (§2.2).  Non-black-box (uses compressor internals), no training,
+    goal: fast — Table 2 measures ~5 ms error-dependent time and the
+    highest MedAPE of the compared methods on this sparse/dense mix.
+    """
+
+    id = "khan2023"
+    needs_training = False
+    supported_compressors = frozenset({"sz3", "zfp", "szx", "sperr"})
+
+    def __init__(
+        self,
+        *,
+        fraction: float = 0.05,
+        seed: int = 0,
+        lossless_factor: float = 0.85,
+        **options: Any,
+    ) -> None:
+        super().__init__(**options)
+        self.fraction = float(fraction)
+        self.seed = int(seed)
+        self.lossless_factor = float(lossless_factor)
+
+    def make_metrics(self, compressor: CompressorPlugin) -> list[MetricsPlugin]:
+        self.check_supported(compressor)
+        probe = clone_compressor(compressor)
+        if compressor.id == "sz3":
+            return [SZ3StageProbeMetric(probe, fraction=self.fraction, seed=self.seed)]
+        if compressor.id == "zfp":
+            return [ZFPStageProbeMetric(probe, fraction=self.fraction, seed=self.seed)]
+        if compressor.id == "sperr":
+            return [SperrStageProbeMetric(probe, fraction=self.fraction, seed=self.seed)]
+        return [SZXStageProbeMetric(probe, fraction=self.fraction, seed=self.seed)]
+
+    def feature_keys(self) -> list[str]:
+        # Keys depend on the compressor; expose the union for req_metrics.
+        return [
+            "sz3probe_sampled:huffman_bits_exact",
+            "zfpprobe:ac_bits_per_block",
+            "szxprobe:constant_fraction",
+            "sperrprobe:huffman_bits_exact",
+        ]
+
+    def get_predictor(self, compressor: CompressorPlugin) -> PredictorPlugin:
+        self.check_supported(compressor)
+        if compressor.id == "sz3":
+            return IdentityPredictor(formula=_sz3_secre_formula(self.lossless_factor))
+        if compressor.id == "zfp":
+            return IdentityPredictor(formula=_zfp_secre_formula(self.lossless_factor))
+        if compressor.id == "szx":
+            return IdentityPredictor(formula=_szx_secre_formula())
+        if compressor.id == "sperr":
+            # The wavelet probe emits the same statistics as the SZ3
+            # one; the shared stream-bits model applies unchanged.
+            return IdentityPredictor(
+                formula=_sz3_secre_formula(self.lossless_factor, prefix="sperrprobe")
+            )
+        raise UnsupportedError(f"khan2023 does not support {compressor.id!r}")

@@ -1,0 +1,104 @@
+"""Tests for the SQLite checkpoint store and task key model."""
+
+import numpy as np
+import pytest
+
+from repro.bench import CheckpointStore, Task, precompute_keys
+
+
+def make_task(eb=1e-4, rep=0, data="hurricane/P/0") -> Task:
+    return Task(
+        data_index=0,
+        data_id=data,
+        compressor_id="sz3",
+        compressor_options={"pressio:abs": eb},
+        dataset_config={"entry:data_id": data},
+        experiment={"schemes": ["khan2023"]},
+        replicate=rep,
+    )
+
+
+class TestTaskKeys:
+    def test_key_is_stable(self):
+        assert make_task().key() == make_task().key()
+
+    def test_key_varies_with_each_component(self):
+        base = make_task().key()
+        assert make_task(eb=1e-6).key() != base
+        assert make_task(rep=1).key() != base
+        assert make_task(data="hurricane/U/0").key() != base
+
+    def test_precompute_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            precompute_keys([make_task(), make_task()])
+
+    def test_precompute_returns_mapping(self):
+        tasks = [make_task(), make_task(eb=1e-6)]
+        mapping = precompute_keys(tasks)
+        assert len(mapping) == 2
+        assert all(mapping[t.key()] is t for t in tasks)
+
+    def test_component_hashes_exposed(self):
+        task = make_task()
+        assert len(task.compressor_hash()) == 64
+        assert task.compressor_hash() != task.dataset_hash()
+
+
+class TestCheckpointStore:
+    def test_put_get_roundtrip(self):
+        store = CheckpointStore(":memory:")
+        store.put("k1", {"cr": 3.5, "field": "P"})
+        assert store.get("k1") == {"cr": 3.5, "field": "P"}
+        assert store.get("missing") is None
+
+    def test_has_and_pending(self):
+        store = CheckpointStore(":memory:")
+        store.put("a", {})
+        assert store.has("a") and not store.has("b")
+        assert store.pending(["a", "b", "c"]) == ["b", "c"]
+
+    def test_replace_semantics(self):
+        store = CheckpointStore(":memory:")
+        store.put("a", {"v": 1})
+        store.put("a", {"v": 2})
+        assert store.get("a") == {"v": 2}
+        assert store.count() == 1
+
+    def test_delete(self):
+        store = CheckpointStore(":memory:")
+        store.put("a", {"v": 1})
+        store.delete("a")
+        assert not store.has("a")
+
+    def test_numpy_payloads_serialised(self):
+        store = CheckpointStore(":memory:")
+        store.put("a", {"scalar": np.float64(2.5), "arr": np.arange(3), "nan": float("nan")})
+        out = store.get("a")
+        assert out["scalar"] == 2.5
+        assert out["arr"] == [0, 1, 2]
+        assert out["nan"] is None
+
+    def test_query_by_hashes(self):
+        store = CheckpointStore(":memory:")
+        store.put("a", {"v": 1}, compressor_hash="c1", dataset_hash="d1")
+        store.put("b", {"v": 2}, compressor_hash="c1", dataset_hash="d2")
+        store.put("c", {"v": 3}, compressor_hash="c2", dataset_hash="d1")
+        assert len(store.query(compressor_hash="c1")) == 2
+        assert store.query(compressor_hash="c2", dataset_hash="d1")[0]["v"] == 3
+        assert len(store.query()) == 3
+
+    def test_persistence_across_handles(self, tmp_path):
+        path = str(tmp_path / "ck.db")
+        with CheckpointStore(path) as store:
+            store.put("a", {"v": 1})
+        with CheckpointStore(path) as store:
+            assert store.get("a") == {"v": 1}
+
+    def test_hash_version_guard(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "ck.db")
+        CheckpointStore(path).close()
+        import repro.bench.checkpoint as ck
+
+        monkeypatch.setattr(ck, "HASH_VERSION", 999)
+        with pytest.raises(RuntimeError, match="hash version"):
+            CheckpointStore(path)

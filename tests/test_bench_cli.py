@@ -1,0 +1,173 @@
+"""Tests for the predict-bench CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.schemes == ["khan2023", "jin2022", "rahman2023"]
+        assert args.compressors == ["sz3", "zfp"]
+        assert args.bounds == [1e-6, 1e-4]
+
+    def test_custom_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--schemes", "tao2019", "--shape", "8", "8", "4", "--timesteps", "2"]
+        )
+        assert args.schemes == ["tao2019"]
+        assert args.shape == [8, 8, 4]
+
+
+class TestCommands:
+    def test_list_schemes(self, capsys):
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "rahman2023" in out and "tao2019" in out
+
+    def test_list_compressors(self, capsys):
+        assert main(["list-compressors"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sz3", "zfp", "szx", "noop"):
+            assert name in out
+
+    def test_run_small_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--schemes", "tao2019",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--shape", "8", "8", "4",
+                "--timesteps", "1",
+                "--fields", "P", "U",
+                "--folds", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        methods = {(r["method"], r["compressor"]) for r in records}
+        assert ("tao2019", "szx") in methods
+
+    def test_run_table_output(self, capsys):
+        code = main(
+            [
+                "run",
+                "--schemes", "khan2023",
+                "--compressors", "szx",
+                "--bounds", "1e-3",
+                "--shape", "8", "8", "4",
+                "--timesteps", "1",
+                "--fields", "P",
+                "--folds", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MedAPE" in out and "szx khan2023" in out
+
+    def test_checkpoint_file_resume(self, tmp_path, capsys):
+        argv = [
+            "run",
+            "--schemes", "tao2019",
+            "--compressors", "szx",
+            "--bounds", "1e-4",
+            "--shape", "8", "8", "4",
+            "--timesteps", "1",
+            "--fields", "P",
+            "--folds", "2",
+            "--checkpoint", str(tmp_path / "bench.db"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0  # resumes from the checkpoint cleanly
+
+
+class TestSimulateCommand:
+    def test_scaling_table_printed(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "1", "4",
+                "--shape", "8", "8", "4",
+                "--timesteps", "2",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--compute-ms", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "speedup" in out
+
+    def test_no_locality_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "2",
+                "--shape", "8", "8", "4",
+                "--timesteps", "1",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--no-locality",
+            ]
+        )
+        assert code == 0
+
+
+class TestGenerateCommand:
+    def test_writes_files(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "fields")
+        code = main(
+            [
+                "generate", out_dir,
+                "--shape", "8", "8", "4",
+                "--timesteps", "2",
+                "--fields", "P", "QRAIN",
+            ]
+        )
+        assert code == 0
+        import os
+        files = sorted(os.listdir(out_dir))
+        assert files == ["P_t00.npy", "P_t01.npy", "QRAIN_t00.npy", "QRAIN_t01.npy"]
+
+
+class TestReportCommand:
+    def test_report_from_checkpoint_without_recollection(self, tmp_path, capsys):
+        ck = str(tmp_path / "campaign.db")
+        run_argv = [
+            "run",
+            "--schemes", "khan2023",
+            "--compressors", "szx",
+            "--bounds", "1e-4",
+            "--shape", "8", "8", "4",
+            "--timesteps", "2",
+            "--fields", "P", "U", "QRAIN",
+            "--folds", "2",
+            "--checkpoint", ck,
+        ]
+        assert main(run_argv) == 0
+        capsys.readouterr()
+        # Re-evaluate with a different protocol, no recollection.
+        assert main([
+            "report", ck,
+            "--schemes", "khan2023",
+            "--compressors", "szx",
+            "--folds", "2",
+            "--protocol", "in_sample",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "szx khan2023" in out
+        assert "observations" in out
+
+    def test_report_empty_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        ck = str(tmp_path / "empty.db")
+        from repro.bench import CheckpointStore
+
+        CheckpointStore(ck).close()
+        assert main(["report", ck]) == 1
+        assert "no observations" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Replicates for nondeterministic metrics (§4.2 / future work 4)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentRunner
+from repro.compressors import make_compressor
+from repro.core import PressioData
+from repro.dataset import HurricaneDataset
+from repro.predict import MetricsEvaluator
+from repro.predict.metrics import SampledTrialMetric
+
+
+class TestRunnerReplicates:
+    def test_replicates_multiply_tasks_with_distinct_keys(self):
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P"])
+        base = ExperimentRunner(
+            ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), replicates=1
+        )
+        repl = ExperimentRunner(
+            ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), replicates=3
+        )
+        t1, t3 = base.build_tasks(), repl.build_tasks()
+        assert len(t3) == 3 * len(t1)
+        assert len({t.key() for t in t3}) == len(t3)
+
+    def test_replicated_observations_carry_replicate_id(self):
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P"])
+        runner = ExperimentRunner(
+            ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), replicates=2
+        )
+        obs, stats = runner.collect()
+        assert stats.failed == 0
+        assert sorted(o["replicate"] for o in obs) == [0, 1]
+
+    def test_bandwidth_spread_across_replicates(self):
+        """Replicates give runtime metrics (bandwidth) their spread."""
+        ds = HurricaneDataset(shape=(12, 12, 8), timesteps=[0], fields=["P"])
+        runner = ExperimentRunner(
+            ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), replicates=3
+        )
+        obs, _ = runner.collect()
+        bws = [o["derived:compress_bandwidth"] for o in obs]
+        assert len(bws) == 3
+        assert all(b > 0 for b in bws)
+
+
+class TestNondeterministicCaching:
+    def test_fresh_replicates_when_disabled(self, smooth_field):
+        comp = make_compressor("szx", pressio__abs=1e-3)
+        from repro.core.compressor import clone_compressor
+
+        metric = SampledTrialMetric(clone_compressor(comp), fraction=0.2)
+        ev = MetricsEvaluator(comp, [metric], cache_nondeterministic=False)
+        data = PressioData(smooth_field, metadata={"data_id": "s"})
+        ev.evaluate(data)
+        ev.evaluate(data, changed=[])
+        # Nondeterministic + runtime metric: recomputed both times.
+        assert ev.computed == 2 and ev.reused == 0
+
+    def test_trial_metric_never_cached_even_when_enabled(self, smooth_field):
+        """SampledTrialMetric declares RUNTIME, which is never cached."""
+        comp = make_compressor("szx", pressio__abs=1e-3)
+        from repro.core.compressor import clone_compressor
+
+        metric = SampledTrialMetric(clone_compressor(comp), fraction=0.2)
+        ev = MetricsEvaluator(comp, [metric], cache_nondeterministic=True)
+        data = PressioData(smooth_field, metadata={"data_id": "s"})
+        ev.evaluate(data)
+        ev.evaluate(data, changed=[])
+        assert ev.computed == 2
+
+    def test_svd_cached_by_default(self, smooth_field):
+        from repro.predict.metrics import SVDTruncationMetric
+
+        comp = make_compressor("sz3", pressio__abs=1e-3)
+        ev = MetricsEvaluator(comp, [SVDTruncationMetric()])
+        data = PressioData(smooth_field, metadata={"data_id": "s"})
+        ev.evaluate(data)
+        ev.evaluate(data, changed=["pressio:abs"])
+        assert ev.reused == 1  # error-agnostic + nondeterministic → cached
+
+
+class TestProtocols:
+    """Future work 1: in-sample vs out-of-sample evaluation protocols."""
+
+    @pytest.fixture(scope="class")
+    def observations(self):
+        ds = HurricaneDataset(shape=(12, 12, 8), timesteps=[0, 24])
+        runner = ExperimentRunner(
+            ds, compressors=("sz3",), bounds=(1e-4,), schemes=("rahman2023",)
+        )
+        obs, stats = runner.collect()
+        assert stats.failed == 0
+        return ds, obs
+
+    def test_invalid_protocol_rejected(self):
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P"])
+        with pytest.raises(ValueError):
+            ExperimentRunner(ds, schemes=(), protocol="leave_one_out")
+
+    def test_in_sample_at_least_as_accurate(self, observations):
+        ds, obs = observations
+        kwargs = dict(compressors=("sz3",), bounds=(1e-4,), schemes=("rahman2023",), n_folds=5)
+        out = ExperimentRunner(ds, protocol="out_of_sample", **kwargs)
+        ins = ExperimentRunner(ds, protocol="in_sample", **kwargs)
+        from repro.predict import get_scheme
+
+        scheme = get_scheme("rahman2023")
+        row_out = out.evaluate_scheme(scheme, "sz3", obs)
+        row_in = ins.evaluate_scheme(scheme, "sz3", obs)
+        assert np.isfinite(row_out.medape_pct) and np.isfinite(row_in.medape_pct)
+        # The best-case (in-sample) protocol should not be worse.
+        assert row_in.medape_pct <= row_out.medape_pct * 1.2

@@ -1,0 +1,153 @@
+"""Tests for the experiment runner: collection, checkpoints, Table 2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    CheckpointStore,
+    ExperimentRunner,
+    FaultInjector,
+    StageStat,
+    TaskQueue,
+    format_table2,
+    rows_to_records,
+)
+from repro.dataset import HurricaneDataset
+
+
+@pytest.fixture(scope="module")
+def runner_and_obs():
+    ds = HurricaneDataset(shape=(12, 12, 8), timesteps=[0, 24])  # all 13 fields
+    runner = ExperimentRunner(
+        ds,
+        compressors=("sz3", "zfp"),
+        bounds=(1e-4,),
+        schemes=("khan2023", "jin2022", "rahman2023"),
+        n_folds=5,
+    )
+    obs, stats = runner.collect()
+    return runner, obs, stats
+
+
+class TestStageStat:
+    def test_from_samples(self):
+        stat = StageStat.from_samples([0.001, 0.002, 0.003])
+        assert stat.mean == pytest.approx(0.002)
+        assert stat.n == 3
+        assert "±" in stat.ms()
+
+    def test_empty_not_available(self):
+        stat = StageStat.from_samples([])
+        assert not stat.available and stat.ms() == "N/A"
+
+    def test_nan_samples_dropped(self):
+        stat = StageStat.from_samples([0.001, float("nan")])
+        assert stat.n == 1
+
+
+class TestCollection:
+    def test_all_tasks_collected(self, runner_and_obs):
+        runner, obs, stats = runner_and_obs
+        assert stats.failed == 0
+        assert len(obs) == 13 * 2 * 2  # fields*steps x compressors x 1 bound
+
+    def test_observation_contents(self, runner_and_obs):
+        _, obs, _ = runner_and_obs
+        sample = obs[0]
+        assert sample["size:compression_ratio"] > 0
+        assert "time:compress" in sample
+        assert "error_stat:max_error" in sample
+        assert sample["error_stat:max_error"] <= sample["effective_bound"] * 1.01
+
+    def test_jin_marked_unsupported_on_zfp(self, runner_and_obs):
+        _, obs, _ = runner_and_obs
+        zfp_obs = [o for o in obs if o["compressor"] == "zfp"]
+        assert all(o["scheme:jin2022:supported"] is False for o in zfp_obs)
+        assert all(o["scheme:khan2023:supported"] is True for o in zfp_obs)
+
+    def test_relative_bounds_scale_with_range(self, runner_and_obs):
+        _, obs, _ = runner_and_obs
+        by_field = {}
+        for o in obs:
+            if o["compressor"] == "sz3":
+                by_field[o["field"]] = o["effective_bound"]
+        # P spans hundreds; QRAIN spans ~1e-3: effective bounds differ.
+        assert by_field["P"] > by_field["QRAIN"] * 100
+
+    def test_checkpoint_resume_skips_done(self):
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P", "U"])
+        store = CheckpointStore(":memory:")
+        runner = ExperimentRunner(
+            ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), store=store
+        )
+        calls = []
+
+        def counting(task, worker):
+            calls.append(task.key())
+            return runner.run_task(task, worker)
+
+        runner.collect(task_fn=counting)
+        first = len(calls)
+        runner.collect(task_fn=counting)
+        assert len(calls) == first  # nothing re-ran
+
+    def test_fault_injection_with_retry_completes(self):
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P", "U", "TC"])
+        runner = ExperimentRunner(
+            ds,
+            compressors=("szx",),
+            bounds=(1e-4,),
+            schemes=("tao2019",),
+            queue=TaskQueue(1, "serial", max_retries=2),
+        )
+        fn = FaultInjector(runner.run_task, fail_first_attempt_every=2)
+        obs, stats = runner.collect(task_fn=fn)
+        assert stats.failed == 0
+        assert stats.retries > 0
+        assert len(obs) == 3
+
+
+class TestEvaluation:
+    def test_table2_rows_complete(self, runner_and_obs):
+        runner, obs, _ = runner_and_obs
+        rows = runner.table2(obs)
+        names = [(r.method, r.compressor) for r in rows]
+        assert ("sz3", "sz3") in names and ("zfp", "zfp") in names
+        assert ("jin2022", "zfp") in names
+
+    def test_jin_zfp_unsupported_row(self, runner_and_obs):
+        runner, obs, _ = runner_and_obs
+        rows = runner.table2(obs)
+        jin_zfp = next(r for r in rows if r.method == "jin2022" and r.compressor == "zfp")
+        assert not jin_zfp.supported
+        assert math.isnan(jin_zfp.medape_pct)
+
+    def test_quality_ordering_matches_paper(self, runner_and_obs):
+        """rahman (trained) beats khan (sampled) on the sparse/dense mix."""
+        runner, obs, _ = runner_and_obs
+        rows = {(r.method, r.compressor): r for r in runner.table2(obs)}
+        assert rows[("rahman2023", "sz3")].medape_pct < rows[("khan2023", "sz3")].medape_pct
+        assert rows[("rahman2023", "zfp")].medape_pct < rows[("khan2023", "zfp")].medape_pct
+
+    def test_timing_stages_present(self, runner_and_obs):
+        runner, obs, _ = runner_and_obs
+        rows = {(r.method, r.compressor): r for r in runner.table2(obs)}
+        khan = rows[("khan2023", "sz3")]
+        assert khan.error_dependent.available and not khan.error_agnostic.available
+        rahman = rows[("rahman2023", "sz3")]
+        assert rahman.error_agnostic.available and not rahman.error_dependent.available
+        assert rahman.fit.available and rahman.inference.available
+        assert rahman.training.available
+        baseline = rows[("sz3", "sz3")]
+        assert baseline.compress.available and baseline.decompress.available
+
+    def test_report_rendering(self, runner_and_obs):
+        runner, obs, _ = runner_and_obs
+        rows = runner.table2(obs)
+        text = format_table2(rows, title="t")
+        assert "MedAPE" in text and "sz3 rahman2023" in text and "N/A" in text
+        records = rows_to_records(rows)
+        assert len(records) == len(rows)
+        assert all("medape_pct" in r for r in records)

@@ -1,0 +1,76 @@
+"""Tests for the discrete-event simulated cluster."""
+
+import pytest
+
+from repro.bench import SimulatedCluster, Task, scaling_sweep
+
+
+def make_tasks(n_data=8, per_data=4, nbytes=1 << 24):
+    tasks = []
+    for d in range(n_data):
+        for k in range(per_data):
+            tasks.append(
+                Task(
+                    data_index=d,
+                    data_id=f"data/{d}",
+                    compressor_id="sz3",
+                    compressor_options={"pressio:abs": 10.0 ** -(k + 2)},
+                    dataset_config={"entry:data_id": f"data/{d}"},
+                    replicate=0,
+                    nbytes=nbytes,
+                )
+            )
+    return tasks
+
+
+CONST_COST = 0.05
+
+
+class TestSimulatedCluster:
+    def test_deterministic(self):
+        tasks = make_tasks()
+        a = SimulatedCluster(4).run(tasks, lambda t: CONST_COST)
+        b = SimulatedCluster(4).run(make_tasks(), lambda t: CONST_COST)
+        assert a.makespan == b.makespan
+        assert a.cache_hits == b.cache_hits
+
+    def test_more_nodes_faster(self):
+        tasks = make_tasks(n_data=8, per_data=4)
+        reports = scaling_sweep(tasks, lambda t: CONST_COST, [1, 2, 4, 8])
+        makespans = [reports[n].makespan for n in (1, 2, 4, 8)]
+        assert makespans == sorted(makespans, reverse=True)
+        assert makespans[0] > makespans[-1] * 2  # real speedup
+
+    def test_locality_reduces_load_time(self):
+        tasks = make_tasks(n_data=4, per_data=8)
+        aware = SimulatedCluster(4, locality_aware=True).run(tasks, lambda t: CONST_COST)
+        naive = SimulatedCluster(4, locality_aware=False).run(
+            make_tasks(n_data=4, per_data=8), lambda t: CONST_COST
+        )
+        assert aware.cache_hits >= naive.cache_hits
+        assert aware.total_load_seconds <= naive.total_load_seconds
+
+    def test_cache_capacity_forces_misses(self):
+        tasks = make_tasks(n_data=6, per_data=2)
+        tiny = SimulatedCluster(1, cache_capacity_entries=1).run(tasks, lambda t: CONST_COST)
+        big = SimulatedCluster(1, cache_capacity_entries=64).run(
+            make_tasks(n_data=6, per_data=2), lambda t: CONST_COST
+        )
+        assert tiny.cache_hits <= big.cache_hits
+
+    def test_accounting_consistent(self):
+        tasks = make_tasks(n_data=3, per_data=3)
+        report = SimulatedCluster(2).run(tasks, lambda t: CONST_COST)
+        assert report.cache_hits + report.cache_misses == len(tasks)
+        assert report.total_compute_seconds == pytest.approx(CONST_COST * len(tasks))
+        assert 0 < report.utilisation <= 1.0
+        assert 0 <= report.load_fraction < 1.0
+        # Makespan cannot beat perfect parallelism.
+        busy = report.total_load_seconds + report.total_compute_seconds
+        assert report.makespan >= busy / 2 - 1e-9
+
+    def test_load_cost_model(self):
+        cluster = SimulatedCluster(1, load_bandwidth=1e9, load_latency=0.01)
+        task = make_tasks(1, 1, nbytes=10**9)[0]
+        assert cluster.load_cost(task, cached=False) == pytest.approx(1.01)
+        assert cluster.load_cost(task, cached=True) == cluster.cache_hit_seconds

@@ -1,0 +1,139 @@
+"""Tests for the task queue: locality scheduling, retries, fault injection."""
+
+from collections import deque
+
+import pytest
+
+from repro.bench import FaultInjector, LocalityScheduler, Task, TaskQueue
+from repro.core import TaskFailedError
+
+
+def make_tasks(n_data=4, per_data=3):
+    tasks = []
+    for d in range(n_data):
+        for k in range(per_data):
+            tasks.append(
+                Task(
+                    data_index=d,
+                    data_id=f"data/{d}",
+                    compressor_id="sz3",
+                    compressor_options={"pressio:abs": 10.0 ** -(k + 2)},
+                    dataset_config={"entry:data_id": f"data/{d}"},
+                    replicate=0,
+                    nbytes=1 << 20,
+                )
+            )
+    return tasks
+
+
+class TestLocalityScheduler:
+    def test_prefers_cached_data(self):
+        sched = LocalityScheduler()
+        tasks = make_tasks(n_data=2, per_data=2)
+        pending = deque(tasks)
+        first = sched.pick(0, pending)  # miss, caches data/0
+        second = sched.pick(0, pending)  # should hit data/0 again
+        assert first.data_id == second.data_id == "data/0"
+        assert sched.stats_hits == 1 and sched.stats_misses == 1
+
+    def test_empty_pending(self):
+        assert LocalityScheduler().pick(0, deque()) is None
+
+
+class TestTaskQueue:
+    def test_serial_runs_everything(self):
+        tasks = make_tasks()
+        results, stats = TaskQueue(1, "serial").run(tasks, lambda t, w: {"ok": 1})
+        assert stats.completed == len(tasks)
+        assert stats.failed == 0
+        assert all(r.ok for r in results)
+
+    def test_locality_rate_high_with_grouped_tasks(self):
+        tasks = make_tasks(n_data=4, per_data=5)
+        _, stats = TaskQueue(1, "serial").run(tasks, lambda t, w: {})
+        # 4 misses (first touch per datum), 16 hits.
+        assert stats.locality_hits == 16
+        assert stats.locality_rate == pytest.approx(16 / 20)
+
+    def test_thread_engine_completes_all(self):
+        tasks = make_tasks(n_data=3, per_data=4)
+        results, stats = TaskQueue(3, "thread").run(tasks, lambda t, w: {"w": w})
+        assert stats.completed == 12
+        assert {r.task.key() for r in results} == {t.key() for t in tasks}
+
+    def test_transient_failure_retried(self):
+        tasks = make_tasks(n_data=1, per_data=3)
+        fn = FaultInjector(lambda t, w: {"ok": 1}, fail_first_attempt_every=2)
+        results, stats = TaskQueue(1, "serial", max_retries=2).run(tasks, fn)
+        assert stats.completed == 3
+        assert stats.retries == fn.injected > 0
+
+    def test_poisoned_task_reported_not_raised(self):
+        tasks = make_tasks(n_data=1, per_data=2)
+        poison = {tasks[0].key()}
+        fn = FaultInjector(lambda t, w: {"ok": 1}, poison_keys=poison)
+        results, stats = TaskQueue(1, "serial", max_retries=1).run(tasks, fn)
+        assert stats.completed == 1 and stats.failed == 1
+        failed = [r for r in results if not r.ok][0]
+        assert "poisoned" in failed.error
+        assert failed.attempts == 2  # original + one retry
+
+    def test_on_result_callback_sees_successes(self):
+        seen = []
+        tasks = make_tasks(n_data=1, per_data=2)
+        TaskQueue(1, "serial").run(tasks, lambda t, w: {"x": 1}, on_result=seen.append)
+        assert len(seen) == 2 and all(r.ok for r in seen)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            TaskQueue(2, "mpi")
+
+    def test_single_worker_forces_serial(self):
+        q = TaskQueue(1, "thread")
+        assert q.engine == "serial"
+
+
+class TestFaultInjector:
+    def test_fails_only_first_attempt(self):
+        tasks = make_tasks(n_data=1, per_data=1)
+        fn = FaultInjector(lambda t, w: {"ok": 1}, fail_first_attempt_every=1)
+        with pytest.raises(TaskFailedError):
+            fn(tasks[0], 0)
+        assert fn(tasks[0], 0) == {"ok": 1}
+
+
+class TestCallbackIsolation:
+    def test_failing_on_result_marks_task_failed(self):
+        """A broken result sink (e.g. checkpoint write error) must not
+        kill the worker; the task is recorded failed for a later rerun."""
+        tasks = make_tasks(n_data=1, per_data=3)
+        calls = []
+
+        def flaky_sink(result):
+            calls.append(result.task.key())
+            if len(calls) == 2:
+                raise IOError("disk full")
+
+        results, stats = TaskQueue(1, "serial").run(
+            tasks, lambda t, w: {"ok": 1}, on_result=flaky_sink
+        )
+        assert stats.completed == 2
+        assert stats.failed == 1
+        failed = [r for r in results if not r.ok]
+        assert "disk full" in failed[0].error
+
+    def test_threaded_store_writes(self, tmp_path):
+        """Checkpoint writes from multiple worker threads are safe."""
+        from repro.bench import CheckpointStore
+
+        store = CheckpointStore(str(tmp_path / "mt.db"))
+        tasks = make_tasks(n_data=4, per_data=3)
+
+        def sink(result):
+            store.put(result.task.key(), result.payload)
+
+        _, stats = TaskQueue(4, "thread").run(
+            tasks, lambda t, w: {"w": w}, on_result=sink
+        )
+        assert stats.failed == 0
+        assert store.count() == len(tasks)

@@ -1,0 +1,243 @@
+"""Tests for the interpolation predictor and the SPERR wavelet codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compressors import make_compressor
+from repro.compressors.interp import (
+    _stage_plan,
+    interp_decode,
+    interp_encode,
+    interp_symbol_count,
+)
+from repro.compressors.wavelet import (
+    dwt53_forward_axis,
+    dwt53_inverse_axis,
+    wavelet_forward,
+    wavelet_inverse,
+)
+
+
+def max_err(a, b) -> float:
+    return float(np.abs(np.asarray(a, np.float64) - np.asarray(b, np.float64)).max())
+
+
+class TestInterpPredictor:
+    @pytest.mark.parametrize("shape", [(64,), (40, 24), (17, 9), (16, 16, 8), (7, 13, 3), (1,)])
+    def test_symbol_roundtrip(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(shape)
+        eb = 1e-3
+        symbols = interp_encode(data, eb)
+        assert symbols.size == interp_symbol_count(shape)
+        recon = interp_decode(symbols, shape, eb)
+        assert recon.shape == shape
+        assert max_err(data, recon) <= eb
+
+    def test_bound_holds_per_point(self):
+        """Reconstruction feedback: the bound holds even on rough data
+        where interpolation predicts poorly."""
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((31, 17)) * 100
+        eb = 1e-2
+        recon = interp_decode(interp_encode(data, eb), data.shape, eb)
+        assert max_err(data, recon) <= eb
+
+    def test_smooth_data_small_residuals(self, smooth_field):
+        from repro.compressors.sz3 import quantize
+
+        data = smooth_field.astype(np.float64)
+        symbols = interp_encode(data, 1e-3)
+        direct = quantize(data, 1e-3)
+        # Interpolation residuals are far smaller than the raw
+        # quantization codes (the predictor removes the smooth trend).
+        assert np.abs(symbols).mean() < 0.1 * np.abs(direct).mean()
+
+    def test_stage_plan_covers_every_point(self):
+        shape = (13, 7)
+        covered = np.zeros(shape, dtype=int)
+        covered[::16, ::16] += 1  # anchors
+        dummy = np.zeros(shape, dtype=int)
+        for _s, _axis, slices in _stage_plan(shape, 16):
+            dummy[slices] += 1
+            covered[slices] += 1
+        assert (covered == 1).all()  # each point written exactly once
+
+    def test_truncated_stream_raises(self):
+        from repro.core import CorruptStreamError
+
+        data = np.random.default_rng(2).standard_normal((16, 16))
+        symbols = interp_encode(data, 1e-3)
+        with pytest.raises(CorruptStreamError):
+            interp_decode(symbols[:-5], data.shape, 1e-3)
+        with pytest.raises(CorruptStreamError):
+            interp_decode(np.concatenate([symbols, [0]]), data.shape, 1e-3)
+
+    def test_codec_integration(self, smooth_field):
+        comp = make_compressor("sz3", pressio__abs=1e-3)
+        comp.set_options({"sz3:predictor": "interp"})
+        stream, recon = comp.roundtrip(smooth_field)
+        assert recon.shape == smooth_field.shape
+        assert max_err(smooth_field, recon.array) <= 1e-3 * 1.0001
+
+    def test_interp_beats_lorenzo_on_smooth(self, smooth_field):
+        lorenzo = make_compressor("sz3", pressio__abs=1e-3)
+        interp = make_compressor("sz3", pressio__abs=1e-3)
+        interp.set_options({"sz3:predictor": "interp"})
+        cr_l = smooth_field.nbytes / lorenzo.compress(smooth_field).nbytes
+        cr_i = smooth_field.nbytes / interp.compress(smooth_field).nbytes
+        assert cr_i > cr_l * 0.9  # at least competitive; usually better
+
+    def test_max_stride_option(self, smooth_field):
+        comp = make_compressor("sz3", pressio__abs=1e-3)
+        comp.set_options({"sz3:predictor": "interp", "sz3:interp_max_stride": 4})
+        recon = comp.decompress(comp.compress(smooth_field))
+        assert max_err(smooth_field, recon.array) <= 1e-3 * 1.0001
+
+    @given(
+        data=arrays(
+            np.float32,
+            array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=10),
+            elements=st.floats(-100, 100, width=32),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bound_property(self, data):
+        comp = make_compressor("sz3", pressio__abs=1e-2)
+        comp.set_options({"sz3:predictor": "interp"})
+        recon = comp.decompress(comp.compress(data)).array
+        if data.size:
+            assert max_err(data, recon) <= 1e-2 * 1.001 + 1e-4
+
+
+class TestWavelet:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 9, 17])
+    def test_axis_lifting_invertible(self, n):
+        rng = np.random.default_rng(3)
+        arr = rng.integers(-10000, 10000, size=(n, 4)).astype(np.int64)
+        original = arr.copy()
+        dwt53_forward_axis(arr, 0)
+        dwt53_inverse_axis(arr, 0)
+        assert np.array_equal(arr, original)
+
+    @pytest.mark.parametrize("shape", [(16,), (9, 7), (16, 16, 8), (5, 3, 2), (1, 1)])
+    @pytest.mark.parametrize("levels", [1, 2, 4])
+    def test_multilevel_invertible(self, shape, levels):
+        rng = np.random.default_rng(4)
+        codes = rng.integers(-(2**20), 2**20, size=shape)
+        assert np.array_equal(wavelet_inverse(wavelet_forward(codes, levels), levels), codes)
+
+    def test_transform_decorrelates_smooth(self, smooth_field):
+        from repro.compressors.sz3 import quantize
+
+        codes = quantize(smooth_field.astype(np.float64), 1e-4)
+        coeffs = wavelet_forward(codes, 3)
+        # Detail coefficients (everything outside the coarsest corner)
+        # should be much smaller than the original codes on average.
+        assert np.abs(coeffs).mean() < np.abs(codes).mean()
+
+    def test_codec_roundtrip_bound(self, smooth_field, sparse_field, rough_field):
+        for data in (smooth_field, sparse_field, rough_field):
+            comp = make_compressor("sperr", pressio__abs=1e-3)
+            recon = comp.decompress(comp.compress(data)).array
+            assert max_err(data, recon) <= 1e-3 * 1.0001
+
+    @pytest.mark.parametrize("shape", [(1,), (3,), (5, 7), (2, 3, 5)])
+    def test_odd_shapes(self, shape):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal(shape).astype(np.float32)
+        comp = make_compressor("sperr", pressio__abs=1e-3)
+        recon = comp.decompress(comp.compress(data))
+        assert recon.shape == shape
+        assert max_err(data, recon.array) <= 1e-3 * 1.001
+
+    def test_sperr_best_on_smooth(self, smooth_field):
+        """The wavelet coder should lead on smooth data (its niche)."""
+        ratios = {}
+        for name in ("sz3", "zfp", "sperr"):
+            comp = make_compressor(name, pressio__abs=1e-3)
+            ratios[name] = smooth_field.nbytes / comp.compress(smooth_field).nbytes
+        assert ratios["sperr"] >= ratios["zfp"]
+
+    def test_levels_option(self, smooth_field):
+        shallow = make_compressor("sperr", pressio__abs=1e-3)
+        shallow.set_options({"sperr:levels": 1})
+        deep = make_compressor("sperr", pressio__abs=1e-3)
+        deep.set_options({"sperr:levels": 4})
+        for comp in (shallow, deep):
+            recon = comp.decompress(comp.compress(smooth_field)).array
+            assert max_err(smooth_field, recon) <= 1e-3 * 1.0001
+
+
+class TestKhanOnSperr:
+    def test_khan_supports_sperr(self, smooth_field):
+        from repro.core import PressioData, SizeMetrics
+        from repro.predict import get_scheme
+
+        comp = make_compressor("sperr", pressio__abs=1e-3)
+        scheme = get_scheme("khan2023", fraction=0.2)
+        data = PressioData(smooth_field, metadata={"data_id": "s"})
+        results = scheme.req_metrics_opts(comp).evaluate(data).to_dict()
+        est = scheme.get_predictor(comp).predict(results)
+        size = SizeMetrics()
+        comp.set_metrics([size])
+        comp.compress(data)
+        actual = comp.get_metrics_results()["size:compression_ratio"]
+        assert actual / 4 <= est <= actual * 4
+
+    def test_tao_supports_sperr(self, smooth_field):
+        from repro.core import PressioData
+        from repro.predict import get_scheme
+
+        comp = make_compressor("sperr", pressio__abs=1e-3)
+        scheme = get_scheme("tao2019")
+        data = PressioData(smooth_field, metadata={"data_id": "s"})
+        results = scheme.req_metrics_opts(comp).evaluate(data).to_dict()
+        assert scheme.get_predictor(comp).predict(results) > 0
+
+
+class TestZFPRateMode:
+    """zfp's fixed-rate mode: a bits/value budget instead of a bound."""
+
+    def test_roundtrip_and_rate_adherence(self, smooth_field):
+        comp = make_compressor("zfp")
+        comp.set_options({"zfp:mode": "rate", "zfp:rate": 6.0})
+        stream = comp.compress(smooth_field)
+        recon = comp.decompress(stream)
+        assert recon.shape == smooth_field.shape
+        bits_per_value = stream.nbytes * 8 / smooth_field.size
+        # Packed AC bits target the rate; headers/side channels add some.
+        assert bits_per_value < 6.0 * 2.5
+
+    def test_lower_rate_higher_ratio(self, smooth_field):
+        ratios = {}
+        for rate in (2.0, 6.0, 12.0):
+            comp = make_compressor("zfp")
+            comp.set_options({"zfp:mode": "rate", "zfp:rate": rate})
+            ratios[rate] = smooth_field.nbytes / comp.compress(smooth_field).nbytes
+        assert ratios[2.0] > ratios[6.0] > ratios[12.0]
+
+    def test_lower_rate_higher_error(self, smooth_field):
+        errs = {}
+        for rate in (2.0, 10.0):
+            comp = make_compressor("zfp")
+            comp.set_options({"zfp:mode": "rate", "zfp:rate": rate})
+            recon = comp.decompress(comp.compress(smooth_field)).array
+            errs[rate] = float(np.abs(recon - smooth_field).max())
+        assert errs[2.0] > errs[10.0]
+
+    def test_unknown_mode_rejected(self, smooth_field):
+        from repro.core import OptionError
+
+        comp = make_compressor("zfp")
+        comp.set_options({"zfp:mode": "embedded"})
+        with pytest.raises(OptionError):
+            comp.compress(smooth_field)
+
+    def test_accuracy_mode_unaffected(self, smooth_field):
+        comp = make_compressor("zfp", pressio__abs=1e-3)
+        recon = comp.decompress(comp.compress(smooth_field)).array
+        assert np.abs(recon.astype(np.float64) - smooth_field).max() <= 1e-3 * 1.001

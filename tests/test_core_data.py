@@ -1,0 +1,93 @@
+"""Tests for the PressioData buffer abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import PressioData, TypeMismatchError, as_data
+
+
+class TestConstruction:
+    def test_wraps_without_copy(self):
+        arr = np.arange(10, dtype=np.float32)
+        buf = PressioData(arr)
+        arr[0] = 99
+        assert buf.array[0] == 99
+
+    def test_copy_flag(self):
+        arr = np.arange(10, dtype=np.float32)
+        buf = PressioData(arr, copy=True)
+        arr[0] = 99
+        assert buf.array[0] == 0
+
+    def test_empty_constructor(self):
+        buf = PressioData.empty((4, 5), dtype=np.float64)
+        assert buf.shape == (4, 5) and buf.dtype == np.float64
+
+    def test_from_bytes(self):
+        buf = PressioData.from_bytes(b"\x01\x02\x03")
+        assert buf.dtype == np.uint8 and buf.size == 3
+
+
+class TestProperties:
+    def test_shape_size_nbytes(self):
+        buf = PressioData(np.zeros((3, 4), dtype=np.float32))
+        assert buf.shape == (3, 4)
+        assert buf.ndim == 2
+        assert buf.size == 12
+        assert buf.nbytes == 48
+
+    def test_tobytes_roundtrip(self):
+        arr = np.arange(6, dtype=np.int32)
+        assert np.frombuffer(PressioData(arr).tobytes(), dtype=np.int32).tolist() == list(range(6))
+
+
+class TestMetadataAndIdentity:
+    def test_data_id_from_provenance(self):
+        buf = PressioData(np.zeros(3), metadata={"file": "f.npy", "field": "P", "timestep": 2})
+        assert buf.data_id() == "f.npy/P/2"
+
+    def test_data_id_explicit(self):
+        buf = PressioData(np.zeros(3), metadata={"data_id": "custom"})
+        assert buf.data_id() == "custom"
+
+    def test_data_id_anonymous_is_stable(self):
+        buf = PressioData(np.zeros(3))
+        assert buf.data_id() == buf.data_id()
+
+    def test_with_metadata_merges(self):
+        buf = PressioData(np.zeros(3), metadata={"a": 1})
+        out = buf.with_metadata(b=2)
+        assert out.metadata == {"a": 1, "b": 2}
+        assert buf.metadata == {"a": 1}
+
+
+class TestDomains:
+    def test_to_domain_tags(self):
+        buf = PressioData(np.zeros(3))
+        dev = buf.to_domain("device")
+        assert dev.domain == "device" and buf.domain == "host"
+
+    def test_same_domain_returns_self(self):
+        buf = PressioData(np.zeros(3))
+        assert buf.to_domain("host") is buf
+
+
+class TestValidation:
+    def test_require_floating_rejects_ints(self):
+        with pytest.raises(TypeMismatchError):
+            PressioData(np.arange(4)).require_floating()
+
+    def test_require_floating_accepts_floats(self):
+        arr = PressioData(np.zeros(4, dtype=np.float32)).require_floating()
+        assert arr.dtype == np.float32
+
+    def test_astype_preserves_metadata(self):
+        buf = PressioData(np.zeros(3, np.float32), metadata={"field": "P"})
+        out = buf.astype(np.float64)
+        assert out.dtype == np.float64 and out.metadata["field"] == "P"
+
+
+def test_as_data_passthrough_and_wrap():
+    buf = PressioData(np.zeros(2))
+    assert as_data(buf) is buf
+    assert isinstance(as_data(np.zeros(2)), PressioData)

@@ -1,0 +1,98 @@
+"""Tests for the plugin registry and configuration introspection."""
+
+import pytest
+
+from repro.core import OptionError, Registry, coerce_scalar, parse_flags
+from repro.core.config import options_from_mapping, parse_assignment, split_component_options
+from repro.core.options import PressioOptions
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        reg: Registry[object] = Registry("demo")
+
+        @reg.register("thing")
+        class Thing:
+            def __init__(self, value=0):
+                self.value = value
+
+        obj = reg.create("thing", value=3)
+        assert obj.value == 3
+
+    def test_unknown_name_lists_known(self):
+        reg: Registry[object] = Registry("demo")
+        reg.add("a", lambda: 1)
+        with pytest.raises(OptionError, match="known: a"):
+            reg.create("b")
+
+    def test_names_sorted_and_len(self):
+        reg: Registry[object] = Registry("demo")
+        reg.add("z", lambda: 1)
+        reg.add("a", lambda: 2)
+        assert reg.names() == ["a", "z"]
+        assert len(reg) == 2
+        assert "z" in reg
+
+    def test_reregistration_replaces(self):
+        reg: Registry[object] = Registry("demo")
+        reg.add("x", lambda: 1)
+        reg.add("x", lambda: 2)
+        assert reg.create("x") == 2
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("1", 1),
+            ("-3", -3),
+            ("1.5", 1.5),
+            ("1e-4", 1e-4),
+            ("true", True),
+            ("off", False),
+            ("hello", "hello"),
+            ("'42'", "42"),
+            ('"on"', "on"),
+        ],
+    )
+    def test_coerce_scalar(self, raw, expected):
+        assert coerce_scalar(raw) == expected
+        assert type(coerce_scalar(raw)) is type(expected)
+
+
+class TestFlagParsing:
+    def test_parse_flags(self):
+        opts = parse_flags(["-o", "pressio:abs=1e-4", "-o", "sz3:predictor=lorenzo"])
+        assert opts["pressio:abs"] == 1e-4
+        assert opts["sz3:predictor"] == "lorenzo"
+
+    def test_bare_assignments_accepted(self):
+        opts = parse_flags(["pressio:abs=0.5"])
+        assert opts["pressio:abs"] == 0.5
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(OptionError):
+            parse_flags(["-o"])
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(OptionError):
+            parse_flags(["--weird"])
+
+    def test_parse_assignment_empty_key(self):
+        with pytest.raises(OptionError):
+            parse_assignment("=3")
+
+    def test_options_from_mapping_coerces_strings(self):
+        opts = options_from_mapping({"a:x": "2", "a:y": 3.5})
+        assert opts["a:x"] == 2 and opts["a:y"] == 3.5
+
+
+class TestComponentSplit:
+    def test_split_by_prefix(self):
+        opts = PressioOptions(
+            {"pressio:abs": 1e-4, "sz3:p": "l", "hurricane:seed": 1, "oops:x": 9}
+        )
+        parts = split_component_options(opts, ["sz3", "hurricane"])
+        assert parts["sz3"].to_dict() == {"pressio:abs": 1e-4, "sz3:p": "l"}
+        assert parts["hurricane"].to_dict() == {"pressio:abs": 1e-4, "hurricane:seed": 1}
+        assert parts["extra"].to_dict() == {"oops:x": 9}

@@ -1,0 +1,130 @@
+"""Tests for the non-weather scientific dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import make_compressor
+from repro.dataset import (
+    ALL_SCIENTIFIC,
+    CESMDataset,
+    NyxDataset,
+    S3DDataset,
+    TurbulenceDataset,
+    dataset_registry,
+    make_scientific_suite,
+)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ALL_SCIENTIFIC)
+    def test_registered(self, name):
+        assert name in dataset_registry
+
+    def test_suite_construction(self):
+        suite = make_scientific_suite(timesteps=2)
+        assert set(suite) == set(ALL_SCIENTIFIC)
+        for ds in suite.values():
+            assert len(ds) == len(ds.fields) * 2
+
+    @pytest.mark.parametrize(
+        "cls,shape",
+        [
+            (CESMDataset, (24, 36)),
+            (NyxDataset, (12, 12, 12)),
+            (S3DDataset, (16, 16, 8)),
+            (TurbulenceDataset, (12, 12, 12)),
+        ],
+    )
+    def test_deterministic(self, cls, shape):
+        a = cls(shape=shape, timesteps=2, seed=3).load_data(0).array
+        b = cls(shape=shape, timesteps=2, seed=3).load_data(0).array
+        assert np.array_equal(a, b)
+        c = cls(shape=shape, timesteps=2, seed=4).load_data(0).array
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize(
+        "cls,shape",
+        [
+            (CESMDataset, (24, 36)),
+            (NyxDataset, (12, 12, 12)),
+            (S3DDataset, (16, 16, 8)),
+            (TurbulenceDataset, (12, 12, 12)),
+        ],
+    )
+    def test_metadata_and_finiteness(self, cls, shape):
+        ds = cls(shape=shape, timesteps=2)
+        for i in range(len(ds)):
+            meta = ds.load_metadata(i)
+            assert meta["shape"] == shape
+            data = ds.load_data(i)
+            assert np.isfinite(data.array).all()
+            assert data.dtype == np.float32
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            NyxDataset(shape=(8, 8, 8), fields=["dark_energy"])
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            CESMDataset(shape=(8, 8, 8))
+        with pytest.raises(ValueError):
+            NyxDataset(shape=(8, 8))
+
+
+class TestStructuralContrasts:
+    """Each family must exhibit the pattern it was built to stress."""
+
+    def test_nyx_dynamic_range(self):
+        rho = NyxDataset(shape=(16, 16, 16), timesteps=1).load_data(0).array
+        assert rho.min() > 0
+        assert rho.max() / rho.min() > 1e4  # log-normal web
+
+    def test_s3d_oh_is_sparse(self):
+        ds = S3DDataset(shape=(24, 24, 12), timesteps=1)
+        oh = ds.load_data(ds.fields.index("oh_mass_fraction")).array
+        assert (oh == 0).mean() > 0.5
+
+    def test_s3d_temperature_has_sharp_front(self):
+        ds = S3DDataset(shape=(24, 24, 12), timesteps=1)
+        temp = ds.load_data(ds.fields.index("temperature")).array
+        grad = np.abs(np.diff(temp, axis=0))
+        # Max gradient dwarfs the median: the flame sheet.
+        assert grad.max() > 20 * (np.median(grad) + 1e-9)
+
+    def test_cesm_cloud_fraction_bounded(self):
+        ds = CESMDataset(shape=(24, 36), timesteps=1)
+        cld = ds.load_data(ds.fields.index("CLDTOT")).array
+        assert cld.min() >= 0.0 and cld.max() <= 1.0
+
+    def test_turbulence_least_compressible(self):
+        """Kolmogorov-rough turbulence compresses worse than CESM's
+        smooth climate slices at the same relative bound."""
+
+        def mean_cr(ds) -> float:
+            crs = []
+            for i in range(len(ds)):
+                data = ds.load_data(i)
+                arr = data.array
+                vr = float(arr.max() - arr.min()) or 1.0
+                comp = make_compressor("sz3", pressio__abs=1e-4 * vr)
+                crs.append(arr.nbytes / comp.compress(data).nbytes)
+            return float(np.mean(crs))
+
+        turb = TurbulenceDataset(shape=(16, 16, 16), timesteps=1, fields=["u"])
+        cesm = CESMDataset(shape=(32, 32), timesteps=1, fields=["PSL"])
+        assert mean_cr(cesm) > mean_cr(turb)
+
+    def test_cross_dataset_bench_integration(self):
+        """The bench runner consumes a non-weather dataset unchanged."""
+        from repro.bench import ExperimentRunner
+
+        ds = S3DDataset(shape=(12, 12, 8), timesteps=2)
+        runner = ExperimentRunner(
+            ds, compressors=("szx",), bounds=(1e-4,), schemes=("khan2023",), n_folds=2
+        )
+        obs, stats = runner.collect()
+        assert stats.failed == 0
+        assert len(obs) == len(ds)
+        rows = runner.table2(obs)
+        khan = next(r for r in rows if r.method == "khan2023")
+        assert khan.medape_pct == khan.medape_pct  # not NaN

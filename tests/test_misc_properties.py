@@ -1,0 +1,149 @@
+"""Property tests for cross-cutting invariants, plus small-module
+coverage (errors, report)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.report import format_row, format_table2, rows_to_records
+from repro.bench.runner import StageStat, Table2Row
+from repro.compressors import make_compressor
+from repro.core import (
+    ERROR_AGNOSTIC,
+    ERROR_DEPENDENT,
+    RUNTIME,
+    PressioError,
+    Status,
+    TaskFailedError,
+)
+from repro.predict import expand_invalidations, is_invalidated
+
+SPECIALS = [ERROR_AGNOSTIC, ERROR_DEPENDENT, RUNTIME]
+KEYS = ["pressio:abs", "pressio:rel", "sz3:predictor", "sz3:lossless", "zfp:rate"]
+
+
+@pytest.fixture(scope="module")
+def sz3():
+    return make_compressor("sz3", pressio__abs=1e-3)
+
+
+class TestInvalidationAlgebra:
+    @given(
+        declared=st.lists(st.sampled_from(SPECIALS + KEYS), min_size=1, max_size=3),
+        changed=st.lists(st.sampled_from(SPECIALS + KEYS), max_size=4),
+        extra=st.sampled_from(SPECIALS + KEYS),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_changed_set(self, sz3, declared, changed, extra):
+        """Adding to the change-set can only ever invalidate *more*."""
+        before = is_invalidated(tuple(declared), changed, sz3)
+        after = is_invalidated(tuple(declared), changed + [extra], sz3)
+        assert after or not before
+
+    @given(declared=st.lists(st.sampled_from(SPECIALS + KEYS), min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_change_set_never_invalidates(self, sz3, declared):
+        assert not is_invalidated(tuple(declared), [], sz3)
+
+    @given(changed=st.lists(st.sampled_from(SPECIALS + KEYS), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_expansion_superset(self, sz3, changed):
+        expanded = expand_invalidations(changed, sz3)
+        assert set(changed) <= set(expanded)
+
+    def test_self_match(self, sz3):
+        """Every key invalidates a metric that declared exactly it."""
+        for key in SPECIALS + KEYS:
+            assert is_invalidated((key,), [key], sz3), key
+
+
+class TestStatusAndErrors:
+    def test_status_codes_distinct(self):
+        codes = [s.value for s in Status]
+        assert len(codes) == len(set(codes))
+        assert Status.SUCCESS == 0
+        assert Status.WARNING < 0
+
+    def test_error_carries_status(self):
+        err = PressioError("boom", status=Status.UNSUPPORTED)
+        assert err.status == Status.UNSUPPORTED
+
+    def test_task_failed_carries_key(self):
+        err = TaskFailedError("nope", task_key="abc123")
+        assert err.task_key == "abc123"
+        assert err.status == Status.TASK_FAILED
+
+    def test_exception_hierarchy(self):
+        from repro.core import (
+            BoundViolationError,
+            CorruptStreamError,
+            MissingOptionError,
+            OptionError,
+            TypeMismatchError,
+            UnsupportedError,
+        )
+
+        for cls in (
+            BoundViolationError,
+            CorruptStreamError,
+            MissingOptionError,
+            OptionError,
+            TypeMismatchError,
+            UnsupportedError,
+        ):
+            assert issubclass(cls, PressioError)
+
+
+class TestReportFormatting:
+    def _row(self, **kw):
+        row = Table2Row(method=kw.pop("method", "khan2023"), compressor="sz3")
+        for key, value in kw.items():
+            setattr(row, key, value)
+        return row
+
+    def test_unsupported_row_renders_na(self):
+        row = self._row(method="jin2022", supported=False)
+        text = format_row(row)
+        assert text.count("N/A") >= 5
+
+    def test_baseline_row_renders_comp_decomp(self):
+        row = Table2Row(method="sz3", compressor="sz3")
+        row.compress = StageStat.from_samples([0.1])
+        row.decompress = StageStat.from_samples([0.05])
+        text = format_row(row)
+        assert "/" in text and "100.00" in text
+
+    def test_nan_medape_renders_na(self):
+        row = self._row(medape_pct=float("nan"))
+        assert "N/A" in format_row(row)
+
+    def test_records_roundtrip_nan_to_none(self):
+        row = self._row(medape_pct=float("nan"))
+        rec = rows_to_records([row])[0]
+        assert math.isnan(rec["medape_pct"])
+        assert rec["error_dependent_ms"] is None
+
+    def test_title_included(self):
+        text = format_table2([], title="My Table")
+        assert text.startswith("My Table")
+
+
+class TestCompressorStreamsAreSelfContained:
+    """A stream produced by one instance decodes on a *fresh* instance
+    with default options (everything needed lives in the stream)."""
+
+    @pytest.mark.parametrize("name", ["sz3", "zfp", "szx", "sperr"])
+    def test_cross_instance_decode(self, name, smooth_field):
+        src = make_compressor(name, pressio__abs=2.5e-4)
+        if name == "sz3":
+            src.set_options({"sz3:predictor": "interp", "sz3:interp_max_stride": 8})
+        stream = src.compress(smooth_field).tobytes()
+        dst = make_compressor(name)  # default options
+        recon = dst.decompress(stream)
+        err = np.abs(
+            recon.array.astype(np.float64) - smooth_field.astype(np.float64)
+        ).max()
+        assert err <= 2.5e-4 * 1.001

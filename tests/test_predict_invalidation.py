@@ -1,0 +1,118 @@
+"""Tests for the invalidation model (§4.2) — the paper's core semantics."""
+
+import pytest
+
+from repro.compressors import make_compressor
+from repro.core import (
+    ERROR_AGNOSTIC,
+    ERROR_DEPENDENT,
+    NONDETERMINISTIC,
+    RUNTIME,
+    TRAINING,
+)
+from repro.predict import (
+    classify_option_key,
+    dependency_options,
+    expand_invalidations,
+    is_cacheable,
+    is_invalidated,
+)
+
+
+@pytest.fixture
+def sz3():
+    return make_compressor("sz3", pressio__abs=1e-4)
+
+
+class TestClassify:
+    def test_error_affecting_option(self, sz3):
+        assert classify_option_key("pressio:abs", sz3) == ERROR_DEPENDENT
+        assert classify_option_key("sz3:predictor", sz3) == ERROR_DEPENDENT
+
+    def test_runtime_hints(self, sz3):
+        assert classify_option_key("sz3:nthreads", sz3) == RUNTIME
+        assert classify_option_key("sz3:lossless", sz3) == RUNTIME
+
+    def test_unknown_is_conservatively_error_dependent(self, sz3):
+        assert classify_option_key("sz3:mystery", sz3) == ERROR_DEPENDENT
+
+    def test_special_keys_pass_through(self, sz3):
+        assert classify_option_key(ERROR_AGNOSTIC, sz3) == ERROR_AGNOSTIC
+        assert classify_option_key(TRAINING, sz3) == TRAINING
+
+
+class TestExpand:
+    def test_concrete_key_implies_class(self, sz3):
+        expanded = expand_invalidations(["pressio:abs"], sz3)
+        assert "pressio:abs" in expanded
+        assert ERROR_DEPENDENT in expanded
+
+    def test_special_key_not_reexpanded(self, sz3):
+        expanded = expand_invalidations([ERROR_AGNOSTIC], sz3)
+        assert expanded == frozenset({ERROR_AGNOSTIC})
+
+
+class TestIsInvalidated:
+    def test_error_dependent_metric_on_bound_change(self, sz3):
+        # A metric declaring the class is hit by a concrete bound change.
+        assert is_invalidated((ERROR_DEPENDENT,), ["pressio:abs"], sz3)
+
+    def test_error_agnostic_metric_survives_bound_change(self, sz3):
+        assert not is_invalidated((ERROR_AGNOSTIC,), ["pressio:abs"], sz3)
+
+    def test_error_agnostic_metric_hit_by_explicit_class(self, sz3):
+        assert is_invalidated((ERROR_AGNOSTIC,), [ERROR_AGNOSTIC], sz3)
+
+    def test_concrete_declaration_matches_itself(self, sz3):
+        assert is_invalidated(("sz3:predictor",), ["sz3:predictor"], sz3)
+        assert not is_invalidated(("sz3:predictor",), ["sz3:block"], sz3)
+
+    def test_concrete_declaration_hit_by_class_wholesale(self, sz3):
+        # Figure 4: a metric declaring "pressio:abs" is triggered when the
+        # caller names the whole error_dependent class.
+        assert is_invalidated(("pressio:abs",), [ERROR_DEPENDENT], sz3)
+
+    def test_runtime_option_does_not_hit_error_metrics(self, sz3):
+        assert not is_invalidated((ERROR_DEPENDENT,), ["sz3:nthreads"], sz3)
+        assert is_invalidated((RUNTIME,), ["sz3:nthreads"], sz3)
+
+    def test_empty_change_set_invalidates_nothing(self, sz3):
+        assert not is_invalidated((ERROR_DEPENDENT, ERROR_AGNOSTIC), [], sz3)
+
+
+class TestDependencyOptions:
+    def test_error_dependent_keys(self, sz3):
+        deps = dependency_options((ERROR_DEPENDENT,), sz3)
+        assert deps["pressio:abs"] == 1e-4
+        assert deps["sz3:predictor"] == "lorenzo"
+
+    def test_error_agnostic_depends_on_nothing(self, sz3):
+        assert len(dependency_options((ERROR_AGNOSTIC,), sz3)) == 0
+
+    def test_concrete_key(self, sz3):
+        deps = dependency_options(("pressio:abs",), sz3)
+        assert deps.to_dict() == {"pressio:abs": 1e-4}
+
+    def test_changes_with_bound(self, sz3):
+        from repro.core import options_hash
+
+        before = options_hash(dependency_options((ERROR_DEPENDENT,), sz3))
+        sz3.set_options({"pressio:abs": 1e-6})
+        after = options_hash(dependency_options((ERROR_DEPENDENT,), sz3))
+        assert before != after
+
+
+class TestCacheability:
+    def test_runtime_never_cacheable(self):
+        assert not is_cacheable((RUNTIME,))
+        assert not is_cacheable((RUNTIME,), cache_nondeterministic=False)
+
+    def test_nondeterministic_default_cacheable(self):
+        assert is_cacheable((ERROR_AGNOSTIC, NONDETERMINISTIC))
+        assert not is_cacheable(
+            (ERROR_AGNOSTIC, NONDETERMINISTIC), cache_nondeterministic=False
+        )
+
+    def test_plain_metrics_cacheable(self):
+        assert is_cacheable((ERROR_DEPENDENT,))
+        assert is_cacheable((ERROR_AGNOSTIC,))
