@@ -51,8 +51,22 @@ def build_parser() -> argparse.ArgumentParser:
         "in_sample is the best-case variant of future work 1",
     )
     run.add_argument("--workers", type=int, default=1)
-    run.add_argument("--engine", choices=["serial", "thread"], default="serial")
+    run.add_argument(
+        "--engine", choices=["serial", "thread", "process"], default="serial",
+        help="collection engine; 'process' uses a worker-process pool with "
+        "per-worker dataset/compressor initialization",
+    )
     run.add_argument("--checkpoint", default=":memory:")
+    run.add_argument(
+        "--flush-every", type=int, default=1,
+        help="buffer this many checkpoint writes per SQLite commit "
+        "(1 = commit each result, the safest; larger batches scale collection)",
+    )
+    run.add_argument(
+        "--queue-stats", action="store_true",
+        help="print the harness's own per-stage timings "
+        "(queue wait / execute / checkpoint) to stderr",
+    )
     run.add_argument("--json", action="store_true", help="emit JSON records")
     run.add_argument(
         "--absolute-bounds",
@@ -86,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--bounds", nargs="+", type=float, default=[1e-6, 1e-4])
     sim.add_argument("--compute-ms", type=float, default=50.0,
                      help="per-task compute cost model (milliseconds)")
+    sim.add_argument("--checkpoint-ms", type=float, default=0.0,
+                     help="per-commit checkpoint cost model (milliseconds)")
+    sim.add_argument("--flush-every", type=int, default=1,
+                     help="results per simulated checkpoint commit")
     sim.add_argument("--no-locality", action="store_true")
 
     gen = sub.add_parser(
@@ -110,12 +128,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         bounds=args.bounds,
         schemes=args.schemes,
         relative_bounds=not args.absolute_bounds,
-        store=CheckpointStore(args.checkpoint),
+        store=CheckpointStore(args.checkpoint, flush_every=args.flush_every),
         queue=TaskQueue(args.workers, args.engine),
         n_folds=args.folds,
         protocol=args.protocol,
     )
-    rows = runner.table2()
+    observations, stats = runner.collect()
+    if args.queue_stats:
+        stages = " ".join(
+            f"{name}={seconds:.3f}s" for name, seconds in stats.stage_summary().items()
+        )
+        print(
+            f"queue[{runner.queue.engine} x{runner.queue.n_workers}] "
+            f"{stages} locality={stats.locality_rate:.0%} "
+            f"retries={stats.retries} commits={runner.store.commit_count}",
+            file=sys.stderr,
+        )
+    rows = runner.table2(observations)
     if args.json:
         print(json.dumps(rows_to_records(rows), indent=2))
     else:
@@ -175,9 +204,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"{'nodes':>5s} {'makespan(s)':>12s} {'speedup':>8s} {'util':>6s} {'hits':>6s}")
     base = None
     for n in args.nodes:
-        report = SimulatedCluster(n, locality_aware=not args.no_locality).run(
-            list(tasks), lambda t: cost
-        )
+        report = SimulatedCluster(
+            n,
+            locality_aware=not args.no_locality,
+            checkpoint_seconds=args.checkpoint_ms / 1e3,
+            flush_every=args.flush_every,
+        ).run(list(tasks), lambda t: cost)
         base = base or report.makespan
         print(
             f"{n:5d} {report.makespan:12.2f} {base / report.makespan:8.2f} "

@@ -19,6 +19,7 @@ The output rows correspond one-to-one to Table 2 of the paper.
 
 from __future__ import annotations
 
+import functools
 import math
 import warnings
 import time
@@ -83,6 +84,19 @@ class Table2Row:
     supported: bool = True
 
 
+def _rebuild_collection_fn(dataset: DatasetPlugin, kwargs: dict):
+    """Recreate a runner's task function inside a worker process.
+
+    The process engine cannot pickle a bound ``ExperimentRunner.run_task``
+    (the runner owns a live SQLite handle), so each worker rebuilds its
+    own runner — its own dataset handle and compressor instances — from
+    the picklable constructor arguments.  Module-level so a
+    ``functools.partial`` of it pickles under any start method.
+    """
+    runner = ExperimentRunner(dataset, **kwargs)
+    return runner.run_task
+
+
 class ExperimentRunner:
     """Drives collection and evaluation against one dataset."""
 
@@ -137,9 +151,8 @@ class ExperimentRunner:
         ds_conf = self.dataset.get_configuration().to_dict()
         for idx, meta in enumerate(metas):
             shape = meta.get("shape")
-            nbytes = (
-                int(np.prod(shape)) * 4 if shape else 0
-            )
+            itemsize = np.dtype(meta.get("dtype", "float32")).itemsize
+            nbytes = int(np.prod(shape)) * itemsize if shape else 0
             entry_conf = {**ds_conf, "entry:data_id": meta.get("data_id", idx)}
             for comp_id in self.compressors:
                 for eb in self.bounds:
@@ -216,17 +229,42 @@ class ExperimentRunner:
                 payload[f"time:{scheme.id}:{bucket}"] = seconds
         return payload
 
+    def worker_init(self):
+        """A picklable factory rebuilding :meth:`run_task` per process."""
+        return functools.partial(
+            _rebuild_collection_fn,
+            self.dataset,
+            {
+                "compressors": list(self.compressors),
+                "bounds": list(self.bounds),
+                "schemes": [s.id for s in self.schemes],
+                "relative_bounds": self.relative_bounds,
+                "experiment_meta": dict(self.experiment_meta),
+            },
+        )
+
     def collect(self, *, task_fn=None) -> tuple[list[dict[str, Any]], QueueStats]:
         """Run (or resume) the collection phase through the checkpoint.
 
         Tasks whose key is already in the store are *not* re-run — this
         is the fine-grained checkpoint/restart the paper motivates with
         its fault-prone metric implementations.
+
+        Checkpoint writes always happen in this process (the queue's
+        ``on_result`` sink), so the process engine keeps SQLite
+        single-writer; with a buffered store they batch into one commit
+        per flush interval, and the tail flushes before returning.
         """
         tasks = self.build_tasks()
         by_key = {t.key(): t for t in tasks}
         todo = [by_key[k] for k in self.store.pending(by_key.keys())]
-        fn = task_fn or self.run_task
+        fn = task_fn
+        worker_init = None
+        if fn is None:
+            if self.queue.engine == "process":
+                worker_init = self.worker_init()
+            else:
+                fn = self.run_task
 
         def on_result(result) -> None:
             if result.ok:
@@ -240,7 +278,10 @@ class ExperimentRunner:
                     replicate=task.replicate,
                 )
 
-        results, stats = self.queue.run(todo, fn, on_result=on_result)
+        results, stats = self.queue.run(
+            todo, fn, on_result=on_result, worker_init=worker_init
+        )
+        self.store.flush()
         if stats.failed:
             failures = [r.error for r in results if not r.ok][:3]
             warnings.warn(

@@ -10,7 +10,11 @@ policy and a simple cost model:
 * loading an uncached datum costs ``nbytes / load_bandwidth`` (plus a
   per-file latency); a cached datum costs the cache hit time;
 * compute costs come from a caller-supplied callable (e.g. measured
-  single-task seconds from a real calibration run).
+  single-task seconds from a real calibration run);
+* checkpointing costs ``checkpoint_seconds`` per commit, charged to the
+  completing node once every ``flush_every`` results — mirroring the
+  real store's buffered-flush batching, so the knob's effect on
+  makespan can be explored before a campaign.
 
 Determinism: no randomness; events tie-break on (time, node id).
 """
@@ -36,6 +40,8 @@ class SimReport:
     cache_hits: int
     cache_misses: int
     per_node_busy: dict[int, float] = field(default_factory=dict)
+    total_checkpoint_seconds: float = 0.0
+    checkpoint_commits: int = 0
 
     @property
     def load_fraction(self) -> float:
@@ -61,6 +67,8 @@ class SimulatedCluster:
         cache_hit_seconds: float = 2e-4,
         cache_capacity_entries: int = 64,
         locality_aware: bool = True,
+        checkpoint_seconds: float = 0.0,
+        flush_every: int = 1,
     ) -> None:
         self.n_nodes = max(1, int(n_nodes))
         self.load_bandwidth = float(load_bandwidth)
@@ -68,6 +76,8 @@ class SimulatedCluster:
         self.cache_hit_seconds = float(cache_hit_seconds)
         self.cache_capacity_entries = int(cache_capacity_entries)
         self.locality_aware = bool(locality_aware)
+        self.checkpoint_seconds = float(checkpoint_seconds)
+        self.flush_every = max(1, int(flush_every))
 
     def load_cost(self, task: Task, cached: bool) -> float:
         if cached:
@@ -88,6 +98,9 @@ class SimulatedCluster:
         heapq.heapify(events)
         total_load = 0.0
         total_compute = 0.0
+        total_checkpoint = 0.0
+        commits = 0
+        completed = 0
         hits = 0
         misses = 0
         busy: dict[int, float] = {n: 0.0 for n in range(self.n_nodes)}
@@ -112,12 +125,25 @@ class SimulatedCluster:
                         scheduler.worker_cache[node].discard(evicted)
             load_s = self.load_cost(task, cached)
             compute_s = float(compute_cost(task))
+            completed += 1
+            # The completing node pays the commit when the buffered
+            # checkpoint batch fills (count-based flush, like the store).
+            ck_s = 0.0
+            if self.checkpoint_seconds and completed % self.flush_every == 0:
+                ck_s = self.checkpoint_seconds
+                commits += 1
             total_load += load_s
             total_compute += compute_s
-            busy[node] += load_s + compute_s
-            finish = t + load_s + compute_s
+            total_checkpoint += ck_s
+            busy[node] += load_s + compute_s + ck_s
+            finish = t + load_s + compute_s + ck_s
             makespan = max(makespan, finish)
             heapq.heappush(events, (finish, node))
+        if self.checkpoint_seconds and completed % self.flush_every:
+            # Tail flush on close: charged after the last completion.
+            total_checkpoint += self.checkpoint_seconds
+            commits += 1
+            makespan += self.checkpoint_seconds
         return SimReport(
             makespan=makespan,
             total_load_seconds=total_load,
@@ -125,6 +151,8 @@ class SimulatedCluster:
             cache_hits=hits,
             cache_misses=misses,
             per_node_busy=busy,
+            total_checkpoint_seconds=total_checkpoint,
+            checkpoint_commits=commits,
         )
 
 

@@ -9,24 +9,43 @@ not available, we can fall back to single-node processing."
 Engines:
 
 * ``serial`` — single worker, deterministic order (the fallback);
-* ``thread`` — a pool of worker threads pulling from per-worker deques
-  (NumPy kernels release the GIL, so compressor-bound tasks overlap);
+* ``thread`` — a pool of worker threads coordinated through a condition
+  variable (NumPy kernels release the GIL, so compressor-bound tasks
+  overlap);
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor` with
+  per-worker initialization, for NumPy-bound collection that needs real
+  cores.  Tasks are grouped by ``data_id`` so each datum's work lands in
+  one process (locality without worker pinning).
 
-both share the same :class:`LocalityScheduler` and retry/failure
-semantics.  A third execution model, the discrete-event
+Serial and thread share the same :class:`LocalityScheduler` and
+retry/failure semantics.  A fourth execution model, the discrete-event
 :class:`~repro.bench.simcluster.SimulatedCluster`, reuses the scheduler
 to *measure* placement quality under a virtual clock.
+
+Coordination invariants (thread engine):
+
+* no worker exits while any task is executing or awaiting retry — a
+  failure can always be retried on a live worker;
+* a worker a task failed on is excluded from retrying it for as long as
+  any worker the task has *not* failed on remains; the exclusion is only
+  lifted when the task has failed on every worker;
+* polls are O(pending): virgin tasks live in one deque scanned once by
+  the scheduler, retried tasks in a separate (small) deque — no
+  copy-the-deque-per-poll.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.errors import TaskFailedError
 from .tasks import Task
+
+ENGINES = ("serial", "thread", "process")
 
 
 @dataclass
@@ -46,7 +65,15 @@ class TaskResult:
 
 @dataclass
 class QueueStats:
-    """Aggregate scheduling statistics for one run."""
+    """Aggregate scheduling statistics for one run.
+
+    The three timing buckets give the harness the same per-stage
+    treatment the paper applies to prediction schemes: ``queue_wait``
+    is worker-idle time spent blocked on the dispatcher, ``execute`` is
+    time inside the task function, and ``checkpoint`` is time inside the
+    ``on_result`` sink (the SQLite write path).  All are summed across
+    workers, in seconds.
+    """
 
     completed: int = 0
     failed: int = 0
@@ -54,11 +81,25 @@ class QueueStats:
     locality_hits: int = 0
     locality_misses: int = 0
     per_worker: dict[int, int] = field(default_factory=dict)
+    queue_wait_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    #: Times a worker ran a task it was excluded from because the task
+    #: had already failed on every worker (the only sanctioned override).
+    exclusion_overrides: int = 0
 
     @property
     def locality_rate(self) -> float:
         total = self.locality_hits + self.locality_misses
         return self.locality_hits / total if total else 0.0
+
+    def stage_summary(self) -> dict[str, float]:
+        """Per-stage harness timings, paper-style (seconds)."""
+        return {
+            "queue_wait": self.queue_wait_seconds,
+            "execute": self.execute_seconds,
+            "checkpoint": self.checkpoint_seconds,
+        }
 
 
 class LocalityScheduler:
@@ -105,6 +146,14 @@ class LocalityScheduler:
         self.worker_cache[worker].add(data_id)
         self.data_owner.setdefault(data_id, worker)
 
+    def note_assigned(self, worker: int, data_id: str) -> None:
+        """Record a placement made outside :meth:`pick` (e.g. a retry)."""
+        if data_id in self.worker_cache[worker]:
+            self.stats_hits += 1
+        else:
+            self.stats_misses += 1
+            self.note_loaded(worker, data_id)
+
 
 class TaskQueue:
     """Run tasks through a callable with retries and locality placement.
@@ -114,7 +163,7 @@ class TaskQueue:
     n_workers:
         Worker count; 1 forces the serial engine.
     engine:
-        ``"serial"`` or ``"thread"``.
+        ``"serial"``, ``"thread"``, or ``"process"``.
     max_retries:
         Additional attempts per task after a failure.  A task that still
         fails is reported as failed (not raised) so one bad datum cannot
@@ -122,7 +171,7 @@ class TaskQueue:
     """
 
     def __init__(self, n_workers: int = 1, engine: str = "serial", max_retries: int = 2) -> None:
-        if engine not in ("serial", "thread"):
+        if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         self.n_workers = max(1, int(n_workers))
         self.engine = engine if self.n_workers > 1 else "serial"
@@ -131,100 +180,143 @@ class TaskQueue:
     def run(
         self,
         tasks: list[Task],
-        task_fn: Callable[[Task, int], dict[str, Any]],
+        task_fn: Callable[[Task, int], dict[str, Any]] | None,
         *,
         on_result: Callable[[TaskResult], None] | None = None,
+        worker_init: Callable[[], Callable[[Task, int], dict[str, Any]]] | None = None,
     ) -> tuple[list[TaskResult], QueueStats]:
         """Execute all tasks; returns (results, stats).
 
         ``task_fn(task, worker)`` produces the result payload; raising
-        triggers a retry (possibly on another worker, with the failed
-        worker excluded once), then a recorded failure.
+        triggers a retry (on another worker while one exists), then a
+        recorded failure.  ``worker_init`` is an optional zero-argument
+        factory returning the task function: the process engine calls it
+        once per worker process (per-worker dataset/compressor setup)
+        instead of pickling ``task_fn``; the serial/thread engines call
+        it once up front when ``task_fn`` is None.
         """
+        if task_fn is None and worker_init is None:
+            raise ValueError("one of task_fn or worker_init is required")
+        if self.engine == "process":
+            return self._run_process(tasks, task_fn, on_result=on_result, worker_init=worker_init)
+        if task_fn is None:
+            task_fn = worker_init()
+        return self._run_threaded(tasks, task_fn, on_result=on_result)
+
+    # -- serial / thread engines ------------------------------------------------
+    def _run_threaded(
+        self,
+        tasks: list[Task],
+        task_fn: Callable[[Task, int], dict[str, Any]],
+        *,
+        on_result: Callable[[TaskResult], None] | None,
+    ) -> tuple[list[TaskResult], QueueStats]:
         scheduler = LocalityScheduler()
-        pending: deque[Task] = deque(tasks)
+        pending: deque[Task] = deque(tasks)  # never-failed tasks
+        retry_pending: deque[Task] = deque()  # failed ≥1×, awaiting retry
         attempts: dict[str, int] = defaultdict(int)
         excluded: dict[str, set[int]] = defaultdict(set)
+        in_flight = 0
         results: list[TaskResult] = []
         stats = QueueStats()
-        lock = threading.Lock()
+        cond = threading.Condition()
+        n_workers = self.n_workers if self.engine == "thread" else 1
 
         def finish(result: TaskResult) -> None:
-            if on_result is not None and result.ok:
+            # Called under the lock.
+            if on_result is not None:
+                t0 = time.perf_counter()
                 try:
                     on_result(result)
                 except Exception as exc:  # noqa: BLE001 - callback isolation
                     # A failing result sink (e.g. checkpoint write) must
                     # not kill the worker; record the task as failed so
                     # a restart recomputes it.
-                    result = TaskResult(
-                        result.task,
-                        result.worker,
-                        error=f"on_result {type(exc).__name__}: {exc}",
-                        attempts=result.attempts,
-                    )
-            elif on_result is not None:
-                try:
-                    on_result(result)
-                except Exception:  # noqa: BLE001
-                    pass  # the result already records a failure
+                    if result.ok:
+                        result = TaskResult(
+                            result.task,
+                            result.worker,
+                            error=f"on_result {type(exc).__name__}: {exc}",
+                            attempts=result.attempts,
+                        )
+                stats.checkpoint_seconds += time.perf_counter() - t0
             results.append(result)
             stats.completed += result.ok
             stats.failed += not result.ok
             stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
 
-        def attempt(task: Task, worker: int) -> None:
-            key = task.key()
-            attempts[key] += 1
-            try:
-                payload = task_fn(task, worker)
-            except Exception as exc:  # noqa: BLE001 - fault isolation boundary
-                if attempts[key] <= self.max_retries:
-                    with lock:
-                        stats.retries += 1
-                        excluded[key].add(worker)
-                        pending.append(task)
-                    return
-                with lock:
-                    finish(
-                        TaskResult(
-                            task, worker, error=f"{type(exc).__name__}: {exc}",
-                            attempts=attempts[key],
-                        )
-                    )
-                return
-            with lock:
-                finish(TaskResult(task, worker, payload=payload, attempts=attempts[key]))
-
-        def next_task(worker: int) -> Task | None:
-            with lock:
-                # Skip tasks excluded from this worker (failed here before).
-                usable = deque(
-                    t for t in pending if worker not in excluded[t.key()]
-                )
-                if not usable and pending:
-                    usable = deque(pending)  # nothing else left: allow anyway
-                task = scheduler.pick(worker, usable)
-                if task is not None:
-                    try:
-                        pending.remove(task)
-                    except ValueError:
-                        pass
+        def take(worker: int) -> Task | None:
+            # Called under the lock.  Retries first so they are not
+            # starved behind the virgin queue; the deque is bounded by
+            # the number of distinct failures, so this scan stays small.
+            for i, task in enumerate(retry_pending):
+                if worker not in excluded[task.key()]:
+                    del retry_pending[i]
+                    scheduler.note_assigned(worker, task.data_id)
+                    return task
+            task = scheduler.pick(worker, pending)
+            if task is not None:
                 return task
+            # Only tasks this worker is excluded from remain.  Take one
+            # anyway *only* when it has failed on every worker — no live
+            # worker could honor the exclusion.
+            for i, task in enumerate(retry_pending):
+                if len(excluded[task.key()]) >= n_workers:
+                    del retry_pending[i]
+                    stats.exclusion_overrides += 1
+                    scheduler.note_assigned(worker, task.data_id)
+                    return task
+            return None
 
         def worker_loop(worker: int) -> None:
+            nonlocal in_flight
             while True:
-                task = next_task(worker)
-                if task is None:
-                    return
-                attempt(task, worker)
+                with cond:
+                    while True:
+                        task = take(worker)
+                        if task is not None:
+                            in_flight += 1
+                            break
+                        if not pending and not retry_pending and in_flight == 0:
+                            # Genuinely drained: nothing queued and no
+                            # execution that could still fail and requeue.
+                            cond.notify_all()
+                            return
+                        t0 = time.perf_counter()
+                        cond.wait()
+                        stats.queue_wait_seconds += time.perf_counter() - t0
+                key = task.key()
+                error: str | None = None
+                payload: dict[str, Any] | None = None
+                t0 = time.perf_counter()
+                try:
+                    payload = task_fn(task, worker)
+                except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+                    error = f"{type(exc).__name__}: {exc}"
+                elapsed = time.perf_counter() - t0
+                with cond:
+                    in_flight -= 1
+                    stats.execute_seconds += elapsed
+                    attempts[key] += 1
+                    if error is not None and attempts[key] <= self.max_retries:
+                        stats.retries += 1
+                        excluded[key].add(worker)
+                        retry_pending.append(task)
+                    else:
+                        finish(
+                            TaskResult(
+                                task, worker, payload=payload, error=error,
+                                attempts=attempts[key],
+                            )
+                        )
+                    cond.notify_all()
 
-        if self.engine == "serial":
+        if n_workers == 1:
             worker_loop(0)
         else:
             threads = [
                 threading.Thread(target=worker_loop, args=(w,), daemon=True)
-                for w in range(self.n_workers)
+                for w in range(n_workers)
             ]
             for t in threads:
                 t.start()
@@ -233,6 +325,148 @@ class TaskQueue:
         stats.locality_hits = scheduler.stats_hits
         stats.locality_misses = scheduler.stats_misses
         return results, stats
+
+    # -- process engine ----------------------------------------------------------
+    def _run_process(
+        self,
+        tasks: list[Task],
+        task_fn: Callable[[Task, int], dict[str, Any]] | None,
+        *,
+        on_result: Callable[[TaskResult], None] | None,
+        worker_init: Callable[[], Callable[[Task, int], dict[str, Any]]] | None,
+    ) -> tuple[list[TaskResult], QueueStats]:
+        """Fan tasks out to worker processes, grouped by datum.
+
+        Each group (all tasks sharing a ``data_id``) is one submission,
+        so a datum is loaded once per process — the same locality goal
+        the scheduler pursues for threads, achieved through batching
+        because a pool gives no control over worker placement.  Results
+        stream back to the parent, which owns retries and the
+        ``on_result`` sink (so e.g. SQLite sees a single writer).
+
+        ``worker_init`` (and ``task_fn`` when used directly) must be
+        picklable; bound methods carrying open handles are not — pass a
+        ``functools.partial`` of a module-level factory instead.
+        """
+        import multiprocessing as mp
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        stats = QueueStats()
+        results: list[TaskResult] = []
+        if not tasks:
+            return results, stats
+        attempts: dict[str, int] = defaultdict(int)
+
+        def finish(result: TaskResult) -> None:
+            if on_result is not None:
+                t0 = time.perf_counter()
+                try:
+                    on_result(result)
+                except Exception as exc:  # noqa: BLE001 - callback isolation
+                    if result.ok:
+                        result = TaskResult(
+                            result.task,
+                            result.worker,
+                            error=f"on_result {type(exc).__name__}: {exc}",
+                            attempts=result.attempts,
+                        )
+                stats.checkpoint_seconds += time.perf_counter() - t0
+            results.append(result)
+            stats.completed += result.ok
+            stats.failed += not result.ok
+            stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
+
+        groups: dict[str, list[Task]] = {}
+        for task in tasks:
+            groups.setdefault(task.data_id, []).append(task)
+        # One process per datum group: the first task in a group pays
+        # the load (miss), the rest share it (hits).
+        for group in groups.values():
+            stats.locality_misses += 1
+            stats.locality_hits += len(group) - 1
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+        id_counter = ctx.Value("i", 0)
+        pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=ctx,
+            initializer=_process_worker_init,
+            initargs=(worker_init, None if worker_init is not None else task_fn, id_counter),
+        )
+        try:
+            futures = {}
+            for group in groups.values():
+                fut = pool.submit(_process_run_group, group)
+                futures[fut] = (group, time.perf_counter())
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    group, submitted = futures.pop(fut)
+                    wall = time.perf_counter() - submitted
+                    try:
+                        outcomes = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - pool-level fault
+                        outcomes = [
+                            (-1, None, f"{type(exc).__name__}: {exc}", 0.0)
+                            for _ in group
+                        ]
+                    exec_total = 0.0
+                    for task, (wid, payload, error, exec_s) in zip(group, outcomes):
+                        exec_total += exec_s
+                        stats.execute_seconds += exec_s
+                        key = task.key()
+                        attempts[key] += 1
+                        if error is not None and attempts[key] <= self.max_retries:
+                            stats.retries += 1
+                            # A retry lands on whichever process is free
+                            # next; resubmitted as its own (re-load) group.
+                            stats.locality_misses += 1
+                            retry = pool.submit(_process_run_group, [task])
+                            futures[retry] = ([task], time.perf_counter())
+                        else:
+                            finish(
+                                TaskResult(
+                                    task, wid, payload=payload, error=error,
+                                    attempts=attempts[key],
+                                )
+                            )
+                    # Queue wait: turnaround the group spent outside its
+                    # own execution (pool backlog + transfer).
+                    stats.queue_wait_seconds += max(wall - exec_total, 0.0)
+        finally:
+            pool.shutdown(wait=True)
+        return results, stats
+
+
+# -- process-engine worker side (module level: must be picklable) --------------
+
+_WORKER_FN: Callable[[Task, int], dict[str, Any]] | None = None
+_WORKER_ID: int = -1
+
+
+def _process_worker_init(worker_init, task_fn, id_counter) -> None:
+    """Runs once in each worker process: build the task function there."""
+    global _WORKER_FN, _WORKER_ID
+    with id_counter.get_lock():
+        _WORKER_ID = int(id_counter.value)
+        id_counter.value += 1
+    _WORKER_FN = worker_init() if worker_init is not None else task_fn
+
+
+def _process_run_group(group: list[Task]) -> list[tuple[int, dict[str, Any] | None, str | None, float]]:
+    """Execute one datum's tasks sequentially in a worker process."""
+    out: list[tuple[int, dict[str, Any] | None, str | None, float]] = []
+    for task in group:
+        t0 = time.perf_counter()
+        try:
+            payload = _WORKER_FN(task, _WORKER_ID)
+            out.append((_WORKER_ID, payload, None, time.perf_counter() - t0))
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            out.append(
+                (_WORKER_ID, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - t0)
+            )
+    return out
 
 
 class FaultInjector:

@@ -47,6 +47,10 @@ class MemoryCache(StackedDataset):
         self.misses += 1
         data = self.inner.load_data(index)
         if data.nbytes <= self.capacity_bytes:
+            # The cached buffer is shared by every later hit: freeze it
+            # so a caller mutating its copy of "the data" raises loudly
+            # instead of silently corrupting all subsequent loads.
+            data.array.setflags(write=False)
             self._store[index] = data
             self._held += data.nbytes
             while self._held > self.capacity_bytes and self._store:

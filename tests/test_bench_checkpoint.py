@@ -78,6 +78,27 @@ class TestCheckpointStore:
         assert out["arr"] == [0, 1, 2]
         assert out["nan"] is None
 
+    def test_nan_uniform_across_spellings(self):
+        """numpy-scalar NaN and Python NaN must round-trip identically
+        (both null), including NaN nested inside arrays."""
+        store = CheckpointStore(":memory:")
+        store.put(
+            "a",
+            {
+                "np_nan": np.float64("nan"),
+                "np32_nan": np.float32("nan"),
+                "py_nan": float("nan"),
+                "arr_with_nan": np.array([1.0, float("nan"), 3.0]),
+                "nested": [np.float32("nan"), {"x": np.float64("nan")}],
+            },
+        )
+        out = store.get("a")
+        assert out["np_nan"] is None
+        assert out["np32_nan"] is None
+        assert out["py_nan"] is None
+        assert out["arr_with_nan"] == [1.0, None, 3.0]
+        assert out["nested"] == [None, {"x": None}]
+
     def test_query_by_hashes(self):
         store = CheckpointStore(":memory:")
         store.put("a", {"v": 1}, compressor_hash="c1", dataset_hash="d1")
@@ -102,3 +123,72 @@ class TestCheckpointStore:
         monkeypatch.setattr(ck, "HASH_VERSION", 999)
         with pytest.raises(RuntimeError, match="hash version"):
             CheckpointStore(path)
+
+
+class TestBufferedFlush:
+    def test_batches_commits(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "b.db"), flush_every=8)
+        base = store.commit_count
+        for i in range(20):
+            store.put(f"k{i}", {"v": i})
+        assert store.commit_count - base == 2  # two full batches, tail buffered
+        store.flush()
+        assert store.commit_count - base == 3
+
+    def test_buffered_results_visible_to_reads(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "b.db"), flush_every=100)
+        store.put("a", {"v": 1})
+        assert store.has("a")
+        assert store.get("a") == {"v": 1}
+        assert store.pending(["a", "b"]) == ["b"]
+        store.put("a", {"v": 2})  # replace while buffered
+        assert store.get("a") == {"v": 2}
+        assert store.count() == 1  # count flushes first, still one row
+
+    def test_put_many_single_commit(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "m.db"))
+        base = store.commit_count
+        store.put_many(
+            [{"key": f"k{i}", "payload": {"v": i}, "replicate": i} for i in range(50)]
+        )
+        assert store.commit_count - base == 1
+        assert store.count() == 50
+        assert store.get("k7") == {"v": 7}
+
+    def test_pending_batched_query_matches_per_key(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "p.db"))
+        keys = [f"key-{i:04d}" for i in range(1200)]  # spans >1 IN-chunk
+        store.put_many([{"key": k, "payload": {}} for k in keys[::2]])
+        missing = store.pending(keys)
+        assert missing == keys[1::2]
+
+    def test_flush_on_close_and_on_exception(self, tmp_path):
+        path = str(tmp_path / "f.db")
+        with pytest.raises(RuntimeError):
+            with CheckpointStore(path, flush_every=100) as store:
+                store.put("a", {"v": 1})
+                raise RuntimeError("campaign interrupted")
+        assert CheckpointStore(path).get("a") == {"v": 1}
+
+    def test_crash_before_flush_is_all_or_nothing(self, tmp_path):
+        """A crash loses only the unflushed tail: every committed batch
+        is fully present, the in-flight batch fully absent, and the
+        restarted store reports exactly the lost keys as pending."""
+        path = str(tmp_path / "crash.db")
+        store = CheckpointStore(path, flush_every=10)
+        keys = [f"k{i:02d}" for i in range(25)]
+        for i, k in enumerate(keys):
+            store.put(k, {"v": i})
+        # Simulate the process dying: the connection goes away without
+        # flush() or close() ever running.
+        store._db.close()
+        restarted = CheckpointStore(path)
+        assert restarted.count() == 20
+        assert restarted.pending(keys) == keys[20:]
+        for i, k in enumerate(keys[:20]):
+            assert restarted.get(k) == {"v": i}  # no partial rows
+
+    def test_wal_mode_for_file_stores(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "w.db"))
+        mode = store._db.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"

@@ -70,6 +70,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MedAPE" in out and "szx khan2023" in out
 
+    def test_run_process_engine_with_flush_batching(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--schemes", "tao2019",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--shape", "8", "8", "4",
+                "--timesteps", "1",
+                "--fields", "P", "U",
+                "--folds", "2",
+                "--workers", "2",
+                "--engine", "process",
+                "--flush-every", "4",
+                "--checkpoint", str(tmp_path / "proc.db"),
+                "--queue-stats",
+                "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        records = json.loads(captured.out)
+        assert any(r["method"] == "tao2019" for r in records)
+        assert "queue[process x2]" in captured.err
+        assert "checkpoint=" in captured.err
+
     def test_checkpoint_file_resume(self, tmp_path, capsys):
         argv = [
             "run",

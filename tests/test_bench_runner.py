@@ -93,6 +93,62 @@ class TestCollection:
         runner.collect(task_fn=counting)
         assert len(calls) == first  # nothing re-ran
 
+    def test_nbytes_respects_dtype(self):
+        """The scheduler's byte estimate must honor the entry dtype —
+        4 bytes/element was hardcoded before."""
+        from repro.core.data import PressioData
+        from repro.dataset.base import DatasetPlugin
+
+        class TypedDataset(DatasetPlugin):
+            id = "typed"
+            dtypes = ("float64", "int16", "float32")
+
+            def __len__(self):
+                return len(self.dtypes)
+
+            def load_metadata(self, index):
+                return {
+                    "data_id": f"typed/{index}",
+                    "shape": (4, 4, 2),
+                    "dtype": self.dtypes[index],
+                }
+
+            def load_data(self, index):
+                return PressioData(
+                    np.zeros((4, 4, 2), dtype=self.dtypes[index]),
+                    metadata=self.load_metadata(index),
+                )
+
+        runner = ExperimentRunner(
+            TypedDataset(), compressors=("szx",), bounds=(1e-4,), schemes=()
+        )
+        tasks = runner.build_tasks()
+        by_id = {t.data_id: t.nbytes for t in tasks}
+        assert by_id["typed/0"] == 4 * 4 * 2 * 8  # float64
+        assert by_id["typed/1"] == 4 * 4 * 2 * 2  # int16
+        assert by_id["typed/2"] == 4 * 4 * 2 * 4  # float32
+
+    def test_process_engine_collection(self, tmp_path):
+        """Collection through worker processes: per-worker dataset init,
+        checkpoint writes in the parent, buffered flush."""
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0, 12], fields=["P", "U"])
+        store = CheckpointStore(str(tmp_path / "proc.db"), flush_every=4)
+        runner = ExperimentRunner(
+            ds,
+            compressors=("szx",),
+            bounds=(1e-4,),
+            schemes=("tao2019",),
+            store=store,
+            queue=TaskQueue(2, "process"),
+        )
+        obs, stats = runner.collect()
+        assert stats.failed == 0
+        assert len(obs) == 4
+        assert len(stats.per_worker) >= 1
+        # The flush at the end of collect() made everything durable.
+        reopened = CheckpointStore(str(tmp_path / "proc.db"))
+        assert reopened.count() == 4
+
     def test_fault_injection_with_retry_completes(self):
         ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P", "U", "TC"])
         runner = ExperimentRunner(

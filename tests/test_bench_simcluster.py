@@ -69,6 +69,32 @@ class TestSimulatedCluster:
         busy = report.total_load_seconds + report.total_compute_seconds
         assert report.makespan >= busy / 2 - 1e-9
 
+    def test_checkpoint_cost_batched_by_flush_interval(self):
+        tasks = make_tasks(n_data=4, per_data=4)  # 16 tasks
+        per_task = SimulatedCluster(2, checkpoint_seconds=0.01, flush_every=1).run(
+            tasks, lambda t: CONST_COST
+        )
+        batched = SimulatedCluster(2, checkpoint_seconds=0.01, flush_every=8).run(
+            make_tasks(n_data=4, per_data=4), lambda t: CONST_COST
+        )
+        assert per_task.checkpoint_commits == 16
+        assert batched.checkpoint_commits == 2
+        assert batched.total_checkpoint_seconds < per_task.total_checkpoint_seconds
+        assert batched.makespan < per_task.makespan
+
+    def test_checkpoint_tail_flush_counted(self):
+        tasks = make_tasks(n_data=1, per_data=5)  # 5 tasks, interval 4
+        report = SimulatedCluster(1, checkpoint_seconds=0.01, flush_every=4).run(
+            tasks, lambda t: CONST_COST
+        )
+        assert report.checkpoint_commits == 2  # one full batch + the tail
+        assert report.total_checkpoint_seconds == pytest.approx(0.02)
+
+    def test_no_checkpoint_cost_by_default(self):
+        report = SimulatedCluster(2).run(make_tasks(2, 2), lambda t: CONST_COST)
+        assert report.checkpoint_commits == 0
+        assert report.total_checkpoint_seconds == 0.0
+
     def test_load_cost_model(self):
         cluster = SimulatedCluster(1, load_bandwidth=1e9, load_latency=0.01)
         task = make_tasks(1, 1, nbytes=10**9)[0]

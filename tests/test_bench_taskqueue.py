@@ -1,5 +1,6 @@
 """Tests for the task queue: locality scheduling, retries, fault injection."""
 
+import threading
 from collections import deque
 
 import pytest
@@ -91,6 +92,163 @@ class TestTaskQueue:
     def test_single_worker_forces_serial(self):
         q = TaskQueue(1, "thread")
         assert q.engine == "serial"
+
+
+class TestQueueStress:
+    """Worker-coordination races the condvar dispatcher must not have.
+
+    Before the rework, (a) workers exited as soon as the pending deque
+    drained, even while a task executing elsewhere could fail and need
+    them, and (b) the "allow anyway" fallback let a task retry on the
+    very worker it failed on while other workers were still live."""
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_transient_faults_complete_exactly_once(self, workers):
+        tasks = make_tasks(n_data=6, per_data=4)
+        attempt_log: list[tuple[str, int]] = []
+        log_lock = threading.Lock()
+
+        def traced(task, worker):
+            with log_lock:
+                attempt_log.append((task.key(), worker))
+            return {"ok": 1}
+
+        fn = FaultInjector(traced, fail_first_attempt_every=3)
+        results, stats = TaskQueue(workers, "thread", max_retries=3).run(tasks, fn)
+        assert stats.failed == 0
+        assert stats.completed == len(tasks)
+        keys = [r.task.key() for r in results]
+        assert sorted(keys) == sorted(t.key() for t in tasks)  # exactly once
+        assert len(set(keys)) == len(tasks)
+        assert stats.retries == fn.injected > 0
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_exclusion_honored_while_alternatives_exist(self, workers):
+        """A retry never lands on the worker it failed on when another
+        live worker exists — guaranteed, not just likely, because no
+        worker exits while a retry is queued or a task is in flight."""
+        tasks = make_tasks(n_data=5, per_data=4)
+        per_key_workers: dict[str, list[int]] = {}
+        log_lock = threading.Lock()
+        inject = FaultInjector(lambda t, w: {"ok": 1}, fail_first_attempt_every=4)
+
+        def traced(task, worker):
+            with log_lock:
+                per_key_workers.setdefault(task.key(), []).append(worker)
+            return inject(task, worker)
+
+        results, stats = TaskQueue(workers, "thread", max_retries=2).run(tasks, traced)
+        assert stats.failed == 0 and stats.retries > 0
+        assert stats.exclusion_overrides == 0
+        for key, attempt_workers in per_key_workers.items():
+            if len(attempt_workers) > 1:
+                assert attempt_workers[1] != attempt_workers[0], (
+                    f"retry of {key[:8]} reran on failed worker {attempt_workers[0]}"
+                )
+
+    def test_worker_waits_for_inflight_retry(self):
+        """The drained worker must wait for the in-flight task: if it
+        exited (the old race), the failure could only retry on the
+        worker it failed on."""
+        tasks = make_tasks(n_data=5, per_data=1)
+        slow_key = tasks[0].key()
+        others_done = threading.Event()
+        done_count = [0]
+        lock = threading.Lock()
+        attempt_workers: dict[str, list[int]] = {}
+
+        def fn(task, worker):
+            with lock:
+                attempt_workers.setdefault(task.key(), []).append(worker)
+            if task.key() == slow_key and len(attempt_workers[slow_key]) == 1:
+                # Fail only after every other task has completed, so the
+                # retry can only be served by a worker that waited.
+                assert others_done.wait(timeout=30)
+                raise TaskFailedError("late transient fault", task_key=task.key())
+            with lock:
+                done_count[0] += 1
+                if done_count[0] == len(tasks) - 1:
+                    others_done.set()
+            return {"ok": 1}
+
+        results, stats = TaskQueue(2, "thread", max_retries=2).run(tasks, fn)
+        assert stats.failed == 0 and stats.completed == len(tasks)
+        assert len(attempt_workers[slow_key]) == 2
+        first, second = attempt_workers[slow_key]
+        assert second != first
+
+    def test_exclusion_lifted_only_when_no_alternative(self):
+        """A task that failed on every worker may retry anywhere (the
+        only sanctioned override), instead of deadlocking."""
+        tasks = make_tasks(n_data=2, per_data=1)
+        bad_key = tasks[0].key()
+        fails = [0]
+
+        def fn(task, worker):
+            if task.key() == bad_key and fails[0] < 2:
+                fails[0] += 1
+                raise TaskFailedError("fails everywhere once", task_key=task.key())
+            return {"ok": 1}
+
+        results, stats = TaskQueue(2, "thread", max_retries=3).run(tasks, fn)
+        assert stats.failed == 0 and stats.completed == 2
+        assert stats.retries == 2
+
+    def test_process_engine_completes_all(self):
+        tasks = make_tasks(n_data=4, per_data=3)
+        results, stats = TaskQueue(2, "process").run(tasks, _echo_worker)
+        assert stats.failed == 0 and stats.completed == len(tasks)
+        assert {r.task.key() for r in results} == {t.key() for t in tasks}
+        assert all(r.payload["w"] == r.worker for r in results)
+
+    def test_process_engine_retries_transient_failures(self):
+        tasks = make_tasks(n_data=3, per_data=2)
+        results, stats = TaskQueue(2, "process", max_retries=2).run(
+            tasks, _flaky_worker
+        )
+        assert stats.failed == 0 and stats.completed == len(tasks)
+        assert stats.retries >= 1
+
+    def test_process_engine_worker_init(self):
+        tasks = make_tasks(n_data=3, per_data=2)
+        results, stats = TaskQueue(2, "process").run(
+            tasks, None, worker_init=_make_echo_worker
+        )
+        assert stats.failed == 0 and stats.completed == len(tasks)
+
+    def test_timing_buckets_accumulate(self):
+        tasks = make_tasks(n_data=2, per_data=2)
+        _, stats = TaskQueue(2, "thread").run(
+            tasks, lambda t, w: {"ok": 1}, on_result=lambda r: None
+        )
+        summary = stats.stage_summary()
+        assert set(summary) == {"queue_wait", "execute", "checkpoint"}
+        assert summary["execute"] > 0
+        assert all(v >= 0 for v in summary.values())
+
+    def test_run_requires_a_task_function(self):
+        with pytest.raises(ValueError):
+            TaskQueue(1, "serial").run([], None)
+
+
+def _echo_worker(task, worker):
+    """Module-level so the process engine can pickle it."""
+    return {"w": worker, "d": task.data_id}
+
+
+_FLAKY_FAILED = set()
+
+
+def _make_echo_worker():
+    return _echo_worker
+
+
+def _flaky_worker(task, worker):
+    """Fails each data/0 task's first attempt in a given process."""
+    if task.data_id == "data/0" and task.key() not in _FLAKY_FAILED:
+        _FLAKY_FAILED.add(task.key())
+        raise TaskFailedError("transient process fault", task_key=task.key())
+    return {"w": worker}
 
 
 class TestFaultInjector:

@@ -122,6 +122,21 @@ class TestCaches:
         cache.load_data(0)
         assert cache.hits == 0 and cache.misses == 3
 
+    def test_memory_cache_entries_immune_to_caller_mutation(self, tiny_hurricane):
+        """Cached entries are shared by reference across hits: a caller
+        mutating the array would corrupt every later load.  The cache
+        freezes its entries so the mutation raises instead."""
+        cache = MemoryCache(tiny_hurricane, capacity_bytes=1 << 24)
+        first = cache.load_data(0)
+        pristine = first.array.copy()
+        with pytest.raises(ValueError):
+            first.array[...] = -1.0
+        again = cache.load_data(0)
+        assert np.array_equal(again.array, pristine)
+        # Entries too large to cache stay writable (not shared).
+        huge = MemoryCache(tiny_hurricane, capacity_bytes=1)
+        assert huge.load_data(0).array.flags.writeable
+
     def test_local_cache_spills_and_restores(self, tmp_path, tiny_hurricane):
         cache = LocalCache(tiny_hurricane, cache_dir=str(tmp_path / "spill"))
         a = cache.load_data(0)
