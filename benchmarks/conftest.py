@@ -70,6 +70,6 @@ def runner(hurricane, tmp_path_factory) -> ExperimentRunner:
 @pytest.fixture(scope="session")
 def observations(runner):
     """Collected ground truth + scheme metrics for the whole campaign."""
-    obs, stats = runner.collect()
+    obs, stats, _ = runner.collect()
     assert stats.failed == 0, "collection tasks failed"
     return obs

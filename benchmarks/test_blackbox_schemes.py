@@ -42,7 +42,7 @@ def blackbox_runner(hurricane, tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def blackbox_obs(blackbox_runner):
-    obs, stats = blackbox_runner.collect()
+    obs, stats, _ = blackbox_runner.collect()
     assert stats.failed == 0
     return obs
 

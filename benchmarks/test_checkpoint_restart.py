@@ -74,7 +74,7 @@ def test_restart_replays_only_missing(benchmark, small_runner):
     faulty = FaultInjector(small_runner.run_task, poison_keys=poison)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", UserWarning)
-        _, stats1 = small_runner.collect(task_fn=faulty)
+        _, stats1, _ = small_runner.collect(task_fn=faulty)
     assert stats1.failed == len(poison)
 
     executed = []
@@ -85,7 +85,7 @@ def test_restart_replays_only_missing(benchmark, small_runner):
 
     def restart():
         executed.clear()
-        obs, stats = small_runner.collect(task_fn=counting)
+        obs, stats, _ = small_runner.collect(task_fn=counting)
         return obs, stats
 
     obs, stats2 = benchmark.pedantic(restart, rounds=1, iterations=1)

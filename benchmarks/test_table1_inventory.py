@@ -94,7 +94,7 @@ def test_full_inventory_on_hurricane(benchmark, hurricane, tmp_path_factory):
     )
 
     def run():
-        obs, stats = runner.collect()
+        obs, stats, _ = runner.collect()
         assert stats.failed == 0
         return runner.table2(obs)
 

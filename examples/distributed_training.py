@@ -52,18 +52,18 @@ def main() -> None:
         )
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", UserWarning)  # failures are the point
-            _, stats = runner.collect(task_fn=faulty)
+            _, stats, _ = runner.collect(task_fn=faulty)
         print(f"first run : {stats.completed} ok, {stats.failed} failed, "
               f"{stats.retries} retries, checkpoint holds {store.count()} rows")
 
         # -- 2. the restart: only the poisoned keys re-run ------------------
-        _, stats2 = runner.collect()  # no fault injection this time
+        _, stats2, _ = runner.collect()  # no fault injection this time
         print(f"restart   : re-ran {stats2.completed} missing tasks "
               f"(locality rate {stats2.locality_rate:.0%}); "
               f"checkpoint now {store.count()} rows")
 
         # -- 3. evaluate & report ------------------------------------------
-        obs, _ = runner.collect()
+        obs, _, _ = runner.collect()
         rows = runner.table2(obs)
         print()
         print(format_table2(rows, title="Hurricane (synthetic) — Table-2 layout"))

@@ -8,18 +8,23 @@ producing Table-2-shaped results under k-fold cross-validation.
 """
 
 from .checkpoint import CheckpointStore
+from .faults import CHAOS_CLASSES, ChaosPlan, FaultInjector, RetryPolicy
 from .report import format_table2, rows_to_records
-from .runner import ExperimentRunner, StageStat, Table2Row
+from .runner import CollectionResult, ExperimentRunner, StageStat, Table2Row
 from .simcluster import SimReport, SimulatedCluster, scaling_sweep
 from .tasks import Task, precompute_keys
-from .taskqueue import FaultInjector, LocalityScheduler, QueueStats, TaskQueue, TaskResult
+from .taskqueue import LocalityScheduler, QueueStats, TaskQueue, TaskResult
 
 __all__ = [
+    "CHAOS_CLASSES",
+    "ChaosPlan",
     "CheckpointStore",
+    "CollectionResult",
     "ExperimentRunner",
     "FaultInjector",
     "LocalityScheduler",
     "QueueStats",
+    "RetryPolicy",
     "SimReport",
     "SimulatedCluster",
     "StageStat",

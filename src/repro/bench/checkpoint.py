@@ -24,6 +24,7 @@ which makes the commit itself cheaper and lets readers overlap writers.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sqlite3
@@ -31,6 +32,7 @@ import threading
 import time
 from typing import Any, Iterable, Mapping
 
+from ..core.errors import is_permanent_status
 from ..core.hashing import HASH_VERSION
 
 _SCHEMA = """
@@ -45,17 +47,36 @@ CREATE TABLE IF NOT EXISTS results (
     experiment_hash TEXT NOT NULL,
     replicate INTEGER NOT NULL,
     payload TEXT NOT NULL,
-    created_at REAL NOT NULL
+    created_at REAL NOT NULL,
+    checksum TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_results_parts
     ON results (compressor_hash, dataset_hash, experiment_hash);
+CREATE TABLE IF NOT EXISTS failures (
+    key TEXT PRIMARY KEY,
+    error TEXT NOT NULL,
+    status INTEGER NOT NULL,
+    attempts INTEGER NOT NULL,
+    updated_at REAL NOT NULL
+);
 """
 
 _INSERT_SQL = (
     "INSERT OR REPLACE INTO results "
     "(key, compressor_hash, dataset_hash, experiment_hash, replicate,"
-    " payload, created_at) VALUES (?,?,?,?,?,?,?)"
+    " payload, created_at, checksum) VALUES (?,?,?,?,?,?,?,?)"
 )
+
+
+def payload_checksum(payload_json: str) -> str:
+    """Content checksum of one serialised payload.
+
+    Stored alongside the row and re-derived by :meth:`CheckpointStore.verify`
+    — a mismatch means the payload bytes changed after they were hashed
+    (torn write, bit rot, external tampering), so the row cannot be
+    trusted and must be recomputed.
+    """
+    return hashlib.sha256(payload_json.encode("utf-8")).hexdigest()[:16]
 
 #: SQLite's default variable limit is 999; stay under it when batching
 #: ``WHERE key IN (...)`` lookups.
@@ -123,7 +144,23 @@ class CheckpointStore:
             self._db.execute("PRAGMA journal_mode=WAL")
             self._db.execute("PRAGMA synchronous=NORMAL")
         self._db.executescript(_SCHEMA)
+        self._migrate_schema()
         self._check_hash_version()
+
+    def _migrate_schema(self) -> None:
+        """Bring pre-integrity databases up to the current schema.
+
+        Older checkpoints lack the ``checksum`` column; they gain it with
+        an empty default, and :meth:`verify` backfills checksums for rows
+        whose payload still parses (so legacy rows are not punished, only
+        actually-corrupt ones).
+        """
+        cols = {row[1] for row in self._db.execute("PRAGMA table_info(results)")}
+        if "checksum" not in cols:
+            self._db.execute(
+                "ALTER TABLE results ADD COLUMN checksum TEXT NOT NULL DEFAULT ''"
+            )
+            self._db.commit()
 
     def _check_hash_version(self) -> None:
         """Refuse to mix checkpoints written under a different canonical
@@ -153,14 +190,16 @@ class CheckpointStore:
         experiment_hash: str,
         replicate: int,
     ) -> tuple:
+        payload_json = json.dumps(_jsonable(dict(payload)))
         return (
             key,
             compressor_hash,
             dataset_hash,
             experiment_hash,
             replicate,
-            json.dumps(_jsonable(dict(payload))),
+            payload_json,
             time.time(),
+            payload_checksum(payload_json),
         )
 
     def put(
@@ -303,6 +342,134 @@ class CheckpointStore:
             cur = self._db.execute(f"SELECT payload FROM results{where}", args)
             rows = cur.fetchall()
         return [json.loads(row[0]) for row in rows]
+
+    def keys(self) -> list[str]:
+        """All committed (and buffered) result keys."""
+        with self._lock:
+            out = list(self._buffer)
+            cur = self._db.execute("SELECT key FROM results ORDER BY key")
+            seen = set(out)
+            out.extend(row[0] for row in cur.fetchall() if row[0] not in seen)
+        return out
+
+    # -- integrity ---------------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Audit every committed row's payload against its checksum.
+
+        Corrupt rows (checksum mismatch, or a legacy checksum-less row
+        whose payload no longer parses as JSON) are quarantined: deleted
+        from ``results`` so their keys surface in :meth:`pending` and a
+        restart recomputes them.  Legacy rows that still parse are
+        backfilled with a checksum instead.  Returns the quarantined
+        keys.
+        """
+        self.flush()
+        corrupt: list[str] = []
+        backfill: list[tuple[str, str]] = []
+        with self._lock:
+            cur = self._db.execute("SELECT key, payload, checksum FROM results")
+            for key, payload_json, checksum in cur.fetchall():
+                if checksum:
+                    if payload_checksum(payload_json) != checksum:
+                        corrupt.append(key)
+                    continue
+                try:
+                    json.loads(payload_json)
+                except (TypeError, ValueError):
+                    corrupt.append(key)
+                else:
+                    backfill.append((payload_checksum(payload_json), key))
+            if backfill:
+                self._db.executemany(
+                    "UPDATE results SET checksum=? WHERE key=?", backfill
+                )
+            for i in range(0, len(corrupt), _IN_CHUNK):
+                chunk = corrupt[i : i + _IN_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                self._db.execute(
+                    f"DELETE FROM results WHERE key IN ({marks})", chunk
+                )
+            if backfill or corrupt:
+                self._db.commit()
+        return corrupt
+
+    def corrupt_rows(self, keys: Iterable[str]) -> int:
+        """Chaos hook: overwrite committed payloads *without* refreshing
+        the checksum, simulating at-rest corruption that :meth:`verify`
+        must catch.  Returns the number of rows damaged."""
+        self.flush()
+        damaged = 0
+        with self._lock:
+            for key in keys:
+                cur = self._db.execute(
+                    "UPDATE results SET payload=? WHERE key=?",
+                    ('{"corrupted": tru', key),
+                )
+                damaged += cur.rowcount
+            self._db.commit()
+        return damaged
+
+    # -- failure ledger ----------------------------------------------------------
+    def record_failure(
+        self, key: str, error: str, *, status: int = 1, attempts: int = 1
+    ) -> None:
+        """Persist a task's final failure so the campaign record is
+        inspectable after the process exits (``collect()`` returns these,
+        ``report --failures`` prints them) and resumes can skip tasks
+        whose failure is permanent."""
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO failures "
+                "(key, error, status, attempts, updated_at) VALUES (?,?,?,?,?)",
+                (key, error, int(status), int(attempts), time.time()),
+            )
+            self._db.commit()
+
+    def clear_failures(self, keys: Iterable[str]) -> None:
+        """Drop ledger entries (e.g. once the task finally succeeded)."""
+        chunk_src = list(keys)
+        if not chunk_src:
+            return
+        with self._lock:
+            for i in range(0, len(chunk_src), _IN_CHUNK):
+                chunk = chunk_src[i : i + _IN_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                self._db.execute(
+                    f"DELETE FROM failures WHERE key IN ({marks})", chunk
+                )
+            self._db.commit()
+
+    def failures(self) -> list[dict[str, Any]]:
+        """Every recorded failure, most recent first."""
+        with self._lock:
+            cur = self._db.execute(
+                "SELECT key, error, status, attempts, updated_at FROM failures "
+                "ORDER BY updated_at DESC, key"
+            )
+            rows = cur.fetchall()
+        return [
+            {
+                "key": key,
+                "error": error,
+                "status": int(status),
+                "attempts": int(attempts),
+                "updated_at": float(updated_at),
+            }
+            for key, error, status, attempts, updated_at in rows
+        ]
+
+    def failed_keys(self) -> set[str]:
+        with self._lock:
+            cur = self._db.execute("SELECT key FROM failures")
+            return {row[0] for row in cur.fetchall()}
+
+    def poison_keys(self) -> set[str]:
+        """Keys whose recorded failure is *permanent* — a resume skips
+        these instead of re-running a task that can never succeed."""
+        with self._lock:
+            cur = self._db.execute("SELECT key, status FROM failures")
+            rows = cur.fetchall()
+        return {key for key, status in rows if is_permanent_status(status)}
 
     def close(self) -> None:
         try:

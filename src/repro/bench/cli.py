@@ -23,6 +23,7 @@ from ..core.compressor import compressor_registry
 from ..dataset.hurricane import HurricaneDataset
 from ..predict.scheme import available_schemes
 from .checkpoint import CheckpointStore
+from .faults import ChaosPlan, RetryPolicy
 from .report import format_table2, rows_to_records
 from .runner import ExperimentRunner
 from .taskqueue import TaskQueue
@@ -73,6 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="interpret bounds as absolute instead of range-relative",
     )
+    run.add_argument(
+        "--max-retries", type=int, default=2,
+        help="extra attempts per task after a transient failure "
+        "(permanent failures are quarantined immediately)",
+    )
+    run.add_argument(
+        "--retry-base-delay", type=float, default=0.0,
+        help="first-retry backoff in seconds (0 retries immediately); "
+        "subsequent retries back off exponentially with seeded jitter",
+    )
+    run.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-task deadline in seconds; overdue thread tasks are "
+        "abandoned by a watchdog, overdue process groups recycle the pool",
+    )
+    run.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject seeded faults during collection, e.g. "
+        "'crash:0.1,hang:0.05,exception:0.2,corrupt:0.1,sink:0.1' "
+        "(bare class name = rate 1.0); after the chaotic pass the run "
+        "verifies the checkpoint and re-collects to prove recovery",
+    )
+    run.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the deterministic chaos plan (same seed + spec "
+        "=> same faults on the same tasks)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -86,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--protocol", choices=["out_of_sample", "in_sample"],
                         default="out_of_sample")
     report.add_argument("--json", action="store_true")
+    report.add_argument(
+        "--failures", action="store_true",
+        help="also print the checkpoint's persistent failure ledger "
+        "(task key, error, status, attempts)",
+    )
 
     sub.add_parser("list-schemes", help="enumerate registered schemes")
     sub.add_parser("list-compressors", help="enumerate registered compressors")
@@ -122,6 +155,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         timesteps=args.timesteps,
         fields=args.fields,
     )
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        base_delay=args.retry_base_delay,
+        seed=args.chaos_seed,
+    )
     runner = ExperimentRunner(
         dataset,
         compressors=args.compressors,
@@ -129,19 +167,57 @@ def cmd_run(args: argparse.Namespace) -> int:
         schemes=args.schemes,
         relative_bounds=not args.absolute_bounds,
         store=CheckpointStore(args.checkpoint, flush_every=args.flush_every),
-        queue=TaskQueue(args.workers, args.engine),
+        queue=TaskQueue(
+            args.workers,
+            args.engine,
+            retry_policy=policy,
+            task_timeout=args.task_timeout,
+        ),
         n_folds=args.folds,
         protocol=args.protocol,
     )
-    observations, stats = runner.collect()
+    chaos = None
+    if args.chaos:
+        chaos = ChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
+    observations, stats, failures = runner.collect(chaos=chaos)
+    if chaos is not None:
+        # Prove recovery, not just survival: damage the checkpoint as
+        # planned, then re-collect — verify() quarantines corrupt rows
+        # and the queue recomputes whatever the chaotic pass lost.
+        corrupted = chaos.corrupt_checkpoint(runner.store)
+        observations, recovery_stats, failures = runner.collect()
+        fired = ",".join(
+            f"{kind}={n}" for kind, n in chaos.injected_counts().items() if n
+        )
+        print(
+            f"chaos[seed={args.chaos_seed}] injected {fired or 'nothing'} "
+            f"corrupted={len(corrupted)} "
+            f"recovery: completed={recovery_stats.completed} "
+            f"failed={recovery_stats.failed}",
+            file=sys.stderr,
+        )
     if args.queue_stats:
         stages = " ".join(
             f"{name}={seconds:.3f}s" for name, seconds in stats.stage_summary().items()
         )
+        engine = stats.engine or runner.queue.engine
+        requested = (
+            f" (requested {stats.requested_engine})"
+            if stats.requested_engine and stats.requested_engine != engine
+            else ""
+        )
         print(
-            f"queue[{runner.queue.engine} x{runner.queue.n_workers}] "
+            f"queue[{engine}{requested} x{runner.queue.n_workers}] "
             f"{stages} locality={stats.locality_rate:.0%} "
-            f"retries={stats.retries} commits={runner.store.commit_count}",
+            f"retries={stats.retries} quarantined={stats.quarantined} "
+            f"timeouts={stats.timeouts} pool_rebuilds={stats.pool_rebuilds} "
+            f"commits={runner.store.commit_count}",
+            file=sys.stderr,
+        )
+    for failure in failures:
+        print(
+            f"failed[{failure.status}] {failure.task.key()} "
+            f"after {failure.attempts} attempt(s): {failure.error}",
             file=sys.stderr,
         )
     rows = runner.table2(observations)
@@ -164,6 +240,16 @@ def cmd_report(args: argparse.Namespace) -> int:
     from ..dataset.synthetic import SyntheticDataset
 
     store = CheckpointStore(args.checkpoint)
+    if args.failures:
+        ledger = store.failures()
+        if not ledger:
+            print("no recorded failures", file=sys.stderr)
+        for entry in ledger:
+            print(
+                f"failed[{entry['status']}] {entry['key']} "
+                f"after {entry['attempts']} attempt(s): {entry['error']}",
+                file=sys.stderr,
+            )
     observations = store.query()
     if not observations:
         print(f"checkpoint {args.checkpoint!r} holds no observations")

@@ -1,0 +1,361 @@
+"""Fault-domain supervision: retry policies and the chaos harness.
+
+The paper motivates LibPressio-Predict-Bench with *resilience* — §4.3's
+checkpointing exists "in the case of failures", and the failures it has
+in mind are real: the external SECRE/FXRZ metric bridges crash, hang,
+and misreport.  This module gives the harness a vocabulary for those
+fault classes:
+
+* :class:`RetryPolicy` — how many times to retry, with what backoff, and
+  which :class:`~repro.core.errors.Status` codes are *permanent* (a task
+  asking for an unsupported scheme will never succeed; quarantine it on
+  the first failure instead of burning attempts);
+* :class:`FaultInjector` — the original single-class injector (transient
+  exceptions + always-failing poison keys), kept for targeted tests;
+* :class:`ChaosPlan` — the multi-class, seeded chaos harness: worker
+  crashes (``os._exit``), hangs, checkpoint payload corruption, and
+  result-sink failures, each fired deterministically per task key and at
+  most once (injection markers survive worker-process death, so a
+  crashed-and-rebuilt pool does not crash-loop on the same task).
+
+Determinism: every injection decision is a pure function of
+``(seed, fault class, task key)``; two runs with the same seed inject
+the same faults into the same tasks regardless of scheduling order,
+worker count, or engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from ..core.errors import PERMANENT_STATUSES, TaskFailedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .tasks import Task
+
+
+def _stable_unit_interval(*parts: Any) -> float:
+    """A deterministic draw in [0, 1) from hashed parts.
+
+    Python's ``hash()`` is salted per process; worker processes must
+    agree with the parent on every injection decision, so draws go
+    through SHA-256 instead.
+    """
+    digest = hashlib.sha256(":".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to retry a failed task.
+
+    Replaces the queue's bare ``max_retries`` counter with per-class
+    behaviour:
+
+    * *transient* failures (generic errors, timeouts, crashed workers)
+      are retried up to ``max_retries`` extra attempts, with exponential
+      backoff and deterministic seeded jitter;
+    * *permanent* failures (``UNSUPPORTED``, ``INVALID_OPTION``, …) are
+      quarantined immediately — the configuration is wrong, not the
+      execution, so no retry can succeed.
+
+    ``base_delay=0`` (the default) disables backoff sleeping entirely,
+    preserving the historical retry-immediately behaviour for tests and
+    fast in-memory campaigns.
+    """
+
+    max_retries: int = 2
+    #: First-retry delay in seconds; 0 retries immediately.
+    base_delay: float = 0.0
+    #: Multiplier applied per additional attempt.
+    backoff: float = 2.0
+    #: Ceiling on any single delay, in seconds.
+    max_delay: float = 30.0
+    #: Jitter amplitude as a fraction of the raw delay (±jitter).
+    jitter: float = 0.1
+    #: Seed for the deterministic jitter draw.
+    seed: int = 0
+    #: Status codes quarantined on first failure.
+    permanent_statuses: frozenset = field(
+        default_factory=lambda: frozenset(int(s) for s in PERMANENT_STATUSES)
+    )
+
+    def is_permanent(self, status: int) -> bool:
+        return int(status) in self.permanent_statuses
+
+    def classify(self, status: int) -> str:
+        """``"permanent"`` or ``"transient"`` for a failure status."""
+        return "permanent" if self.is_permanent(status) else "transient"
+
+    def should_retry(self, status: int, attempts: int) -> bool:
+        """Whether a task with *attempts* completed attempts retries."""
+        return not self.is_permanent(status) and attempts <= self.max_retries
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry *attempt* (1-based) of *key*.
+
+        Exponential in the attempt number, jittered deterministically
+        from ``(seed, key, attempt)`` — a fixed seed reproduces the
+        exact backoff schedule of a previous run.
+        """
+        if self.base_delay <= 0.0:
+            return 0.0
+        raw = min(self.base_delay * self.backoff ** max(attempt - 1, 0), self.max_delay)
+        if self.jitter <= 0.0:
+            return raw
+        frac = _stable_unit_interval(self.seed, key, attempt)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * frac)
+
+
+class FaultInjector:
+    """Deterministically fail chosen (task, attempt) pairs.
+
+    Wraps a task function for the fault-tolerance tests/benches: e.g.
+    ``FaultInjector(fn, fail_first_attempt_every=5)`` makes every fifth
+    task's first attempt raise, exercising retry + checkpoint replay.
+    ``poison_keys`` name tasks that fail on *every* attempt (the
+    always-broken configuration the retry policy must give up on).
+    """
+
+    def __init__(
+        self,
+        task_fn: Callable[["Task", int], dict[str, Any]],
+        *,
+        fail_first_attempt_every: int = 0,
+        poison_keys: set[str] | None = None,
+    ) -> None:
+        self.task_fn = task_fn
+        self.every = int(fail_first_attempt_every)
+        self.poison = poison_keys or set()
+        self.seen: dict[str, int] = defaultdict(int)
+        self.injected = 0
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, task: "Task", worker: int) -> dict[str, Any]:
+        key = task.key()
+        with self._lock:
+            self.seen[key] += 1
+            first = self.seen[key] == 1
+            if first:
+                self._counter += 1
+                nth = self._counter
+            else:
+                nth = 0
+        if key in self.poison:
+            raise TaskFailedError("poisoned task (always fails)", task_key=key)
+        if first and self.every and nth % self.every == 0:
+            self.injected += 1
+            raise TaskFailedError("injected transient fault", task_key=key)
+        return self.task_fn(task, worker)
+
+
+#: Fault classes a :class:`ChaosPlan` can inject.
+CHAOS_CLASSES = ("crash", "hang", "exception", "corrupt", "sink")
+
+
+class ChaosPlan:
+    """Seeded multi-class fault injection for chaos runs.
+
+    Each fault class fires with its own per-task probability, decided
+    deterministically from ``(seed, class, task key)``.  Every selected
+    injection fires **once**: a marker file under ``state_dir`` records
+    it, so the injection survives worker-process death (a crash-injected
+    task must not crash the rebuilt pool again) and resumed campaigns
+    recover instead of re-faulting.
+
+    The plan is picklable — the process engine ships it to worker
+    processes inside ``worker_init`` — and doubles as the task-function
+    wrapper (``plan.bind(fn)``), the result-sink wrapper
+    (``plan.wrap_sink(on_result)``), and the at-rest corruption driver
+    (``plan.corrupt_checkpoint(store)``).
+    """
+
+    def __init__(
+        self,
+        task_fn: Callable[["Task", int], dict[str, Any]] | None = None,
+        *,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        exception_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        sink_rate: float = 0.0,
+        hang_seconds: float = 5.0,
+        state_dir: str | None = None,
+    ) -> None:
+        self.task_fn = task_fn
+        self.seed = int(seed)
+        self.rates = {
+            "crash": float(crash_rate),
+            "hang": float(hang_rate),
+            "exception": float(exception_rate),
+            "corrupt": float(corrupt_rate),
+            "sink": float(sink_rate),
+        }
+        self.hang_seconds = float(hang_seconds)
+        if state_dir is None:
+            state_dir = tempfile.mkdtemp(prefix="chaos-plan-")
+        else:
+            os.makedirs(state_dir, exist_ok=True)
+        self.state_dir = state_dir
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        *,
+        seed: int = 0,
+        hang_seconds: float = 5.0,
+        state_dir: str | None = None,
+    ) -> "ChaosPlan":
+        """Parse ``"crash:0.1,hang:0.05"`` into a plan.
+
+        Classes: ``crash``, ``hang``, ``exception``, ``corrupt``,
+        ``sink``.  A bare class name means rate 1.0.
+        """
+        rates: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, rate = part.partition(":")
+            name = name.strip()
+            if name not in CHAOS_CLASSES:
+                raise ValueError(
+                    f"unknown chaos class {name!r}; choose from {CHAOS_CLASSES}"
+                )
+            rates[name] = float(rate) if rate else 1.0
+        return cls(
+            seed=seed,
+            hang_seconds=hang_seconds,
+            state_dir=state_dir,
+            **{f"{name}_rate": rate for name, rate in rates.items()},
+        )
+
+    # -- deterministic selection -----------------------------------------------
+    def selects(self, kind: str, key: str) -> bool:
+        """Whether *kind* is planned for *key* (ignores fired markers)."""
+        rate = self.rates[kind]
+        if rate <= 0.0:
+            return False
+        return _stable_unit_interval(self.seed, kind, key) < rate
+
+    def _marker(self, kind: str, key: str) -> str:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:20]
+        return os.path.join(self.state_dir, f"{kind}-{digest}")
+
+    def _fire_once(self, kind: str, key: str) -> bool:
+        """True exactly once per selected (kind, key), across processes."""
+        if not self.selects(kind, key):
+            return False
+        try:
+            # O_CREAT|O_EXCL: the marker is the atomic once-only latch.
+            fd = os.open(self._marker(kind, key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def injected_counts(self) -> dict[str, int]:
+        """How many injections of each class have fired so far."""
+        counts = dict.fromkeys(CHAOS_CLASSES, 0)
+        try:
+            names = os.listdir(self.state_dir)
+        except OSError:
+            return counts
+        for name in names:
+            kind = name.split("-", 1)[0]
+            if kind in counts:
+                counts[kind] += 1
+        return counts
+
+    # -- task-function wrapping ------------------------------------------------
+    def bind(self, task_fn: Callable[["Task", int], dict[str, Any]]) -> "ChaosPlan":
+        """A copy of this plan wrapping *task_fn* (shared marker state)."""
+        clone = ChaosPlan(
+            task_fn,
+            seed=self.seed,
+            hang_seconds=self.hang_seconds,
+            state_dir=self.state_dir,
+        )
+        clone.rates = dict(self.rates)
+        return clone
+
+    def __call__(self, task: "Task", worker: int) -> dict[str, Any]:
+        if self.task_fn is None:
+            raise TaskFailedError("ChaosPlan has no task function; use bind()")
+        key = task.key()
+        if self._fire_once("crash", key):
+            # A worker process dying abruptly — skips atexit/finally, the
+            # exact failure mode of a segfaulting metric bridge.  In a
+            # thread or serial engine there is no process to kill safely,
+            # so degrade to an exception (the queue still sees a fault).
+            import multiprocessing
+
+            if multiprocessing.current_process().name != "MainProcess":
+                os._exit(17)
+            raise TaskFailedError("chaos: worker crash (in-process fallback)", task_key=key)
+        if self._fire_once("hang", key):
+            time.sleep(self.hang_seconds)
+        if self._fire_once("exception", key):
+            raise TaskFailedError("chaos: injected exception", task_key=key)
+        return self.task_fn(task, worker)
+
+    # -- sink wrapping -----------------------------------------------------------
+    def wrap_sink(self, on_result: Callable[[Any], None]) -> Callable[[Any], None]:
+        """Wrap a queue ``on_result`` sink with injected sink failures."""
+
+        def chaotic_sink(result: Any) -> None:
+            if result.ok and self._fire_once("sink", result.task.key()):
+                raise TaskFailedError(
+                    "chaos: injected sink failure", task_key=result.task.key()
+                )
+            on_result(result)
+
+        return chaotic_sink
+
+    # -- checkpoint corruption ---------------------------------------------------
+    def corrupt_checkpoint(self, store: Any) -> list[str]:
+        """Corrupt committed payload rows at rest (once per selected key).
+
+        Returns the corrupted keys; ``CheckpointStore.verify()`` must
+        detect every one of them and return the keys to ``pending()``.
+        """
+        store.flush()
+        victims = [
+            key
+            for key in store.keys()
+            if self.selects("corrupt", key) and self._fire_once("corrupt", key)
+        ]
+        if victims:
+            store.corrupt_rows(victims)
+        return victims
+
+
+def chaos_worker_init(
+    worker_init: Callable[[], Callable[["Task", int], dict[str, Any]]],
+    plan: ChaosPlan,
+) -> ChaosPlan:
+    """Rebuild a worker's task function, then wrap it in the chaos plan.
+
+    Module-level so ``functools.partial(chaos_worker_init, wi, plan)``
+    pickles into process-pool workers.
+    """
+    return plan.bind(worker_init())
+
+
+__all__ = [
+    "CHAOS_CLASSES",
+    "ChaosPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "chaos_worker_init",
+]

@@ -24,7 +24,7 @@ import math
 import warnings
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
@@ -36,8 +36,23 @@ from ..mlkit.metrics import medape
 from ..mlkit.model_selection import GroupKFold, KFold
 from ..predict.scheme import SchemePlugin, get_scheme
 from .checkpoint import CheckpointStore
+from .faults import ChaosPlan, chaos_worker_init
 from .tasks import Task, precompute_keys
-from .taskqueue import QueueStats, TaskQueue
+from .taskqueue import QueueStats, TaskQueue, TaskResult
+
+
+class CollectionResult(NamedTuple):
+    """What one :meth:`ExperimentRunner.collect` pass produced.
+
+    ``failures`` carries the full failed :class:`TaskResult` objects (not
+    just a count buried in ``stats``) so callers can programmatically
+    inspect what failed, with which status, after how many attempts —
+    previously failures were dropped after a ``warnings.warn``.
+    """
+
+    observations: list[dict[str, Any]]
+    stats: QueueStats
+    failures: list[TaskResult]
 
 
 @dataclass
@@ -243,21 +258,51 @@ class ExperimentRunner:
             },
         )
 
-    def collect(self, *, task_fn=None) -> tuple[list[dict[str, Any]], QueueStats]:
+    def collect(
+        self,
+        *,
+        task_fn=None,
+        chaos: ChaosPlan | None = None,
+        verify: bool = True,
+        skip_poison: bool = True,
+    ) -> CollectionResult:
         """Run (or resume) the collection phase through the checkpoint.
 
         Tasks whose key is already in the store are *not* re-run — this
         is the fine-grained checkpoint/restart the paper motivates with
-        its fault-prone metric implementations.
+        its fault-prone metric implementations.  Before computing the
+        todo set, the store is audited (``verify=True``): rows whose
+        payload fails its checksum are quarantined and recomputed, so a
+        corrupted checkpoint heals instead of poisoning evaluation.
+        Tasks the failure ledger marks *permanently* failed are skipped
+        on resume (``skip_poison=True``) — re-running a task that can
+        never succeed just burns the campaign's time again.
 
         Checkpoint writes always happen in this process (the queue's
         ``on_result`` sink), so the process engine keeps SQLite
         single-writer; with a buffered store they batch into one commit
         per flush interval, and the tail flushes before returning.
+
+        A :class:`~repro.bench.faults.ChaosPlan` (``chaos=``) wraps the
+        task function (and, on the process engine, the per-worker
+        factory) plus the result sink, injecting its planned faults.
         """
         tasks = self.build_tasks()
         by_key = {t.key(): t for t in tasks}
-        todo = [by_key[k] for k in self.store.pending(by_key.keys())]
+        if verify:
+            corrupted = self.store.verify()
+            if corrupted:
+                warnings.warn(
+                    f"checkpoint verify quarantined {len(corrupted)} corrupt "
+                    "row(s); they will be recomputed",
+                    stacklevel=2,
+                )
+        poison: set[str] = set()
+        if skip_poison:
+            poison = self.store.poison_keys() & by_key.keys()
+        todo = [
+            by_key[k] for k in self.store.pending(by_key.keys()) if k not in poison
+        ]
         fn = task_fn
         worker_init = None
         if fn is None:
@@ -265,6 +310,11 @@ class ExperimentRunner:
                 worker_init = self.worker_init()
             else:
                 fn = self.run_task
+        if chaos is not None:
+            if worker_init is not None:
+                worker_init = functools.partial(chaos_worker_init, worker_init, chaos)
+            else:
+                fn = chaos.bind(fn)
 
         def on_result(result) -> None:
             if result.ok:
@@ -278,21 +328,35 @@ class ExperimentRunner:
                     replicate=task.replicate,
                 )
 
+        if chaos is not None and chaos.rates.get("sink", 0.0) > 0.0:
+            on_result = chaos.wrap_sink(on_result)
+
+        prior_failed = self.store.failed_keys()
         results, stats = self.queue.run(
             todo, fn, on_result=on_result, worker_init=worker_init
         )
         self.store.flush()
+        failures = [r for r in results if not r.ok]
+        for r in failures:
+            self.store.record_failure(
+                r.task.key(), r.error or "", status=r.status, attempts=r.attempts
+            )
+        if prior_failed:
+            # A task that finally succeeded clears its ledger entry.
+            recovered = [
+                r.task.key() for r in results if r.ok and r.task.key() in prior_failed
+            ]
+            self.store.clear_failures(recovered)
         if stats.failed:
-            failures = [r.error for r in results if not r.ok][:3]
             warnings.warn(
                 f"{stats.failed} collection task(s) failed after retries; "
-                f"first errors: {failures}",
+                f"first errors: {[r.error for r in failures][:3]}",
                 stacklevel=2,
             )
         observations = [
             p for k in by_key if (p := self.store.get(k)) is not None
         ]
-        return observations, stats
+        return CollectionResult(observations, stats, failures)
 
     # -- evaluation ------------------------------------------------------------
     def evaluate_scheme(
@@ -384,7 +448,7 @@ class ExperimentRunner:
     def table2(self, observations: Sequence[Mapping[str, Any]] | None = None) -> list[Table2Row]:
         """Produce the full Table-2-shaped result set."""
         if observations is None:
-            observations, _ = self.collect()
+            observations = self.collect().observations
         rows: list[Table2Row] = []
         for comp_id in self.compressors:
             rows.append(self.baseline_row(comp_id, observations))

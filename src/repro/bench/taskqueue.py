@@ -22,6 +22,23 @@ retry/failure semantics.  A fourth execution model, the discrete-event
 :class:`~repro.bench.simcluster.SimulatedCluster`, reuses the scheduler
 to *measure* placement quality under a virtual clock.
 
+Fault domains supervised (see :mod:`repro.bench.faults`):
+
+* **exceptions** — classified by :class:`RetryPolicy` into transient
+  (retried with exponential backoff + deterministic jitter) and
+  permanent (quarantined on first failure: a task asking for an
+  unsupported scheme can never succeed, so no attempts are burned);
+* **hangs** — with ``task_timeout`` set, a watchdog abandons thread
+  tasks past their deadline (the result of an abandoned execution is
+  discarded if it ever arrives), and the process engine recycles the
+  whole pool when a group overruns, since a hung worker process cannot
+  be reclaimed any other way;
+* **worker crashes** — a dead worker process breaks the pool; the queue
+  rebuilds the executor, requeues every in-flight group *without*
+  charging the tasks an attempt (the pool, not the task, failed), and
+  caps consecutive no-progress rebuilds so a crash-looping worker fails
+  the run with a diagnosis instead of hanging it.
+
 Coordination invariants (thread engine):
 
 * no worker exits while any task is executing or awaiting retry — a
@@ -38,11 +55,13 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..core.errors import TaskFailedError
+from ..core.errors import Status, error_status
+from .faults import FaultInjector, RetryPolicy  # noqa: F401 - re-exported
 from .tasks import Task
 
 ENGINES = ("serial", "thread", "process")
@@ -57,6 +76,10 @@ class TaskResult:
     payload: dict[str, Any] | None = None
     error: str | None = None
     attempts: int = 1
+    #: :class:`~repro.core.errors.Status` code of the final failure
+    #: (``SUCCESS`` when ``ok``); drives retry classification and the
+    #: checkpoint failure ledger.
+    status: int = int(Status.SUCCESS)
 
     @property
     def ok(self) -> bool:
@@ -87,6 +110,20 @@ class QueueStats:
     #: Times a worker ran a task it was excluded from because the task
     #: had already failed on every worker (the only sanctioned override).
     exclusion_overrides: int = 0
+    #: The engine that actually ran (``n_workers=1`` downgrades to
+    #: serial) and the engine the caller asked for — so ``--queue-stats``
+    #: output is truthful about what executed.
+    engine: str = ""
+    requested_engine: str = ""
+    #: Tasks quarantined on a permanent (non-retriable) failure.
+    quarantined: int = 0
+    #: Task executions abandoned past their deadline.
+    timeouts: int = 0
+    #: Times the process pool was torn down and rebuilt after a crash
+    #: or a hung worker.
+    pool_rebuilds: int = 0
+    #: Total backoff delay scheduled before retries, in seconds.
+    backoff_seconds: float = 0.0
 
     @property
     def locality_rate(self) -> float:
@@ -161,21 +198,57 @@ class TaskQueue:
     Parameters
     ----------
     n_workers:
-        Worker count; 1 forces the serial engine.
+        Worker count; 1 forces the serial engine (with a warning when a
+        parallel engine was requested — the downgrade used to be silent).
     engine:
         ``"serial"``, ``"thread"``, or ``"process"``.
     max_retries:
-        Additional attempts per task after a failure.  A task that still
-        fails is reported as failed (not raised) so one bad datum cannot
-        sink a campaign — callers inspect :class:`TaskResult.ok`.
+        Additional attempts per task after a *transient* failure.  A
+        task that still fails is reported as failed (not raised) so one
+        bad datum cannot sink a campaign — callers inspect
+        :class:`TaskResult.ok`.  Shorthand for the default
+        :class:`RetryPolicy`; ignored when ``retry_policy`` is given.
+    retry_policy:
+        Full fault-domain policy: backoff, jitter seed, and which status
+        codes are permanent (quarantined on first failure).
+    task_timeout:
+        Per-task deadline in seconds.  On the thread engine a watchdog
+        abandons overdue executions; on the process engine an overdue
+        group triggers a pool recycle (hung worker processes are
+        terminated).  ``None`` (default) disables supervision.  The
+        serial engine cannot preempt its only thread, so the deadline is
+        not enforced there.
+    max_pool_rebuilds:
+        Consecutive no-progress pool rebuilds tolerated before the run
+        fails with a diagnosis (process engine only).
     """
 
-    def __init__(self, n_workers: int = 1, engine: str = "serial", max_retries: int = 2) -> None:
+    def __init__(
+        self,
+        n_workers: int = 1,
+        engine: str = "serial",
+        max_retries: int = 2,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        max_pool_rebuilds: int = 5,
+    ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         self.n_workers = max(1, int(n_workers))
+        self.requested_engine = engine
+        if self.n_workers == 1 and engine != "serial":
+            warnings.warn(
+                f"engine {engine!r} requires more than one worker; "
+                "falling back to 'serial'",
+                stacklevel=2,
+            )
         self.engine = engine if self.n_workers > 1 else "serial"
-        self.max_retries = int(max_retries)
+        self.retry_policy = retry_policy or RetryPolicy(max_retries=int(max_retries))
+        #: Kept in sync with the policy for backward compatibility.
+        self.max_retries = self.retry_policy.max_retries
+        self.task_timeout = None if task_timeout is None else float(task_timeout)
+        self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
 
     def run(
         self,
@@ -211,16 +284,27 @@ class TaskQueue:
         *,
         on_result: Callable[[TaskResult], None] | None,
     ) -> tuple[list[TaskResult], QueueStats]:
+        policy = self.retry_policy
         scheduler = LocalityScheduler()
         pending: deque[Task] = deque(tasks)  # never-failed tasks
         retry_pending: deque[Task] = deque()  # failed ≥1×, awaiting retry
         attempts: dict[str, int] = defaultdict(int)
         excluded: dict[str, set[int]] = defaultdict(set)
+        #: key → monotonic time before which a retry must not run.
+        not_before: dict[str, float] = {}
         in_flight = 0
         results: list[TaskResult] = []
-        stats = QueueStats()
+        stats = QueueStats(engine=self.engine, requested_engine=self.requested_engine)
         cond = threading.Condition()
         n_workers = self.n_workers if self.engine == "thread" else 1
+        # Hang supervision state (watchdog mode): live executions by a
+        # unique id, plus ids the watchdog gave up on — a late result
+        # from an abandoned execution is discarded, not double-counted.
+        use_watchdog = self.task_timeout is not None and n_workers > 1
+        executing: dict[int, tuple[str, Task, int, float]] = {}
+        abandoned: set[int] = set()
+        exec_counter = [0]
+        stop_watchdog = threading.Event()
 
         def finish(result: TaskResult) -> None:
             # Called under the lock.
@@ -238,35 +322,77 @@ class TaskQueue:
                             result.worker,
                             error=f"on_result {type(exc).__name__}: {exc}",
                             attempts=result.attempts,
+                            status=error_status(exc),
                         )
                 stats.checkpoint_seconds += time.perf_counter() - t0
             results.append(result)
             stats.completed += result.ok
             stats.failed += not result.ok
-            stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
+            if result.worker >= 0:
+                stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
+
+        def requeue_or_finish(task: Task, worker: int, error: str, status: int) -> None:
+            # Called under the lock, after attempts[key] was incremented.
+            key = task.key()
+            if policy.should_retry(status, attempts[key]):
+                stats.retries += 1
+                excluded[key].add(worker)
+                delay = policy.delay(key, attempts[key])
+                if delay > 0.0:
+                    not_before[key] = time.monotonic() + delay
+                    stats.backoff_seconds += delay
+                retry_pending.append(task)
+            else:
+                if policy.is_permanent(status):
+                    stats.quarantined += 1
+                finish(
+                    TaskResult(
+                        task, worker, error=error, attempts=attempts[key], status=status
+                    )
+                )
 
         def take(worker: int) -> Task | None:
             # Called under the lock.  Retries first so they are not
             # starved behind the virgin queue; the deque is bounded by
             # the number of distinct failures, so this scan stays small.
+            now = time.monotonic()
             for i, task in enumerate(retry_pending):
-                if worker not in excluded[task.key()]:
+                key = task.key()
+                if not_before.get(key, 0.0) > now:
+                    continue
+                if worker not in excluded[key]:
                     del retry_pending[i]
+                    not_before.pop(key, None)
                     scheduler.note_assigned(worker, task.data_id)
                     return task
             task = scheduler.pick(worker, pending)
             if task is not None:
                 return task
-            # Only tasks this worker is excluded from remain.  Take one
-            # anyway *only* when it has failed on every worker — no live
-            # worker could honor the exclusion.
+            # Only tasks this worker is excluded from (or still backing
+            # off) remain.  Take an excluded one anyway *only* when it
+            # has failed on every worker — no live worker could honor
+            # the exclusion.
             for i, task in enumerate(retry_pending):
+                if not_before.get(task.key(), 0.0) > now:
+                    continue
                 if len(excluded[task.key()]) >= n_workers:
                     del retry_pending[i]
+                    not_before.pop(task.key(), None)
                     stats.exclusion_overrides += 1
                     scheduler.note_assigned(worker, task.data_id)
                     return task
             return None
+
+        def backoff_wait_bound() -> float | None:
+            # Called under the lock: the soonest a delayed retry becomes
+            # runnable, so a waiting worker wakes in time to take it.
+            now = time.monotonic()
+            bounds = [
+                not_before[t.key()] - now
+                for t in retry_pending
+                if not_before.get(t.key(), 0.0) > now
+            ]
+            return max(min(bounds), 1e-4) if bounds else None
 
         def worker_loop(worker: int) -> None:
             nonlocal in_flight
@@ -276,6 +402,12 @@ class TaskQueue:
                         task = take(worker)
                         if task is not None:
                             in_flight += 1
+                            exec_counter[0] += 1
+                            exec_id = exec_counter[0]
+                            if use_watchdog:
+                                executing[exec_id] = (
+                                    task.key(), task, worker, time.monotonic()
+                                )
                             break
                         if not pending and not retry_pending and in_flight == 0:
                             # Genuinely drained: nothing queued and no
@@ -283,33 +415,67 @@ class TaskQueue:
                             cond.notify_all()
                             return
                         t0 = time.perf_counter()
-                        cond.wait()
+                        cond.wait(timeout=backoff_wait_bound())
                         stats.queue_wait_seconds += time.perf_counter() - t0
                 key = task.key()
                 error: str | None = None
+                status = int(Status.SUCCESS)
                 payload: dict[str, Any] | None = None
                 t0 = time.perf_counter()
                 try:
                     payload = task_fn(task, worker)
                 except Exception as exc:  # noqa: BLE001 - fault isolation boundary
                     error = f"{type(exc).__name__}: {exc}"
+                    status = error_status(exc)
                 elapsed = time.perf_counter() - t0
                 with cond:
-                    in_flight -= 1
                     stats.execute_seconds += elapsed
+                    if exec_id in abandoned:
+                        # The watchdog already charged this execution as
+                        # a timeout and requeued/failed the task; the
+                        # worker rejoins the pool and the stale outcome
+                        # is dropped.
+                        abandoned.discard(exec_id)
+                        cond.notify_all()
+                        continue
+                    executing.pop(exec_id, None)
+                    in_flight -= 1
                     attempts[key] += 1
-                    if error is not None and attempts[key] <= self.max_retries:
-                        stats.retries += 1
-                        excluded[key].add(worker)
-                        retry_pending.append(task)
+                    if error is not None:
+                        requeue_or_finish(task, worker, error, status)
                     else:
                         finish(
                             TaskResult(
-                                task, worker, payload=payload, error=error,
-                                attempts=attempts[key],
+                                task, worker, payload=payload, attempts=attempts[key]
                             )
                         )
                     cond.notify_all()
+
+        def watchdog_loop() -> None:
+            nonlocal in_flight
+            deadline = float(self.task_timeout or 0.0)
+            poll = max(min(deadline / 4.0, 0.25), 0.005)
+            while not stop_watchdog.wait(poll):
+                with cond:
+                    now = time.monotonic()
+                    for exec_id, (key, task, worker, t0) in list(executing.items()):
+                        if now - t0 <= deadline:
+                            continue
+                        # Abandon: the hung thread cannot be killed, but
+                        # the task can be charged, requeued elsewhere,
+                        # and its eventual (stale) result discarded.
+                        executing.pop(exec_id)
+                        abandoned.add(exec_id)
+                        in_flight -= 1
+                        stats.timeouts += 1
+                        attempts[key] += 1
+                        requeue_or_finish(
+                            task,
+                            worker,
+                            f"TaskTimeoutError: task exceeded {deadline:g}s deadline",
+                            int(Status.TIMEOUT),
+                        )
+                        cond.notify_all()
 
         if n_workers == 1:
             worker_loop(0)
@@ -318,10 +484,27 @@ class TaskQueue:
                 threading.Thread(target=worker_loop, args=(w,), daemon=True)
                 for w in range(n_workers)
             ]
+            watchdog = None
+            if use_watchdog:
+                watchdog = threading.Thread(target=watchdog_loop, daemon=True)
+                watchdog.start()
             for t in threads:
                 t.start()
-            for t in threads:
-                t.join()
+            if use_watchdog:
+                # A hung worker never returns, so joining it would hang
+                # the queue too; wait on the drain condition instead and
+                # leave abandoned daemon threads behind.
+                with cond:
+                    while pending or retry_pending or in_flight:
+                        cond.wait(timeout=0.05)
+                stop_watchdog.set()
+                if watchdog is not None:
+                    watchdog.join(timeout=1.0)
+                for t in threads:
+                    t.join(timeout=0.1)
+            else:
+                for t in threads:
+                    t.join()
         stats.locality_hits = scheduler.stats_hits
         stats.locality_misses = scheduler.stats_misses
         return results, stats
@@ -344,14 +527,23 @@ class TaskQueue:
         stream back to the parent, which owns retries and the
         ``on_result`` sink (so e.g. SQLite sees a single writer).
 
+        Pool-level faults (a worker process dying, the executor breaking)
+        are *not* charged to tasks: every in-flight group is requeued
+        as-is, the executor is rebuilt, and only consecutive rebuilds
+        without any completed group count toward ``max_pool_rebuilds`` —
+        exceeding it fails the remaining tasks with a diagnosis instead
+        of crash-looping or hanging.
+
         ``worker_init`` (and ``task_fn`` when used directly) must be
         picklable; bound methods carrying open handles are not — pass a
         ``functools.partial`` of a module-level factory instead.
         """
         import multiprocessing as mp
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
 
-        stats = QueueStats()
+        policy = self.retry_policy
+        stats = QueueStats(engine="process", requested_engine=self.requested_engine)
         results: list[TaskResult] = []
         if not tasks:
             return results, stats
@@ -369,12 +561,14 @@ class TaskQueue:
                             result.worker,
                             error=f"on_result {type(exc).__name__}: {exc}",
                             attempts=result.attempts,
+                            status=error_status(exc),
                         )
                 stats.checkpoint_seconds += time.perf_counter() - t0
             results.append(result)
             stats.completed += result.ok
             stats.failed += not result.ok
-            stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
+            if result.worker >= 0:
+                stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
 
         groups: dict[str, list[Task]] = {}
         for task in tasks:
@@ -387,55 +581,231 @@ class TaskQueue:
 
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
-        id_counter = ctx.Value("i", 0)
-        pool = ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            mp_context=ctx,
-            initializer=_process_worker_init,
-            initargs=(worker_init, None if worker_init is not None else task_fn, id_counter),
-        )
+
+        def make_pool() -> ProcessPoolExecutor:
+            id_counter = ctx.Value("i", 0)
+            return ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=ctx,
+                initializer=_process_worker_init,
+                initargs=(worker_init, None if worker_init is not None else task_fn, id_counter),
+            )
+
+        def kill_pool(dead: ProcessPoolExecutor) -> None:
+            # A broken or hung pool cannot be drained gracefully: cancel
+            # what never started, then terminate worker processes so a
+            # hung task cannot outlive its executor.
+            procs = list((getattr(dead, "_processes", None) or {}).values())
+            try:
+                dead.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+            for proc in procs:
+                try:
+                    if proc.is_alive():
+                        proc.terminate()
+                except Exception:  # noqa: BLE001 - teardown best-effort
+                    pass
+
+        #: Groups awaiting (re)submission, and retry groups still backing off.
+        pending_groups: deque[list[Task]] = deque(groups.values())
+        delayed: list[tuple[float, list[Task]]] = []
+        futures: dict[Any, tuple[list[Task], float, float]] = {}
+        pool: ProcessPoolExecutor | None = None
+        pool_broken = False
+        last_pool_error = "unknown"
+        rebuilds_without_progress = 0
+        resubmissions = 0  # retry/requeue groups (each pays one re-load miss)
+
+        def fail_remaining(diagnosis: str) -> None:
+            for _, group in delayed:
+                pending_groups.append(group)
+            delayed.clear()
+            while pending_groups:
+                group = pending_groups.popleft()
+                for task in group:
+                    finish(
+                        TaskResult(
+                            task,
+                            -1,
+                            error=diagnosis,
+                            attempts=max(attempts[task.key()], 1),
+                            status=int(Status.TASK_FAILED),
+                        )
+                    )
+
         try:
-            futures = {}
-            for group in groups.values():
-                fut = pool.submit(_process_run_group, group)
-                futures[fut] = (group, time.perf_counter())
-            while futures:
-                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            while futures or pending_groups or delayed:
+                now = time.monotonic()
+                if delayed:
+                    still_delayed = []
+                    for ready_at, group in delayed:
+                        if ready_at <= now:
+                            pending_groups.append(group)
+                        else:
+                            still_delayed.append((ready_at, group))
+                    delayed = still_delayed
+
+                if pool_broken or pool is None:
+                    if pool is not None:
+                        kill_pool(pool)
+                        pool = None
+                        stats.pool_rebuilds += 1
+                        rebuilds_without_progress += 1
+                        if rebuilds_without_progress > self.max_pool_rebuilds:
+                            fail_remaining(
+                                "TaskFailedError: process pool failed "
+                                f"{rebuilds_without_progress} consecutive times without "
+                                f"completing any task (last: {last_pool_error}); "
+                                "a worker is crash-looping — aborting the campaign"
+                            )
+                            break
+                    pool_broken = False
+                    pool = make_pool()
+
+                while pending_groups:
+                    group = pending_groups[0]
+                    try:
+                        fut = pool.submit(_process_run_group, group)
+                    except Exception as exc:  # noqa: BLE001 - broken/shut pool
+                        last_pool_error = f"{type(exc).__name__}: {exc}"
+                        pool_broken = True
+                        break
+                    pending_groups.popleft()
+                    futures[fut] = (group, time.perf_counter(), time.monotonic())
+                if pool_broken:
+                    # Requeue everything in flight; the rebuild happens
+                    # at the top of the loop.
+                    for group, _, _ in futures.values():
+                        pending_groups.append(group)
+                    futures.clear()
+                    continue
+
+                if not futures:
+                    if delayed:
+                        next_ready = min(ready_at for ready_at, _ in delayed)
+                        time.sleep(max(next_ready - time.monotonic(), 0.0) + 1e-4)
+                    continue
+
+                bound = 0.1 if (self.task_timeout is not None or delayed) else None
+                done, _ = wait(list(futures), timeout=bound, return_when=FIRST_COMPLETED)
+
+                progressed = False
                 for fut in done:
-                    group, submitted = futures.pop(fut)
-                    wall = time.perf_counter() - submitted
+                    group, perf_submitted, _ = futures.pop(fut)
+                    wall = time.perf_counter() - perf_submitted
                     try:
                         outcomes = fut.result()
-                    except Exception as exc:  # noqa: BLE001 - pool-level fault
+                    except BrokenProcessPool as exc:
+                        # Pool-level fault: the group never reported, so
+                        # its tasks are not charged an attempt — they
+                        # rerun wholesale on the rebuilt pool.  (The old
+                        # behaviour charged every task and resubmitted
+                        # retries into the broken executor, instantly
+                        # exhausting all attempts.)
+                        last_pool_error = f"{type(exc).__name__}: {exc}"
+                        pool_broken = True
+                        pending_groups.append(group)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - group-level fault
+                        # Attributable to the group itself (e.g. an
+                        # unpicklable payload): charge the tasks.
                         outcomes = [
-                            (-1, None, f"{type(exc).__name__}: {exc}", 0.0)
+                            (-1, None, f"{type(exc).__name__}: {exc}",
+                             int(Status.TASK_FAILED), 0.0)
                             for _ in group
                         ]
+                    progressed = True
                     exec_total = 0.0
-                    for task, (wid, payload, error, exec_s) in zip(group, outcomes):
+                    for task, (wid, payload, error, status, exec_s) in zip(group, outcomes):
                         exec_total += exec_s
                         stats.execute_seconds += exec_s
                         key = task.key()
                         attempts[key] += 1
-                        if error is not None and attempts[key] <= self.max_retries:
+                        if error is None:
+                            finish(
+                                TaskResult(
+                                    task, wid, payload=payload, attempts=attempts[key]
+                                )
+                            )
+                        elif policy.should_retry(status, attempts[key]):
                             stats.retries += 1
                             # A retry lands on whichever process is free
                             # next; resubmitted as its own (re-load) group.
-                            stats.locality_misses += 1
-                            retry = pool.submit(_process_run_group, [task])
-                            futures[retry] = ([task], time.perf_counter())
+                            resubmissions += 1
+                            delay = policy.delay(key, attempts[key])
+                            if delay > 0.0:
+                                stats.backoff_seconds += delay
+                                delayed.append((time.monotonic() + delay, [task]))
+                            else:
+                                pending_groups.append([task])
                         else:
+                            if policy.is_permanent(status):
+                                stats.quarantined += 1
                             finish(
                                 TaskResult(
-                                    task, wid, payload=payload, error=error,
-                                    attempts=attempts[key],
+                                    task, wid, error=error,
+                                    attempts=attempts[key], status=status,
                                 )
                             )
                     # Queue wait: turnaround the group spent outside its
                     # own execution (pool backlog + transfer).
                     stats.queue_wait_seconds += max(wall - exec_total, 0.0)
+                if progressed:
+                    rebuilds_without_progress = 0
+
+                if self.task_timeout is not None and not pool_broken:
+                    # Hang detection: a group gets one deadline per task
+                    # plus one of startup grace; an overrun means a hung
+                    # worker process, reclaimable only by recycling the
+                    # pool (terminate + rebuild + requeue).
+                    now = time.monotonic()
+                    overdue = [
+                        fut
+                        for fut, (group, _, submitted) in futures.items()
+                        if now - submitted > self.task_timeout * (len(group) + 1)
+                    ]
+                    for fut in overdue:
+                        group, _, _ = futures.pop(fut)
+                        retry_group: list[Task] = []
+                        for task in group:
+                            key = task.key()
+                            attempts[key] += 1
+                            stats.timeouts += 1
+                            if policy.should_retry(int(Status.TIMEOUT), attempts[key]):
+                                stats.retries += 1
+                                resubmissions += 1
+                                retry_group.append(task)
+                            else:
+                                finish(
+                                    TaskResult(
+                                        task,
+                                        -1,
+                                        error=(
+                                            "TaskTimeoutError: group exceeded "
+                                            f"{self.task_timeout:g}s/task deadline"
+                                        ),
+                                        attempts=attempts[key],
+                                        status=int(Status.TIMEOUT),
+                                    )
+                                )
+                        if retry_group:
+                            pending_groups.append(retry_group)
+                    if overdue:
+                        last_pool_error = "hung worker process (deadline exceeded)"
+                        pool_broken = True
+                        for group, _, _ in futures.values():
+                            pending_groups.append(group)
+                        futures.clear()
+            # Each resubmitted group re-loads its datum in whatever
+            # process picks it up.
+            stats.locality_misses += resubmissions
         finally:
-            pool.shutdown(wait=True)
+            if pool is not None:
+                if pool_broken or futures:
+                    kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
         return results, stats
 
 
@@ -454,57 +824,31 @@ def _process_worker_init(worker_init, task_fn, id_counter) -> None:
     _WORKER_FN = worker_init() if worker_init is not None else task_fn
 
 
-def _process_run_group(group: list[Task]) -> list[tuple[int, dict[str, Any] | None, str | None, float]]:
-    """Execute one datum's tasks sequentially in a worker process."""
-    out: list[tuple[int, dict[str, Any] | None, str | None, float]] = []
+def _process_run_group(
+    group: list[Task],
+) -> list[tuple[int, dict[str, Any] | None, str | None, int, float]]:
+    """Execute one datum's tasks sequentially in a worker process.
+
+    Each outcome is ``(worker_id, payload, error, status, exec_seconds)``
+    — the status code rides along so the parent's retry policy can
+    classify the failure without unpickling exception objects.
+    """
+    out: list[tuple[int, dict[str, Any] | None, str | None, int, float]] = []
     for task in group:
         t0 = time.perf_counter()
         try:
             payload = _WORKER_FN(task, _WORKER_ID)
-            out.append((_WORKER_ID, payload, None, time.perf_counter() - t0))
+            out.append(
+                (_WORKER_ID, payload, None, int(Status.SUCCESS), time.perf_counter() - t0)
+            )
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
             out.append(
-                (_WORKER_ID, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - t0)
+                (
+                    _WORKER_ID,
+                    None,
+                    f"{type(exc).__name__}: {exc}",
+                    error_status(exc),
+                    time.perf_counter() - t0,
+                )
             )
     return out
-
-
-class FaultInjector:
-    """Deterministically fail chosen (task, attempt) pairs.
-
-    Wraps a task function for the fault-tolerance tests/benches: e.g.
-    ``FaultInjector(fn, fail_first_attempt_every=5)`` makes every fifth
-    task's first attempt raise, exercising retry + checkpoint replay.
-    """
-
-    def __init__(
-        self,
-        task_fn: Callable[[Task, int], dict[str, Any]],
-        *,
-        fail_first_attempt_every: int = 0,
-        poison_keys: set[str] | None = None,
-    ) -> None:
-        self.task_fn = task_fn
-        self.every = int(fail_first_attempt_every)
-        self.poison = poison_keys or set()
-        self.seen: dict[str, int] = defaultdict(int)
-        self.injected = 0
-        self._counter = 0
-        self._lock = threading.Lock()
-
-    def __call__(self, task: Task, worker: int) -> dict[str, Any]:
-        key = task.key()
-        with self._lock:
-            self.seen[key] += 1
-            first = self.seen[key] == 1
-            if first:
-                self._counter += 1
-                nth = self._counter
-            else:
-                nth = 0
-        if key in self.poison:
-            raise TaskFailedError("poisoned task (always fails)", task_key=key)
-        if first and self.every and nth % self.every == 0:
-            self.injected += 1
-            raise TaskFailedError("injected transient fault", task_key=key)
-        return self.task_fn(task, worker)

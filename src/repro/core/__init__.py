@@ -20,6 +20,7 @@ from .compressor import (
 from .config import coerce_scalar, options_from_mapping, parse_flags
 from .data import PressioData, as_data
 from .errors import (
+    PERMANENT_STATUSES,
     BoundViolationError,
     CorruptStreamError,
     MissingOptionError,
@@ -27,8 +28,11 @@ from .errors import (
     PressioError,
     Status,
     TaskFailedError,
+    TaskTimeoutError,
     TypeMismatchError,
     UnsupportedError,
+    error_status,
+    is_permanent_status,
 )
 from .hashing import combined_hash, options_hash
 from .metrics import (
@@ -59,6 +63,7 @@ __all__ = [
     "NONDETERMINISTIC",
     "NoopCompressor",
     "OptionError",
+    "PERMANENT_STATUSES",
     "PressioData",
     "PressioError",
     "PressioOptions",
@@ -68,6 +73,7 @@ __all__ = [
     "Status",
     "TRAINING",
     "TaskFailedError",
+    "TaskTimeoutError",
     "TimeMetrics",
     "TypeMismatchError",
     "UnsupportedError",
@@ -76,6 +82,8 @@ __all__ = [
     "coerce_scalar",
     "combined_hash",
     "compressor_registry",
+    "error_status",
+    "is_permanent_status",
     "make_compressor",
     "options_from_mapping",
     "options_hash",

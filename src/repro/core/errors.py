@@ -28,7 +28,41 @@ class Status(enum.IntEnum):
     CORRUPT_STREAM = 6
     BOUND_VIOLATION = 7
     TASK_FAILED = 8
+    TIMEOUT = 9
     WARNING = -1
+
+
+#: Status codes that can never succeed on retry: the configuration (not
+#: the execution) is at fault, so the bench quarantines the task on its
+#: first failure instead of burning retry attempts on it.
+PERMANENT_STATUSES = frozenset(
+    {
+        Status.INVALID_OPTION,
+        Status.INVALID_TYPE,
+        Status.MISSING_OPTION,
+        Status.UNSUPPORTED,
+    }
+)
+
+
+def is_permanent_status(status: int) -> bool:
+    """True when a failure with this status cannot succeed on retry."""
+    try:
+        return Status(int(status)) in PERMANENT_STATUSES
+    except ValueError:
+        return False
+
+
+def error_status(exc: BaseException) -> int:
+    """The :class:`Status` code for an arbitrary exception.
+
+    :class:`PressioError` subclasses carry their own code; anything else
+    (I/O errors, bridge crashes, numpy faults) is a generic — and thus
+    retriable — failure.
+    """
+    if isinstance(exc, PressioError):
+        return int(exc.status)
+    return int(Status.GENERIC_ERROR)
 
 
 class PressioError(Exception):
@@ -104,3 +138,16 @@ class TaskFailedError(PressioError):
     def __init__(self, msg: str, *, task_key: str | None = None) -> None:
         super().__init__(msg)
         self.task_key = task_key
+
+
+class TaskTimeoutError(TaskFailedError):
+    """A bench task exceeded its deadline and was abandoned.
+
+    Raised (or recorded by name) by the queue's supervision layer — the
+    thread-engine watchdog and the process-engine pool recycler — when a
+    task outlives ``task_timeout``.  Timeouts are transient: a hang may
+    be a one-off (I/O stall, contended node), so the retry policy treats
+    them like any other retriable fault.
+    """
+
+    status = Status.TIMEOUT

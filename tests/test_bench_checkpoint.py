@@ -192,3 +192,113 @@ class TestBufferedFlush:
         store = CheckpointStore(str(tmp_path / "w.db"))
         mode = store._db.execute("PRAGMA journal_mode").fetchone()[0]
         assert mode == "wal"
+
+
+class TestIntegrity:
+    """Checksum verification and at-rest corruption quarantine."""
+
+    def test_verify_clean_store_returns_nothing(self):
+        store = CheckpointStore(":memory:")
+        for i in range(5):
+            store.put(f"k{i}", {"v": i})
+        assert store.verify() == []
+        assert store.count() == 5
+
+    def test_verify_quarantines_corrupt_rows_back_to_pending(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "i.db"))
+        keys = [f"k{i}" for i in range(6)]
+        for i, k in enumerate(keys):
+            store.put(k, {"v": i})
+        assert store.corrupt_rows(["k1", "k4"]) == 2
+        quarantined = store.verify()
+        assert sorted(quarantined) == ["k1", "k4"]
+        # Quarantined rows are gone: pending() reports them for recompute,
+        # the healthy rows are untouched.
+        assert sorted(store.pending(keys)) == ["k1", "k4"]
+        assert store.get("k0") == {"v": 0}
+        # A second audit finds nothing left to complain about.
+        assert store.verify() == []
+
+    def test_verify_backfills_legacy_rows(self, tmp_path):
+        import json
+        import sqlite3
+        import time as time_mod
+
+        from repro.core.hashing import HASH_VERSION
+
+        # A pre-integrity database: no checksum column at all.
+        path = str(tmp_path / "legacy.db")
+        db = sqlite3.connect(path)
+        db.executescript(
+            """
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            CREATE TABLE results (
+                key TEXT PRIMARY KEY,
+                compressor_hash TEXT NOT NULL,
+                dataset_hash TEXT NOT NULL,
+                experiment_hash TEXT NOT NULL,
+                replicate INTEGER NOT NULL,
+                payload TEXT NOT NULL,
+                created_at REAL NOT NULL
+            );
+            """
+        )
+        db.execute(
+            "INSERT INTO meta VALUES ('hash_version', ?)", (str(HASH_VERSION),)
+        )
+        db.execute(
+            "INSERT INTO results VALUES ('old', '', '', '', 0, ?, ?)",
+            (json.dumps({"v": 1}), time_mod.time()),
+        )
+        db.execute(
+            "INSERT INTO results VALUES ('rotten', '', '', '', 0, ?, ?)",
+            ('{"v": not-json', time_mod.time()),
+        )
+        db.commit()
+        db.close()
+
+        store = CheckpointStore(path)  # migration adds the column
+        assert store.verify() == ["rotten"]  # parses → backfilled; not → gone
+        assert store.get("old") == {"v": 1}
+        assert store.verify() == []  # backfilled checksum now validates
+        # The backfilled row is protected from future corruption.
+        store.corrupt_rows(["old"])
+        assert store.verify() == ["old"]
+
+
+class TestFailureLedger:
+    def test_record_and_read_failures(self):
+        store = CheckpointStore(":memory:")
+        store.record_failure("k1", "boom", status=1, attempts=3)
+        store.record_failure("k2", "unsupported", status=5, attempts=1)
+        ledger = store.failures()
+        assert {e["key"] for e in ledger} == {"k1", "k2"}
+        by_key = {e["key"]: e for e in ledger}
+        assert by_key["k1"]["attempts"] == 3
+        assert by_key["k2"]["status"] == 5
+        assert store.failed_keys() == {"k1", "k2"}
+
+    def test_poison_keys_only_permanent(self):
+        from repro.core import Status
+
+        store = CheckpointStore(":memory:")
+        store.record_failure("transient", "io error", status=int(Status.GENERIC_ERROR))
+        store.record_failure("poison", "bad option", status=int(Status.INVALID_OPTION))
+        store.record_failure("poison2", "unsupported", status=int(Status.UNSUPPORTED))
+        assert store.poison_keys() == {"poison", "poison2"}
+
+    def test_record_replaces_and_clear_removes(self):
+        store = CheckpointStore(":memory:")
+        store.record_failure("k", "first", status=1, attempts=1)
+        store.record_failure("k", "second", status=1, attempts=2)
+        assert len(store.failures()) == 1
+        assert store.failures()[0]["error"] == "second"
+        store.clear_failures(["k"])
+        assert store.failures() == []
+        store.clear_failures([])  # no-op on empty input
+
+    def test_ledger_persists_across_handles(self, tmp_path):
+        path = str(tmp_path / "ledger.db")
+        with CheckpointStore(path) as store:
+            store.record_failure("k", "boom", status=8, attempts=2)
+        assert CheckpointStore(path).failed_keys() == {"k"}

@@ -197,3 +197,68 @@ class TestReportCommand:
         CheckpointStore(ck).close()
         assert main(["report", ck]) == 1
         assert "no observations" in capsys.readouterr().out
+
+
+class TestChaosFlags:
+    def test_chaos_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--chaos", "crash:0.1,hang:0.05",
+                "--chaos-seed", "7",
+                "--max-retries", "4",
+                "--retry-base-delay", "0.5",
+                "--task-timeout", "30",
+            ]
+        )
+        assert args.chaos == "crash:0.1,hang:0.05"
+        assert args.chaos_seed == 7
+        assert args.max_retries == 4
+        assert args.retry_base_delay == 0.5
+        assert args.task_timeout == 30.0
+
+    def test_chaos_run_recovers(self, tmp_path, capsys):
+        db = str(tmp_path / "chaos.db")
+        code = main(
+            [
+                "run",
+                "--schemes", "tao2019",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--shape", "8", "8", "4",
+                "--timesteps", "1",
+                "--fields", "P", "U",
+                "--folds", "2",
+                "--checkpoint", db,
+                "--chaos", "exception:1.0,corrupt:0.5",
+                "--chaos-seed", "3",
+                "--max-retries", "2",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "chaos[seed=3]" in captured.err
+        assert "recovery:" in captured.err
+        json.loads(captured.out)  # table still renders
+        # The recovered checkpoint is whole: nothing pending, no failures.
+        from repro.bench import CheckpointStore
+
+        store = CheckpointStore(db)
+        assert store.verify() == []
+        assert store.failed_keys() == set()
+
+    def test_report_failures_flag(self, tmp_path, capsys):
+        from repro.bench import CheckpointStore
+
+        db = str(tmp_path / "led.db")
+        with CheckpointStore(db) as store:
+            store.put("okkey", {"compressor": "szx", "v": 1})
+            store.record_failure("deadkey", "boom", status=5, attempts=1)
+        code = main(
+            ["report", db, "--failures", "--schemes", "tao2019",
+             "--compressors", "szx", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "failed[5] deadkey" in captured.err

@@ -29,7 +29,7 @@ class TestRunnerReplicates:
         runner = ExperimentRunner(
             ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), replicates=2
         )
-        obs, stats = runner.collect()
+        obs, stats, _ = runner.collect()
         assert stats.failed == 0
         assert sorted(o["replicate"] for o in obs) == [0, 1]
 
@@ -39,7 +39,7 @@ class TestRunnerReplicates:
         runner = ExperimentRunner(
             ds, compressors=("szx",), bounds=(1e-4,), schemes=("tao2019",), replicates=3
         )
-        obs, _ = runner.collect()
+        obs, _, _ = runner.collect()
         bws = [o["derived:compress_bandwidth"] for o in obs]
         assert len(bws) == 3
         assert all(b > 0 for b in bws)
@@ -90,7 +90,7 @@ class TestProtocols:
         runner = ExperimentRunner(
             ds, compressors=("sz3",), bounds=(1e-4,), schemes=("rahman2023",)
         )
-        obs, stats = runner.collect()
+        obs, stats, _ = runner.collect()
         assert stats.failed == 0
         return ds, obs
 

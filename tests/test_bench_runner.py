@@ -27,7 +27,7 @@ def runner_and_obs():
         schemes=("khan2023", "jin2022", "rahman2023"),
         n_folds=5,
     )
-    obs, stats = runner.collect()
+    obs, stats, _ = runner.collect()
     return runner, obs, stats
 
 
@@ -141,7 +141,7 @@ class TestCollection:
             store=store,
             queue=TaskQueue(2, "process"),
         )
-        obs, stats = runner.collect()
+        obs, stats, _ = runner.collect()
         assert stats.failed == 0
         assert len(obs) == 4
         assert len(stats.per_worker) >= 1
@@ -159,7 +159,7 @@ class TestCollection:
             queue=TaskQueue(1, "serial", max_retries=2),
         )
         fn = FaultInjector(runner.run_task, fail_first_attempt_every=2)
-        obs, stats = runner.collect(task_fn=fn)
+        obs, stats, _ = runner.collect(task_fn=fn)
         assert stats.failed == 0
         assert stats.retries > 0
         assert len(obs) == 3
@@ -207,3 +207,119 @@ class TestEvaluation:
         records = rows_to_records(rows)
         assert len(records) == len(rows)
         assert all("medape_pct" in r for r in records)
+
+
+class TestFaultDomainCollection:
+    """collect() under failures: the result triple, the ledger, healing."""
+
+    @staticmethod
+    def _small_runner(store=None):
+        ds = HurricaneDataset(shape=(8, 8, 4), timesteps=[0], fields=["P", "U"])
+        return ExperimentRunner(
+            ds,
+            compressors=("szx",),
+            bounds=(1e-4,),
+            schemes=("tao2019",),
+            store=store or CheckpointStore(":memory:"),
+        )
+
+    def test_collect_returns_failures(self):
+        from repro.bench import CollectionResult
+        from repro.core import TaskFailedError
+
+        runner = self._small_runner()
+        bad = runner.build_tasks()[0].key()
+
+        def fn(task, worker):
+            if task.key() == bad:
+                raise TaskFailedError("always fails", task_key=task.key())
+            return runner.run_task(task, worker)
+
+        with pytest.warns(UserWarning, match="failed after retries"):
+            result = runner.collect(task_fn=fn)
+        assert isinstance(result, CollectionResult)
+        obs, stats, failures = result
+        assert stats.failed == 1 and len(failures) == 1
+        assert failures[0].task.key() == bad
+        assert "always fails" in failures[0].error
+        # The failure is also in the persistent ledger.
+        assert runner.store.failed_keys() == {bad}
+
+    def test_permanent_failures_skipped_on_resume(self):
+        from repro.core import Status, UnsupportedError
+
+        runner = self._small_runner()
+        bad = runner.build_tasks()[0].key()
+        calls = []
+
+        def fn(task, worker):
+            calls.append(task.key())
+            if task.key() == bad:
+                raise UnsupportedError("can never succeed")
+            return runner.run_task(task, worker)
+
+        with pytest.warns(UserWarning):
+            _, _, failures = runner.collect(task_fn=fn)
+        assert failures[0].status == int(Status.UNSUPPORTED)
+        assert failures[0].attempts == 1  # quarantined, not retried
+        assert runner.store.poison_keys() == {bad}
+        first_calls = len(calls)
+        # Resume: the poison task is known hopeless and is not re-run.
+        runner.collect(task_fn=fn)
+        assert len(calls) == first_calls
+
+    def test_recovered_task_clears_ledger(self):
+        from repro.core import TaskFailedError
+
+        runner = self._small_runner()
+        bad = runner.build_tasks()[0].key()
+        fail_now = [True]
+
+        def fn(task, worker):
+            if task.key() == bad and fail_now[0]:
+                raise TaskFailedError("transient outage", task_key=task.key())
+            return runner.run_task(task, worker)
+
+        runner.queue = TaskQueue(1, "serial", max_retries=0)
+        with pytest.warns(UserWarning):
+            runner.collect(task_fn=fn)
+        assert runner.store.failed_keys() == {bad}
+        fail_now[0] = False
+        _, stats, failures = runner.collect(task_fn=fn)
+        assert stats.failed == 0 and failures == []
+        assert runner.store.failed_keys() == set()
+
+    def test_resume_heals_corrupted_checkpoint(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "heal.db"))
+        runner = self._small_runner(store)
+        obs, _, _ = runner.collect()
+        keys = [t.key() for t in runner.build_tasks()]
+        victim = keys[0]
+        store.corrupt_rows([victim])
+        # The resume's verify pass quarantines the damaged row and the
+        # queue recomputes exactly that task.
+        calls = []
+
+        def counting(task, worker):
+            calls.append(task.key())
+            return runner.run_task(task, worker)
+
+        with pytest.warns(UserWarning, match="quarantined"):
+            obs2, stats, _ = runner.collect(task_fn=counting)
+        assert calls == [victim]
+        assert len(obs2) == len(obs)
+        assert store.pending(keys) == []
+
+    def test_chaos_plan_threads_through_collect(self, tmp_path):
+        from repro.bench import ChaosPlan
+
+        runner = self._small_runner()
+        runner.queue = TaskQueue(1, "serial", max_retries=2)
+        plan = ChaosPlan.from_spec(
+            "exception:1.0", seed=5, state_dir=str(tmp_path / "chaos")
+        )
+        obs, stats, failures = runner.collect(chaos=plan)
+        # Every task faulted once and recovered via retry; nothing lost.
+        assert failures == [] and stats.failed == 0
+        assert stats.retries == len(runner.build_tasks())
+        assert plan.injected_counts()["exception"] == stats.retries

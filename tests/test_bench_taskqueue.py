@@ -1,12 +1,14 @@
 """Tests for the task queue: locality scheduling, retries, fault injection."""
 
+import os
 import threading
+import time
 from collections import deque
 
 import pytest
 
 from repro.bench import FaultInjector, LocalityScheduler, Task, TaskQueue
-from repro.core import TaskFailedError
+from repro.core import Status, TaskFailedError
 
 
 def make_tasks(n_data=4, per_data=3):
@@ -92,6 +94,21 @@ class TestTaskQueue:
     def test_single_worker_forces_serial(self):
         q = TaskQueue(1, "thread")
         assert q.engine == "serial"
+
+    def test_single_worker_downgrade_warns_and_is_recorded(self):
+        with pytest.warns(UserWarning, match="falling back to 'serial'"):
+            q = TaskQueue(1, "process")
+        assert q.engine == "serial" and q.requested_engine == "process"
+        _, stats = q.run(make_tasks(1, 1), lambda t, w: {"ok": 1})
+        assert stats.engine == "serial"
+        assert stats.requested_engine == "process"
+
+    def test_explicit_serial_does_not_warn(self):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            TaskQueue(1, "serial")
 
 
 class TestQueueStress:
@@ -258,6 +275,177 @@ class TestFaultInjector:
         with pytest.raises(TaskFailedError):
             fn(tasks[0], 0)
         assert fn(tasks[0], 0) == {"ok": 1}
+
+
+_CRASH_DIR_ENV = "REPRO_TEST_CRASH_DIR"
+
+
+def _crash_once_worker(task, worker):
+    """Kills its worker process on the first data/0 task ever seen.
+
+    The once-only latch is a marker file so it survives the worker's
+    death (the rebuilt pool must not crash again on the same task).
+    """
+    if task.data_id == "data/0":
+        marker = os.path.join(os.environ[_CRASH_DIR_ENV], "crashed")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(3)
+    return {"w": worker}
+
+
+def _always_crash_worker(task, worker):
+    os._exit(5)
+
+
+def _hang_once_worker(task, worker):
+    """First attempt of the flagged task hangs well past any deadline."""
+    marker = os.path.join(os.environ[_CRASH_DIR_ENV], "hung")
+    if task.data_id == "data/0":
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            time.sleep(60)
+    return {"w": worker}
+
+
+class TestSupervision:
+    """Hang detection, crash recovery, and permanent-failure quarantine."""
+
+    def test_permanent_status_quarantined_with_attempts_one(self):
+        from repro.core import UnsupportedError
+
+        tasks = make_tasks(n_data=2, per_data=1)
+        bad = tasks[0].key()
+
+        def fn(task, worker):
+            if task.key() == bad:
+                raise UnsupportedError("cannot model this compressor")
+            return {"ok": 1}
+
+        results, stats = TaskQueue(1, "serial", max_retries=5).run(tasks, fn)
+        assert stats.quarantined == 1 and stats.retries == 0
+        failed = [r for r in results if not r.ok][0]
+        assert failed.attempts == 1
+        assert failed.status == int(Status.UNSUPPORTED)
+
+    def test_thread_watchdog_abandons_hung_task(self):
+        tasks = make_tasks(n_data=3, per_data=1)
+        hung_key = tasks[0].key()
+        hangs = [0]
+        lock = threading.Lock()
+
+        def fn(task, worker):
+            if task.key() == hung_key:
+                with lock:
+                    hangs[0] += 1
+                    first = hangs[0] == 1
+                if first:
+                    time.sleep(30)  # well past the deadline
+            return {"ok": 1}
+
+        t0 = time.monotonic()
+        results, stats = TaskQueue(
+            2, "thread", max_retries=2, task_timeout=0.2
+        ).run(tasks, fn)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 10  # did not wait out the 30s sleep
+        assert stats.failed == 0 and stats.completed == len(tasks)
+        assert stats.timeouts == 1 and stats.retries >= 1
+        assert {r.task.key() for r in results} == {t.key() for t in tasks}
+
+    def test_thread_watchdog_fails_task_hanging_every_attempt(self):
+        tasks = make_tasks(n_data=2, per_data=1)
+        hung_key = tasks[0].key()
+
+        def fn(task, worker):
+            if task.key() == hung_key:
+                time.sleep(30)
+            return {"ok": 1}
+
+        results, stats = TaskQueue(
+            2, "thread", max_retries=1, task_timeout=0.2
+        ).run(tasks, fn)
+        assert stats.completed == 1 and stats.failed == 1
+        failed = [r for r in results if not r.ok][0]
+        assert failed.status == int(Status.TIMEOUT)
+        assert "deadline" in failed.error
+        assert failed.attempts == 2  # original + one retried hang
+
+    def test_process_pool_crash_recovers_without_losing_tasks(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_CRASH_DIR_ENV, str(tmp_path))
+        tasks = make_tasks(n_data=3, per_data=2)
+        results, stats = TaskQueue(2, "process").run(tasks, _crash_once_worker)
+        assert stats.failed == 0 and stats.completed == len(tasks)
+        assert {r.task.key() for r in results} == {t.key() for t in tasks}
+        assert stats.pool_rebuilds >= 1
+        # Pool-level faults are not charged to tasks: nothing needed more
+        # than one *task* attempt, because the crash broke the pool, not
+        # the task.
+        assert all(r.attempts == 1 for r in results)
+        # ... and they never pollute the per-worker balance stats.
+        assert all(w >= 0 for w in stats.per_worker)
+
+    def test_crash_looping_worker_fails_run_with_diagnosis(self):
+        tasks = make_tasks(n_data=2, per_data=1)
+        results, stats = TaskQueue(2, "process", max_pool_rebuilds=1).run(
+            tasks, _always_crash_worker
+        )
+        assert stats.completed == 0 and stats.failed == len(tasks)
+        assert stats.pool_rebuilds == 2  # the cap (1) + the final strike
+        assert all("crash-looping" in r.error for r in results)
+        assert all(w >= 0 for w in stats.per_worker)
+
+    def test_process_deadline_recycles_pool_on_hang(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_CRASH_DIR_ENV, str(tmp_path))
+        tasks = make_tasks(n_data=2, per_data=1)
+        t0 = time.monotonic()
+        results, stats = TaskQueue(
+            2, "process", max_retries=2, task_timeout=0.5
+        ).run(tasks, _hang_once_worker)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30  # did not wait out the 60s hang
+        assert stats.failed == 0 and stats.completed == len(tasks)
+        assert stats.timeouts >= 1
+        assert stats.pool_rebuilds >= 1
+
+
+class TestPoisonKeysThreadEngine:
+    """Satellite: FaultInjector.poison_keys under the thread engine."""
+
+    def test_poison_exhausts_retries_and_overrides_exclusion(self):
+        tasks = make_tasks(n_data=3, per_data=2)
+        poison = {tasks[0].key()}
+        fn = FaultInjector(lambda t, w: {"ok": 1}, poison_keys=poison)
+        results, stats = TaskQueue(3, "thread", max_retries=3).run(tasks, fn)
+        # The queue drains: every healthy task completes, the poison task
+        # fails after exhausting all attempts, and nothing blocks.
+        assert stats.completed == len(tasks) - 1
+        assert stats.failed == 1
+        assert {r.task.key() for r in results} == {t.key() for t in tasks}
+        failed = [r for r in results if not r.ok][0]
+        assert failed.task.key() in poison
+        assert failed.attempts == 4  # original + max_retries
+        # Three failures land on three distinct workers (exclusion), so
+        # the fourth attempt can only run via the sanctioned override.
+        assert stats.exclusion_overrides == 1
+
+    def test_many_poison_tasks_never_block_drain(self):
+        tasks = make_tasks(n_data=4, per_data=2)
+        poison = {t.key() for t in tasks[::2]}
+        fn = FaultInjector(lambda t, w: {"ok": 1}, poison_keys=poison)
+        results, stats = TaskQueue(2, "thread", max_retries=2).run(tasks, fn)
+        assert stats.failed == len(poison)
+        assert stats.completed == len(tasks) - len(poison)
+        assert len(results) == len(tasks)
+        assert all(r.attempts == 3 for r in results if not r.ok)
 
 
 class TestCallbackIsolation:

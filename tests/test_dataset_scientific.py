@@ -122,7 +122,7 @@ class TestStructuralContrasts:
         runner = ExperimentRunner(
             ds, compressors=("szx",), bounds=(1e-4,), schemes=("khan2023",), n_folds=2
         )
-        obs, stats = runner.collect()
+        obs, stats, _ = runner.collect()
         assert stats.failed == 0
         assert len(obs) == len(ds)
         rows = runner.table2(obs)

@@ -67,7 +67,7 @@ class TestFileBackedCampaign:
             queue=TaskQueue(2, "thread"),
             n_folds=2,
         )
-        obs, stats = runner.collect()
+        obs, stats, _ = runner.collect()
         assert stats.failed == 0
         assert len(obs) == 20
         text = format_table2(runner.table2(obs))
@@ -92,7 +92,7 @@ class TestFileBackedCampaign:
             executed.append(task.key())
             return r2.run_task(task, worker)
 
-        obs, _ = r2.collect(task_fn=spy)
+        obs, _, _ = r2.collect(task_fn=spy)
         assert executed == []  # everything restored from the shared DB
         assert len(obs) == 2
 
@@ -132,7 +132,7 @@ class TestDeterminismEndToEnd:
             runner = ExperimentRunner(
                 ds, compressors=("szx",), bounds=(1e-4,), schemes=("khan2023",)
             )
-            obs, _ = runner.collect()
+            obs, _, _ = runner.collect()
             return {
                 (o["data_id"], o["bound"]): o["size:compression_ratio"] for o in obs
             }
