@@ -1,0 +1,175 @@
+"""Data-plane benchmark: per-task handoff bytes and wall-clock for the
+pickle / mmap / shm planes on the process engine.
+
+The tentpole claim: routing a datum to its pinned worker and serving it
+from a spill mapping or a shared-memory segment moves an order of
+magnitude fewer *copied* bytes per task than re-materialising the array
+for every task (the pickle baseline).  With ``D`` datums and ``T``
+tasks the expected copied-byte totals are:
+
+* ``pickle`` — every task pays a leaf load: ``T × nbytes``;
+* ``mmap``   — one leaf load per datum, every other task page-faults the
+  spill: ``D × nbytes`` copied, ``(T − D) × nbytes`` mapped;
+* ``shm``    — one leaf load plus the one-time publish copy per datum:
+  ``2 D × nbytes`` copied, the rest attached zero-copy.
+
+So the ratio to beat is ``T / D`` (mmap) and ``T / 2D`` (shm); with the
+task mix below (4 datums × 32 tasks) those are 32× and 16× — both past
+the ≥ 10× acceptance bar with margin.
+
+Emits ``BENCH_data_plane.json`` next to the working directory so CI can
+archive the measured movement per plane.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.bench import Task, TaskQueue
+from repro.core.data import PressioData
+from repro.dataset import LocalCache, SharedMemoryCache, SharedSegmentRegistry
+from repro.dataset.base import DatasetPlugin
+
+_SHAPE = (128, 256)  # 128 KiB per datum at float32
+N_DATA = 4
+PER_DATA = 32
+N_WORKERS = 2
+ARTIFACT = "BENCH_data_plane.json"
+
+
+class _SyntheticDataset(DatasetPlugin):
+    """Deterministic in-process leaf: every load materialises a fresh
+    buffer, so leaf loads count as copies — exactly what a file read or
+    HDF5 hyperslab would cost."""
+
+    id = "synthetic"
+
+    def __len__(self) -> int:
+        return N_DATA
+
+    def load_metadata(self, index: int) -> dict[str, Any]:
+        return {"data_id": f"synthetic/{index}", "shape": _SHAPE, "dtype": "float32"}
+
+    def load_data(self, index: int) -> PressioData:
+        rng = np.random.default_rng(index)
+        arr = rng.standard_normal(_SHAPE).astype(np.float32)
+        return self._count_load(PressioData(arr, metadata=self.load_metadata(index)))
+
+
+def make_tasks() -> list[Task]:
+    tasks = []
+    for d in range(N_DATA):
+        for k in range(PER_DATA):
+            tasks.append(
+                Task(
+                    data_index=d,
+                    data_id=f"synthetic/{d}",
+                    compressor_id="sz3",
+                    compressor_options={"pressio:abs": (k + 1) * 1e-6},
+                    dataset_config={"entry:data_id": f"synthetic/{d}"},
+                    replicate=0,
+                    nbytes=int(np.prod(_SHAPE)) * 4,
+                )
+            )
+    return tasks
+
+
+def _make_plane_task_fn(plane: str, plane_dir: str):
+    """Per-worker factory (module-level so it pickles): builds the plane
+    stack once per worker process, exactly as the runner's worker_init
+    does."""
+    ds: DatasetPlugin = _SyntheticDataset()
+    if plane == "mmap":
+        ds = LocalCache(ds, cache_dir=os.path.join(plane_dir, "spill"), mmap=True)
+    elif plane == "shm":
+        ds = SharedMemoryCache(
+            ds, ledger_dir=os.path.join(plane_dir, "shm"), owner=False
+        )
+
+    def fn(task: Task, worker: int) -> dict[str, Any]:
+        data = ds.load_data(task.data_index)
+        return {"mean": float(np.asarray(data.array, dtype=np.float64).mean())}
+
+    return fn
+
+
+def _run_plane(plane: str, plane_dir: str) -> dict[str, Any]:
+    tasks = make_tasks()
+    queue = TaskQueue(N_WORKERS, "process", data_plane=plane)
+    t0 = time.perf_counter()
+    results, stats = queue.run(
+        tasks,
+        None,
+        worker_init=functools.partial(_make_plane_task_fn, plane, plane_dir),
+    )
+    elapsed = time.perf_counter() - t0
+    assert stats.failed == 0 and stats.completed == len(tasks)
+    leaked: list[str] = []
+    swept = 0
+    if plane == "shm":
+        # Campaign-owner sweep; a correct lifecycle leaves nothing live.
+        owner = SharedSegmentRegistry(os.path.join(plane_dir, "shm"))
+        swept = len(owner.unlink_all())
+        leaked = list(owner.iter_live_segments())
+    return {
+        "plane": plane,
+        "wall_s": round(elapsed, 4),
+        "tasks": len(tasks),
+        "bytes_copied": stats.bytes_copied,
+        "bytes_mapped": stats.bytes_mapped,
+        "copied_per_task": round(stats.bytes_copied / len(tasks), 1),
+        "affinity_hit_rate": round(stats.affinity_hit_rate, 4),
+        "affinity_steals": stats.affinity_steals,
+        "segments_swept": swept,
+        "leaked_segments": leaked,
+    }
+
+
+class TestDataPlaneMovement:
+    def test_shm_and_mmap_copy_10x_less_than_pickle(self, tmp_path, record_property):
+        rows = {
+            plane: _run_plane(plane, str(tmp_path / plane))
+            for plane in ("pickle", "mmap", "shm")
+        }
+        for plane, row in rows.items():
+            record_property(plane, row)
+        datum_bytes = int(np.prod(_SHAPE)) * 4
+        report = {
+            "shape": list(_SHAPE),
+            "datum_bytes": datum_bytes,
+            "n_data": N_DATA,
+            "tasks": N_DATA * PER_DATA,
+            "workers": N_WORKERS,
+            "planes": rows,
+            "copied_ratio_vs_pickle": {
+                plane: round(
+                    rows["pickle"]["bytes_copied"] / max(rows[plane]["bytes_copied"], 1),
+                    2,
+                )
+                for plane in ("mmap", "shm")
+            },
+        }
+        with open(ARTIFACT, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        record_property("artifact", os.path.abspath(ARTIFACT))
+
+        # The pickle baseline re-copies the datum for every task.
+        assert rows["pickle"]["bytes_copied"] >= N_DATA * PER_DATA * datum_bytes
+        # Acceptance bar: ≥ 10× fewer copied bytes per task on both
+        # zero-copy planes.
+        assert report["copied_ratio_vs_pickle"]["mmap"] >= 10.0
+        assert report["copied_ratio_vs_pickle"]["shm"] >= 10.0
+        # The zero-copy planes actually served bytes by mapping.
+        assert rows["mmap"]["bytes_mapped"] > 0
+        assert rows["shm"]["bytes_mapped"] > 0
+        # Pinned dispatch: with 4 datum groups on 2 workers the affinity
+        # map serves ≥ 80% of tasks from their pinned worker.
+        assert rows["shm"]["affinity_hit_rate"] >= 0.8
+        # Lifecycle: nothing left in /dev/shm after the owner sweep.
+        assert rows["shm"]["leaked_segments"] == []

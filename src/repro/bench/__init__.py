@@ -9,7 +9,7 @@ producing Table-2-shaped results under k-fold cross-validation.
 
 from .checkpoint import CheckpointStore
 from .faults import CHAOS_CLASSES, ChaosPlan, FaultInjector, RetryPolicy
-from .report import format_table2, rows_to_records
+from .report import format_table2, harness_lines, rows_to_records
 from .runner import CollectionResult, ExperimentRunner, StageStat, Table2Row
 from .simcluster import SimReport, SimulatedCluster, scaling_sweep
 from .tasks import Task, precompute_keys
@@ -33,6 +33,7 @@ __all__ = [
     "TaskQueue",
     "TaskResult",
     "format_table2",
+    "harness_lines",
     "precompute_keys",
     "rows_to_records",
     "scaling_sweep",

@@ -119,15 +119,34 @@ class CheckpointStore:
         campaigns with cheap tasks should raise it (the runner and CLI
         expose it as a knob).  Buffered results are visible to every
         read on this handle; they reach disk on flush/close/exception.
+    flush_interval:
+        Wall-clock flush period in seconds (``None`` disables).  Works
+        *alongside* ``flush_every`` — the buffer commits on whichever
+        trips first — so a long-running sparse campaign (large
+        ``flush_every``, slow trickle of results) still bounds its
+        maximum data loss to one interval.  A daemon timer drives the
+        periodic flush, so the bound holds even while no ``put`` arrives.
 
     Writes use ``INSERT OR REPLACE`` inside explicit batch transactions,
     so a crash mid-write never leaves a partial row; readers see either
     the previous state or the full new batch.
     """
 
-    def __init__(self, path: str = ":memory:", *, flush_every: int = 1) -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        flush_every: int = 1,
+        flush_interval: float | None = None,
+    ) -> None:
         self.path = path
         self.flush_every = max(1, int(flush_every))
+        if flush_interval is not None and float(flush_interval) <= 0.0:
+            raise ValueError("flush_interval must be positive (or None)")
+        self.flush_interval = None if flush_interval is None else float(flush_interval)
+        self._last_flush = time.monotonic()
+        self._stop_flush_timer = threading.Event()
+        self._flush_timer: threading.Thread | None = None
         #: Commits issued on the results table — the benchmark counter
         #: proving batching (≤ 1 commit per flush interval).
         self.commit_count = 0
@@ -146,6 +165,21 @@ class CheckpointStore:
         self._db.executescript(_SCHEMA)
         self._migrate_schema()
         self._check_hash_version()
+        if self.flush_interval is not None:
+            self._flush_timer = threading.Thread(
+                target=self._flush_timer_loop, daemon=True
+            )
+            self._flush_timer.start()
+
+    def _flush_timer_loop(self) -> None:
+        # Wall-clock flushing must not depend on puts arriving: the
+        # timer fires every interval regardless, so the unflushed window
+        # is bounded even when the campaign goes quiet mid-batch.
+        while not self._stop_flush_timer.wait(self.flush_interval):
+            try:
+                self.flush()
+            except sqlite3.ProgrammingError:  # closed underneath us
+                return
 
     def _migrate_schema(self) -> None:
         """Bring pre-integrity databases up to the current schema.
@@ -222,7 +256,11 @@ class CheckpointStore:
         )
         with self._lock:
             self._buffer[key] = row
-            if len(self._buffer) >= self.flush_every:
+            interval_due = (
+                self.flush_interval is not None
+                and time.monotonic() - self._last_flush >= self.flush_interval
+            )
+            if len(self._buffer) >= self.flush_every or interval_due:
                 self._flush_locked()
 
     def put_many(
@@ -261,6 +299,7 @@ class CheckpointStore:
             self._flush_locked()
 
     def _flush_locked(self) -> None:
+        self._last_flush = time.monotonic()
         if not self._buffer:
             return
         self._db.executemany(_INSERT_SQL, list(self._buffer.values()))
@@ -351,6 +390,24 @@ class CheckpointStore:
             seen = set(out)
             out.extend(row[0] for row in cur.fetchall() if row[0] not in seen)
         return out
+
+    # -- campaign metadata -------------------------------------------------------
+    def set_meta(self, key: str, value: str) -> None:
+        """Persist one campaign-level metadata string (e.g. the last
+        run's queue statistics, serialised as JSON by the caller)."""
+        if key == "hash_version":
+            raise ValueError("'hash_version' is managed by the store")
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?,?)", (key, value)
+            )
+            self._db.commit()
+
+    def get_meta(self, key: str) -> str | None:
+        with self._lock:
+            cur = self._db.execute("SELECT value FROM meta WHERE key=?", (key,))
+            row = cur.fetchone()
+        return None if row is None else str(row[0])
 
     # -- integrity ---------------------------------------------------------------
     def verify(self) -> list[str]:
@@ -472,6 +529,10 @@ class CheckpointStore:
         return {key for key, status in rows if is_permanent_status(status)}
 
     def close(self) -> None:
+        self._stop_flush_timer.set()
+        if self._flush_timer is not None:
+            self._flush_timer.join(timeout=1.0)
+            self._flush_timer = None
         try:
             self.flush()
         finally:

@@ -57,11 +57,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="collection engine; 'process' uses a worker-process pool with "
         "per-worker dataset/compressor initialization",
     )
+    run.add_argument(
+        "--data-plane", choices=["pickle", "mmap", "shm"], default="pickle",
+        help="how datum bytes reach workers: 'pickle' copies per task, "
+        "'mmap' pages read-only .npy spills, 'shm' publishes each datum "
+        "once into a shared-memory segment that workers attach by name",
+    )
+    run.add_argument(
+        "--data-plane-dir", default=None,
+        help="directory for the plane's spill/ledger files "
+        "(default: a fresh temporary directory)",
+    )
+    run.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="process-engine dispatch granularity in tasks per datum chunk "
+        "(default: whole datum groups)",
+    )
     run.add_argument("--checkpoint", default=":memory:")
     run.add_argument(
         "--flush-every", type=int, default=1,
         help="buffer this many checkpoint writes per SQLite commit "
         "(1 = commit each result, the safest; larger batches scale collection)",
+    )
+    run.add_argument(
+        "--flush-interval", type=float, default=None,
+        help="also flush the checkpoint every this many seconds of wall "
+        "clock (whichever of count/interval trips first); bounds data "
+        "loss for sparse campaigns with a large --flush-every",
     )
     run.add_argument(
         "--queue-stats", action="store_true",
@@ -166,15 +188,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         bounds=args.bounds,
         schemes=args.schemes,
         relative_bounds=not args.absolute_bounds,
-        store=CheckpointStore(args.checkpoint, flush_every=args.flush_every),
+        store=CheckpointStore(
+            args.checkpoint,
+            flush_every=args.flush_every,
+            flush_interval=args.flush_interval,
+        ),
         queue=TaskQueue(
             args.workers,
             args.engine,
             retry_policy=policy,
             task_timeout=args.task_timeout,
+            chunk_size=args.chunk_size,
+            data_plane=args.data_plane,
         ),
         n_folds=args.folds,
         protocol=args.protocol,
+        data_plane=args.data_plane,
+        data_plane_dir=args.data_plane_dir,
     )
     chaos = None
     if args.chaos:
@@ -211,7 +241,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{stages} locality={stats.locality_rate:.0%} "
             f"retries={stats.retries} quarantined={stats.quarantined} "
             f"timeouts={stats.timeouts} pool_rebuilds={stats.pool_rebuilds} "
-            f"commits={runner.store.commit_count}",
+            f"commits={runner.store.commit_count} "
+            f"plane[{stats.data_plane or args.data_plane}] "
+            f"copied={stats.bytes_copied} mapped={stats.bytes_mapped} "
+            f"affinity={stats.affinity_hit_rate:.0%} steals={stats.affinity_steals}",
             file=sys.stderr,
         )
     for failure in failures:
@@ -224,7 +257,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(rows_to_records(rows), indent=2))
     else:
-        print(format_table2(rows, title="Hurricane performance results"))
+        print(
+            format_table2(
+                rows,
+                title="Hurricane performance results",
+                harness=stats,
+            )
+        )
+    runner.close()
     return 0
 
 
@@ -265,12 +305,28 @@ def cmd_report(args: argparse.Namespace) -> int:
         protocol=args.protocol,
     )
     rows = runner.table2(observations)
+    # The collection pass persisted its harness statistics (stage
+    # timings, data-plane counters) with the campaign; surface them so a
+    # report from the checkpoint alone tells the whole story.
+    harness = None
+    raw_stats = store.get_meta("last_run_stats")
+    if raw_stats is not None:
+        try:
+            harness = json.loads(raw_stats)
+        except ValueError:
+            harness = None
     if args.json:
-        print(json.dumps(rows_to_records(rows), indent=2))
+        print(
+            json.dumps(
+                {"rows": rows_to_records(rows), "harness": harness}, indent=2
+            )
+        )
     else:
         print(
             format_table2(
-                rows, title=f"Report from {args.checkpoint} ({len(observations)} observations)"
+                rows,
+                title=f"Report from {args.checkpoint} ({len(observations)} observations)",
+                harness=harness,
             )
         )
     return 0

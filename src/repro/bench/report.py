@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from .runner import Table2Row
+from .taskqueue import QueueStats
 
 _COLUMNS = (
     ("method", 18),
@@ -50,8 +51,82 @@ def format_row(row: Table2Row) -> str:
     return " | ".join(c.ljust(w) for c, (_, w) in zip(cells, _COLUMNS))
 
 
-def format_table2(rows: Sequence[Table2Row], title: str | None = None) -> str:
-    """Render the rows as the paper's Table 2 layout."""
+def _fmt_bytes(n: Any) -> str:
+    try:
+        n = float(n)
+    except (TypeError, ValueError):
+        return "N/A"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def harness_lines(harness: QueueStats | Mapping[str, Any] | None) -> list[str]:
+    """Footer lines giving the harness the same per-stage treatment as
+    the schemes: queue-wait / execute / checkpoint timings, plus the
+    data-plane byte movement and affinity counters.
+
+    Accepts live :class:`QueueStats` (a just-finished run) or the plain
+    mapping ``report`` restores from the checkpoint's metadata.
+    """
+    if harness is None:
+        return []
+    if isinstance(harness, QueueStats):
+        engine = harness.engine
+        stages = harness.stage_summary()
+        plane = harness.data_plane_summary()
+    else:
+        engine = str(harness.get("engine", ""))
+        stages = harness.get("stage_summary", {}) or {}
+        plane = {
+            k: harness.get(k)
+            for k in (
+                "data_plane",
+                "bytes_copied",
+                "bytes_mapped",
+                "affinity_hits",
+                "affinity_misses",
+                "affinity_steals",
+                "affinity_hit_rate",
+            )
+        }
+    lines = []
+    if stages:
+        label = f"harness[{engine}]" if engine else "harness"
+        rendered = " | ".join(
+            f"{name} {float(seconds) * 1e3:.2f} ms"
+            for name, seconds in stages.items()
+        )
+        lines.append(f"{label}: {rendered}")
+    plane_name = plane.get("data_plane")
+    if plane_name:
+        rate = plane.get("affinity_hit_rate")
+        affinity = f"{float(rate):.0%}" if rate is not None else "N/A"
+        lines.append(
+            f"data-plane[{plane_name}]: "
+            f"copied {_fmt_bytes(plane.get('bytes_copied'))} | "
+            f"mapped {_fmt_bytes(plane.get('bytes_mapped'))} | "
+            f"affinity {affinity} "
+            f"(steals {plane.get('affinity_steals', 0)})"
+        )
+    return lines
+
+
+def format_table2(
+    rows: Sequence[Table2Row],
+    title: str | None = None,
+    *,
+    harness: QueueStats | Mapping[str, Any] | None = None,
+) -> str:
+    """Render the rows as the paper's Table 2 layout.
+
+    ``harness`` (a :class:`QueueStats` or its checkpointed mapping form)
+    appends the harness's own stage timings and data-plane counters as a
+    footer — the run infrastructure reported in the same breath as the
+    schemes it measured.
+    """
     lines = []
     if title:
         lines.append(title)
@@ -60,6 +135,10 @@ def format_table2(rows: Sequence[Table2Row], title: str | None = None) -> str:
     lines.append("-" * len(header))
     for row in rows:
         lines.append(format_row(row))
+    footer = harness_lines(harness)
+    if footer:
+        lines.append("-" * len(header))
+        lines.extend(footer)
     return "\n".join(lines)
 
 

@@ -20,7 +20,10 @@ The output rows correspond one-to-one to Table 2 of the paper.
 from __future__ import annotations
 
 import functools
+import json
 import math
+import os
+import tempfile
 import warnings
 import time
 from dataclasses import dataclass, field
@@ -32,6 +35,8 @@ from ..compressors import make_compressor  # imports register the codecs
 from ..core.errors import UnsupportedError
 from ..core.metrics import ErrorStatMetrics, SizeMetrics, TimeMetrics
 from ..dataset.base import DatasetPlugin
+from ..dataset.caches import LocalCache, SharedMemoryCache
+from ..dataset.shm import DATA_PLANES
 from ..mlkit.metrics import medape
 from ..mlkit.model_selection import GroupKFold, KFold
 from ..predict.scheme import SchemePlugin, get_scheme
@@ -129,6 +134,9 @@ class ExperimentRunner:
         replicates: int = 1,
         protocol: str = "out_of_sample",
         experiment_meta: Mapping[str, Any] | None = None,
+        data_plane: str = "pickle",
+        data_plane_dir: str | None = None,
+        data_plane_owner: bool = True,
     ) -> None:
         self.dataset = dataset
         self.compressors = list(compressors)
@@ -157,6 +165,37 @@ class ExperimentRunner:
             "schemes", sorted(s.id for s in self.schemes)
         )
         self.experiment_meta.setdefault("relative_bounds", self.relative_bounds)
+        # -- data plane: how bytes move from loader to task ----------------
+        # ``self.dataset`` stays the *bare* dataset for metadata and
+        # configuration hashing (checkpoint keys must be identical across
+        # planes — switching --data-plane must not invalidate a
+        # checkpoint); only the loading path goes through the plane stack.
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"unknown data plane {data_plane!r}; expected one of {DATA_PLANES}"
+            )
+        self.data_plane = data_plane
+        self.data_plane_owner = bool(data_plane_owner)
+        if data_plane == "pickle":
+            self.data_plane_dir = data_plane_dir
+            self._plane_dataset: DatasetPlugin = dataset
+        else:
+            if data_plane_dir is None:
+                data_plane_dir = tempfile.mkdtemp(prefix="repro-data-plane-")
+            self.data_plane_dir = os.fspath(data_plane_dir)
+            if data_plane == "mmap":
+                self._plane_dataset = LocalCache(
+                    dataset,
+                    cache_dir=os.path.join(self.data_plane_dir, "spill"),
+                    mmap=True,
+                )
+            else:  # shm
+                self._plane_dataset = SharedMemoryCache(
+                    dataset,
+                    ledger_dir=os.path.join(self.data_plane_dir, "shm"),
+                    owner=self.data_plane_owner,
+                )
+        self.queue.data_plane = self.data_plane
 
     # -- task construction ----------------------------------------------------
     def build_tasks(self) -> list[Task]:
@@ -193,7 +232,7 @@ class ExperimentRunner:
     # -- collection -------------------------------------------------------------
     def run_task(self, task: Task, worker: int = 0) -> dict[str, Any]:
         """Execute one collection task (ground truth + scheme metrics)."""
-        data = self.dataset.load_data(task.data_index)
+        data = self._plane_dataset.load_data(task.data_index)
         eb = float(task.compressor_options["pressio:abs"])
         if self.relative_bounds:
             arr = data.array
@@ -245,7 +284,14 @@ class ExperimentRunner:
         return payload
 
     def worker_init(self):
-        """A picklable factory rebuilding :meth:`run_task` per process."""
+        """A picklable factory rebuilding :meth:`run_task` per process.
+
+        The data-plane settings ride along (with the *resolved* plane
+        directory), so every worker rebuilds the same plane stack over
+        the same spill/ledger directories — a worker is never the plane
+        owner, so it attaches and releases but cannot unlink the
+        campaign's segments out from under its siblings.
+        """
         return functools.partial(
             _rebuild_collection_fn,
             self.dataset,
@@ -255,6 +301,9 @@ class ExperimentRunner:
                 "schemes": [s.id for s in self.schemes],
                 "relative_bounds": self.relative_bounds,
                 "experiment_meta": dict(self.experiment_meta),
+                "data_plane": self.data_plane,
+                "data_plane_dir": self.data_plane_dir,
+                "data_plane_owner": False,
             },
         )
 
@@ -353,10 +402,46 @@ class ExperimentRunner:
                 f"first errors: {[r.error for r in failures][:3]}",
                 stacklevel=2,
             )
+        # Persist the harness-side statistics with the campaign, so
+        # ``report --json`` on the checkpoint alone can show stage
+        # timings and data-plane counters without re-running anything.
+        try:
+            self.store.set_meta(
+                "last_run_stats",
+                json.dumps(
+                    {
+                        "engine": stats.engine,
+                        "requested_engine": stats.requested_engine,
+                        "completed": stats.completed,
+                        "failed": stats.failed,
+                        "retries": stats.retries,
+                        "stage_summary": stats.stage_summary(),
+                        **stats.data_plane_summary(),
+                    }
+                ),
+            )
+        except Exception:  # noqa: BLE001 - stats are advisory, never fatal
+            pass
         observations = [
             p for k in by_key if (p := self.store.get(k)) is not None
         ]
+        if self.data_plane == "shm" and self.data_plane_owner:
+            # Campaign-end sweep: every published segment (including any
+            # left by chaos-killed workers mid-publish) is unlinked, so a
+            # collect() never leaks /dev/shm names.  A later resume just
+            # re-publishes what it needs.
+            self._plane_dataset.unlink_all()
         return CollectionResult(observations, stats, failures)
+
+    def close(self) -> None:
+        """Tear down the data plane (idempotent).
+
+        The owner unlinks every shared-memory segment; a non-owner (a
+        worker-side runner) only drops its attachments.  The checkpoint
+        store is left open — it has its own lifecycle.
+        """
+        if self._plane_dataset is not self.dataset:
+            self._plane_dataset.close()
 
     # -- evaluation ------------------------------------------------------------
     def evaluate_scheme(

@@ -12,10 +12,12 @@ Engines:
 * ``thread`` — a pool of worker threads coordinated through a condition
   variable (NumPy kernels release the GIL, so compressor-bound tasks
   overlap);
-* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor` with
-  per-worker initialization, for NumPy-bound collection that needs real
-  cores.  Tasks are grouped by ``data_id`` so each datum's work lands in
-  one process (locality without worker pinning).
+* ``process`` — N *pinned* single-process executors (one per worker
+  slot), for NumPy-bound collection that needs real cores.  Tasks are
+  grouped by ``data_id`` and routed by a worker-id → datum affinity map
+  (:class:`_AffinityMap`): a datum's chunks follow the worker that
+  loaded it, idle workers steal (ownership moves with the steal), and
+  data-plane byte counters measure what the routing saved.
 
 Serial and thread share the same :class:`LocalityScheduler` and
 retry/failure semantics.  A fourth execution model, the discrete-event
@@ -124,11 +126,29 @@ class QueueStats:
     pool_rebuilds: int = 0
     #: Total backoff delay scheduled before retries, in seconds.
     backoff_seconds: float = 0.0
+    #: Data-plane accounting (see :mod:`repro.dataset.shm`): bytes that
+    #: reached a consumer by private copy vs zero-copy mapping/attach.
+    bytes_copied: int = 0
+    bytes_mapped: int = 0
+    #: Worker-pinned affinity accounting (process engine): a hit is a
+    #: task dispatched to the worker that already holds its datum, a
+    #: miss is a first load, a steal is an idle worker taking over
+    #: another worker's datum (ownership transfers with the steal).
+    affinity_hits: int = 0
+    affinity_misses: int = 0
+    affinity_steals: int = 0
+    #: Which data plane moved the bytes (``pickle``/``mmap``/``shm``).
+    data_plane: str = ""
 
     @property
     def locality_rate(self) -> float:
         total = self.locality_hits + self.locality_misses
         return self.locality_hits / total if total else 0.0
+
+    @property
+    def affinity_hit_rate(self) -> float:
+        total = self.affinity_hits + self.affinity_misses
+        return self.affinity_hits / total if total else 0.0
 
     def stage_summary(self) -> dict[str, float]:
         """Per-stage harness timings, paper-style (seconds)."""
@@ -136,6 +156,18 @@ class QueueStats:
             "queue_wait": self.queue_wait_seconds,
             "execute": self.execute_seconds,
             "checkpoint": self.checkpoint_seconds,
+        }
+
+    def data_plane_summary(self) -> dict[str, Any]:
+        """Data-plane movement + affinity counters for reports."""
+        return {
+            "data_plane": self.data_plane,
+            "bytes_copied": self.bytes_copied,
+            "bytes_mapped": self.bytes_mapped,
+            "affinity_hits": self.affinity_hits,
+            "affinity_misses": self.affinity_misses,
+            "affinity_steals": self.affinity_steals,
+            "affinity_hit_rate": self.affinity_hit_rate,
         }
 
 
@@ -192,6 +224,69 @@ class LocalityScheduler:
             self.note_loaded(worker, data_id)
 
 
+class _AffinityMap:
+    """Worker-id → datum ownership for the pinned process engine.
+
+    The process-side analog of :class:`LocalityScheduler`'s ownership
+    claims: every datum is owned by the worker that first loaded it, and
+    dispatch routes that datum's chunks back to the owner.  An idle
+    worker with no owned or unclaimed work *steals* — ownership moves
+    with the steal, so subsequent chunks of the stolen datum follow the
+    thief instead of ping-ponging.
+    """
+
+    def __init__(self) -> None:
+        self.owner: dict[str, int] = {}
+        self.loaded: dict[int, set[str]] = defaultdict(set)
+        self.hits = 0
+        self.misses = 0
+        self.steals = 0
+
+    def pick(self, worker: int, pending: deque[list[Task]]) -> list[Task] | None:
+        """Choose (and remove) the best pending chunk for *worker*."""
+        if not pending:
+            return None
+        unowned = -1
+        for i, chunk in enumerate(pending):
+            did = chunk[0].data_id
+            if self.owner.get(did) == worker:
+                del pending[i]
+                self._account(worker, did, len(chunk))
+                return chunk
+            if unowned < 0 and did not in self.owner:
+                unowned = i
+        if unowned >= 0:
+            chunk = pending[unowned]
+            del pending[unowned]
+            did = chunk[0].data_id
+            self.owner[did] = worker
+            self._account(worker, did, len(chunk))
+            return chunk
+        # Every pending chunk belongs to some busy worker: steal the
+        # oldest rather than idle.  Ownership transfers with the steal.
+        chunk = pending.popleft()
+        did = chunk[0].data_id
+        self.owner[did] = worker
+        self.steals += 1
+        self._account(worker, did, len(chunk))
+        return chunk
+
+    def _account(self, worker: int, data_id: str, n_tasks: int) -> None:
+        # Per-task accounting: the first task on a worker that has not
+        # loaded the datum pays the load (miss); everything after rides
+        # the warm copy (hits).
+        if data_id in self.loaded[worker]:
+            self.hits += n_tasks
+        else:
+            self.misses += 1
+            self.hits += n_tasks - 1
+            self.loaded[worker].add(data_id)
+
+    def forget_worker(self, worker: int) -> None:
+        """The worker's process died: its warm data died with it."""
+        self.loaded.pop(worker, None)
+
+
 class TaskQueue:
     """Run tasks through a callable with retries and locality placement.
 
@@ -221,6 +316,17 @@ class TaskQueue:
     max_pool_rebuilds:
         Consecutive no-progress pool rebuilds tolerated before the run
         fails with a diagnosis (process engine only).
+    chunk_size:
+        Process-engine dispatch granularity: tasks per chunk within a
+        datum group.  ``None`` (default) dispatches whole groups —
+        maximum batching; a small value interleaves datums across
+        workers and lets the affinity map route later chunks back to
+        whichever worker loaded the datum first.
+    data_plane:
+        Label for how bytes move between loader and worker
+        (``pickle``/``mmap``/``shm``); recorded in :class:`QueueStats`.
+        The plane itself is built by the runner's dataset stack — the
+        queue only accounts for it.
     """
 
     def __init__(
@@ -232,6 +338,8 @@ class TaskQueue:
         retry_policy: RetryPolicy | None = None,
         task_timeout: float | None = None,
         max_pool_rebuilds: int = 5,
+        chunk_size: int | None = None,
+        data_plane: str = "pickle",
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
@@ -249,6 +357,10 @@ class TaskQueue:
         self.max_retries = self.retry_policy.max_retries
         self.task_timeout = None if task_timeout is None else float(task_timeout)
         self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for whole groups)")
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
+        self.data_plane = data_plane
 
     def run(
         self,
@@ -270,11 +382,25 @@ class TaskQueue:
         """
         if task_fn is None and worker_init is None:
             raise ValueError("one of task_fn or worker_init is required")
+        from ..dataset.shm import PLANE_COUNTERS, PlaneCounters
+
+        before = PLANE_COUNTERS.snapshot()
         if self.engine == "process":
-            return self._run_process(tasks, task_fn, on_result=on_result, worker_init=worker_init)
-        if task_fn is None:
-            task_fn = worker_init()
-        return self._run_threaded(tasks, task_fn, on_result=on_result)
+            results, stats = self._run_process(
+                tasks, task_fn, on_result=on_result, worker_init=worker_init
+            )
+        else:
+            if task_fn is None:
+                task_fn = worker_init()
+            results, stats = self._run_threaded(tasks, task_fn, on_result=on_result)
+        # In-process loads (serial/thread always; the process engine's
+        # parent rarely loads, and worker-side deltas are shipped back
+        # with each chunk's outcomes).
+        delta = PlaneCounters.delta(before, PLANE_COUNTERS.snapshot())
+        stats.bytes_copied += delta["bytes_copied"]
+        stats.bytes_mapped += delta["bytes_mapped"]
+        stats.data_plane = self.data_plane
+        return results, stats
 
     # -- serial / thread engines ------------------------------------------------
     def _run_threaded(
@@ -518,19 +644,28 @@ class TaskQueue:
         on_result: Callable[[TaskResult], None] | None,
         worker_init: Callable[[], Callable[[Task, int], dict[str, Any]]] | None,
     ) -> tuple[list[TaskResult], QueueStats]:
-        """Fan tasks out to worker processes, grouped by datum.
+        """Fan tasks out to *pinned* worker processes with datum affinity.
 
-        Each group (all tasks sharing a ``data_id``) is one submission,
-        so a datum is loaded once per process — the same locality goal
-        the scheduler pursues for threads, achieved through batching
-        because a pool gives no control over worker placement.  Results
-        stream back to the parent, which owns retries and the
+        Each worker slot is its own single-process executor, so "worker
+        ``w``" names one long-lived OS process — the control a shared
+        pool denies.  Work is dispatched in chunks (``chunk_size`` tasks
+        of one datum; whole groups by default) routed by an
+        :class:`_AffinityMap`: a chunk goes to the worker that owns its
+        datum, an unclaimed datum is claimed by the first free worker,
+        and a worker with nothing of its own *steals* — ownership moving
+        with the steal — rather than idle.  Workers holding a warm datum
+        (OS page cache, shared-memory attach, or in-process cache) serve
+        every later chunk of it without another copy; the shipped-back
+        data-plane deltas in each outcome make the saving measurable.
+
+        Results stream back to the parent, which owns retries and the
         ``on_result`` sink (so e.g. SQLite sees a single writer).
 
-        Pool-level faults (a worker process dying, the executor breaking)
-        are *not* charged to tasks: every in-flight group is requeued
-        as-is, the executor is rebuilt, and only consecutive rebuilds
-        without any completed group count toward ``max_pool_rebuilds`` —
+        Pool-level faults (a worker process dying, its executor breaking)
+        are *not* charged to tasks: the slot's in-flight chunk is
+        requeued as-is, only that slot is rebuilt (the other workers
+        keep their warm state), and only consecutive rebuilds without
+        any completed chunk count toward ``max_pool_rebuilds`` —
         exceeding it fails the remaining tasks with a diagnosis instead
         of crash-looping or hanging.
 
@@ -570,30 +705,53 @@ class TaskQueue:
             if result.worker >= 0:
                 stats.per_worker[result.worker] = stats.per_worker.get(result.worker, 0) + 1
 
+        # Group by datum, then cut groups into dispatch chunks.  With the
+        # default chunk_size=None a datum is one chunk (max batching);
+        # smaller chunks interleave datums across time and exercise the
+        # affinity map's routing.
         groups: dict[str, list[Task]] = {}
         for task in tasks:
             groups.setdefault(task.data_id, []).append(task)
-        # One process per datum group: the first task in a group pays
-        # the load (miss), the rest share it (hits).
+        pending_chunks: deque[list[Task]] = deque()
         for group in groups.values():
-            stats.locality_misses += 1
-            stats.locality_hits += len(group) - 1
+            if self.chunk_size is None:
+                pending_chunks.append(group)
+            else:
+                for i in range(0, len(group), self.chunk_size):
+                    pending_chunks.append(group[i : i + self.chunk_size])
 
+        affinity = _AffinityMap()
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
 
-        def make_pool() -> ProcessPoolExecutor:
-            id_counter = ctx.Value("i", 0)
+        class _Slot:
+            __slots__ = ("wid", "pool", "fut", "chunk", "perf_submitted",
+                         "submitted", "broken")
+
+            def __init__(self, wid: int) -> None:
+                self.wid = wid
+                self.pool: ProcessPoolExecutor | None = None
+                self.fut = None
+                self.chunk: list[Task] | None = None
+                self.perf_submitted = 0.0
+                self.submitted = 0.0
+                self.broken = False
+
+        def make_pool(wid: int) -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
-                max_workers=self.n_workers,
+                max_workers=1,
                 mp_context=ctx,
                 initializer=_process_worker_init,
-                initargs=(worker_init, None if worker_init is not None else task_fn, id_counter),
+                initargs=(
+                    worker_init,
+                    None if worker_init is not None else task_fn,
+                    wid,
+                ),
             )
 
         def kill_pool(dead: ProcessPoolExecutor) -> None:
             # A broken or hung pool cannot be drained gracefully: cancel
-            # what never started, then terminate worker processes so a
+            # what never started, then terminate the worker process so a
             # hung task cannot outlive its executor.
             procs = list((getattr(dead, "_processes", None) or {}).values())
             try:
@@ -607,23 +765,27 @@ class TaskQueue:
                 except Exception:  # noqa: BLE001 - teardown best-effort
                     pass
 
-        #: Groups awaiting (re)submission, and retry groups still backing off.
-        pending_groups: deque[list[Task]] = deque(groups.values())
+        slots = [_Slot(wid) for wid in range(self.n_workers)]
         delayed: list[tuple[float, list[Task]]] = []
-        futures: dict[Any, tuple[list[Task], float, float]] = {}
-        pool: ProcessPoolExecutor | None = None
-        pool_broken = False
         last_pool_error = "unknown"
         rebuilds_without_progress = 0
-        resubmissions = 0  # retry/requeue groups (each pays one re-load miss)
+        aborted = False
 
         def fail_remaining(diagnosis: str) -> None:
-            for _, group in delayed:
-                pending_groups.append(group)
+            # Pull in-flight chunks too: an aborted campaign must report
+            # every task exactly once.
+            for slot in slots:
+                if slot.fut is not None:
+                    pending_chunks.append(slot.chunk)
+                    slot.fut = None
+                    slot.chunk = None
+                    slot.broken = True
+            for _, chunk in delayed:
+                pending_chunks.append(chunk)
             delayed.clear()
-            while pending_groups:
-                group = pending_groups.popleft()
-                for task in group:
+            while pending_chunks:
+                chunk = pending_chunks.popleft()
+                for task in chunk:
                     finish(
                         TaskResult(
                             task,
@@ -634,178 +796,207 @@ class TaskQueue:
                         )
                     )
 
+        def charge_outcomes(slot: _Slot, chunk: list[Task], outcomes) -> None:
+            exec_total = 0.0
+            wall = time.perf_counter() - slot.perf_submitted
+            for task, (wid, payload, error, status, exec_s) in zip(chunk, outcomes):
+                exec_total += exec_s
+                stats.execute_seconds += exec_s
+                key = task.key()
+                attempts[key] += 1
+                if error is None:
+                    finish(
+                        TaskResult(task, wid, payload=payload, attempts=attempts[key])
+                    )
+                elif policy.should_retry(status, attempts[key]):
+                    stats.retries += 1
+                    # Resubmitted as a single-task chunk; the affinity
+                    # map routes it back to the datum's owner, so the
+                    # retry usually lands on a warm worker.
+                    delay = policy.delay(key, attempts[key])
+                    if delay > 0.0:
+                        stats.backoff_seconds += delay
+                        delayed.append((time.monotonic() + delay, [task]))
+                    else:
+                        pending_chunks.append([task])
+                else:
+                    if policy.is_permanent(status):
+                        stats.quarantined += 1
+                    finish(
+                        TaskResult(
+                            task, wid, error=error,
+                            attempts=attempts[key], status=status,
+                        )
+                    )
+            # Queue wait: turnaround the chunk spent outside its own
+            # execution (slot backlog + transfer).
+            stats.queue_wait_seconds += max(wall - exec_total, 0.0)
+
         try:
-            while futures or pending_groups or delayed:
+            while not aborted:
                 now = time.monotonic()
                 if delayed:
                     still_delayed = []
-                    for ready_at, group in delayed:
+                    for ready_at, chunk in delayed:
                         if ready_at <= now:
-                            pending_groups.append(group)
+                            pending_chunks.append(chunk)
                         else:
-                            still_delayed.append((ready_at, group))
+                            still_delayed.append((ready_at, chunk))
                     delayed = still_delayed
 
-                if pool_broken or pool is None:
-                    if pool is not None:
-                        kill_pool(pool)
-                        pool = None
-                        stats.pool_rebuilds += 1
-                        rebuilds_without_progress += 1
-                        if rebuilds_without_progress > self.max_pool_rebuilds:
-                            fail_remaining(
-                                "TaskFailedError: process pool failed "
-                                f"{rebuilds_without_progress} consecutive times without "
-                                f"completing any task (last: {last_pool_error}); "
-                                "a worker is crash-looping — aborting the campaign"
-                            )
-                            break
-                    pool_broken = False
-                    pool = make_pool()
+                # Recycle broken slots (crash or hang): requeue their
+                # chunk uncharged, drop their warm-data claims, rebuild
+                # lazily.  Only consecutive no-progress rebuilds count
+                # toward the crash-loop cap.
+                for slot in slots:
+                    if not slot.broken:
+                        continue
+                    if slot.pool is not None:
+                        kill_pool(slot.pool)
+                        slot.pool = None
+                    if slot.chunk is not None:
+                        pending_chunks.append(slot.chunk)
+                    slot.fut = None
+                    slot.chunk = None
+                    slot.broken = False
+                    affinity.forget_worker(slot.wid)
+                    stats.pool_rebuilds += 1
+                    rebuilds_without_progress += 1
+                    if rebuilds_without_progress > self.max_pool_rebuilds:
+                        fail_remaining(
+                            "TaskFailedError: worker processes failed "
+                            f"{rebuilds_without_progress} consecutive times without "
+                            f"completing any task (last: {last_pool_error}); "
+                            "a worker is crash-looping — aborting the campaign"
+                        )
+                        aborted = True
+                        break
+                if aborted:
+                    break
 
-                while pending_groups:
-                    group = pending_groups[0]
+                # Dispatch: every free slot takes its best-affinity chunk.
+                for slot in slots:
+                    if slot.fut is not None or not pending_chunks:
+                        continue
+                    chunk = affinity.pick(slot.wid, pending_chunks)
+                    if chunk is None:
+                        continue
+                    if slot.pool is None:
+                        slot.pool = make_pool(slot.wid)
                     try:
-                        fut = pool.submit(_process_run_group, group)
+                        fut = slot.pool.submit(_process_run_chunk, chunk)
                     except Exception as exc:  # noqa: BLE001 - broken/shut pool
                         last_pool_error = f"{type(exc).__name__}: {exc}"
-                        pool_broken = True
-                        break
-                    pending_groups.popleft()
-                    futures[fut] = (group, time.perf_counter(), time.monotonic())
-                if pool_broken:
-                    # Requeue everything in flight; the rebuild happens
-                    # at the top of the loop.
-                    for group, _, _ in futures.values():
-                        pending_groups.append(group)
-                    futures.clear()
+                        slot.chunk = chunk
+                        slot.broken = True
+                        continue
+                    slot.fut = fut
+                    slot.chunk = chunk
+                    slot.perf_submitted = time.perf_counter()
+                    slot.submitted = time.monotonic()
+                if any(slot.broken for slot in slots):
                     continue
 
-                if not futures:
+                futmap = {slot.fut: slot for slot in slots if slot.fut is not None}
+                if not futmap:
                     if delayed:
                         next_ready = min(ready_at for ready_at, _ in delayed)
                         time.sleep(max(next_ready - time.monotonic(), 0.0) + 1e-4)
+                        continue
+                    if not pending_chunks:
+                        break  # drained
                     continue
 
                 bound = 0.1 if (self.task_timeout is not None or delayed) else None
-                done, _ = wait(list(futures), timeout=bound, return_when=FIRST_COMPLETED)
+                done, _ = wait(list(futmap), timeout=bound, return_when=FIRST_COMPLETED)
 
                 progressed = False
                 for fut in done:
-                    group, perf_submitted, _ = futures.pop(fut)
-                    wall = time.perf_counter() - perf_submitted
+                    slot = futmap[fut]
+                    chunk = slot.chunk
+                    slot.fut = None
+                    slot.chunk = None
                     try:
-                        outcomes = fut.result()
+                        outcomes, plane_delta = fut.result()
                     except BrokenProcessPool as exc:
-                        # Pool-level fault: the group never reported, so
+                        # Slot-level fault: the chunk never reported, so
                         # its tasks are not charged an attempt — they
-                        # rerun wholesale on the rebuilt pool.  (The old
-                        # behaviour charged every task and resubmitted
-                        # retries into the broken executor, instantly
-                        # exhausting all attempts.)
+                        # rerun wholesale once the slot is rebuilt.
                         last_pool_error = f"{type(exc).__name__}: {exc}"
-                        pool_broken = True
-                        pending_groups.append(group)
+                        slot.chunk = chunk
+                        slot.broken = True
                         continue
-                    except Exception as exc:  # noqa: BLE001 - group-level fault
-                        # Attributable to the group itself (e.g. an
+                    except Exception as exc:  # noqa: BLE001 - chunk-level fault
+                        # Attributable to the chunk itself (e.g. an
                         # unpicklable payload): charge the tasks.
                         outcomes = [
-                            (-1, None, f"{type(exc).__name__}: {exc}",
+                            (slot.wid, None, f"{type(exc).__name__}: {exc}",
                              int(Status.TASK_FAILED), 0.0)
-                            for _ in group
+                            for _ in chunk
                         ]
+                        plane_delta = {}
                     progressed = True
-                    exec_total = 0.0
-                    for task, (wid, payload, error, status, exec_s) in zip(group, outcomes):
-                        exec_total += exec_s
-                        stats.execute_seconds += exec_s
-                        key = task.key()
-                        attempts[key] += 1
-                        if error is None:
-                            finish(
-                                TaskResult(
-                                    task, wid, payload=payload, attempts=attempts[key]
-                                )
-                            )
-                        elif policy.should_retry(status, attempts[key]):
-                            stats.retries += 1
-                            # A retry lands on whichever process is free
-                            # next; resubmitted as its own (re-load) group.
-                            resubmissions += 1
-                            delay = policy.delay(key, attempts[key])
-                            if delay > 0.0:
-                                stats.backoff_seconds += delay
-                                delayed.append((time.monotonic() + delay, [task]))
-                            else:
-                                pending_groups.append([task])
-                        else:
-                            if policy.is_permanent(status):
-                                stats.quarantined += 1
-                            finish(
-                                TaskResult(
-                                    task, wid, error=error,
-                                    attempts=attempts[key], status=status,
-                                )
-                            )
-                    # Queue wait: turnaround the group spent outside its
-                    # own execution (pool backlog + transfer).
-                    stats.queue_wait_seconds += max(wall - exec_total, 0.0)
+                    stats.bytes_copied += plane_delta.get("bytes_copied", 0)
+                    stats.bytes_mapped += plane_delta.get("bytes_mapped", 0)
+                    charge_outcomes(slot, chunk, outcomes)
                 if progressed:
                     rebuilds_without_progress = 0
 
-                if self.task_timeout is not None and not pool_broken:
-                    # Hang detection: a group gets one deadline per task
+                if self.task_timeout is not None:
+                    # Hang detection: a chunk gets one deadline per task
                     # plus one of startup grace; an overrun means a hung
-                    # worker process, reclaimable only by recycling the
-                    # pool (terminate + rebuild + requeue).
+                    # worker process, reclaimable only by recycling that
+                    # slot (terminate + rebuild + requeue).
                     now = time.monotonic()
-                    overdue = [
-                        fut
-                        for fut, (group, _, submitted) in futures.items()
-                        if now - submitted > self.task_timeout * (len(group) + 1)
-                    ]
-                    for fut in overdue:
-                        group, _, _ = futures.pop(fut)
-                        retry_group: list[Task] = []
-                        for task in group:
+                    for slot in slots:
+                        if slot.fut is None or slot.broken:
+                            continue
+                        chunk = slot.chunk
+                        if now - slot.submitted <= self.task_timeout * (len(chunk) + 1):
+                            continue
+                        retry_chunk: list[Task] = []
+                        for task in chunk:
                             key = task.key()
                             attempts[key] += 1
                             stats.timeouts += 1
                             if policy.should_retry(int(Status.TIMEOUT), attempts[key]):
                                 stats.retries += 1
-                                resubmissions += 1
-                                retry_group.append(task)
+                                retry_chunk.append(task)
                             else:
                                 finish(
                                     TaskResult(
                                         task,
                                         -1,
                                         error=(
-                                            "TaskTimeoutError: group exceeded "
+                                            "TaskTimeoutError: chunk exceeded "
                                             f"{self.task_timeout:g}s/task deadline"
                                         ),
                                         attempts=attempts[key],
                                         status=int(Status.TIMEOUT),
                                     )
                                 )
-                        if retry_group:
-                            pending_groups.append(retry_group)
-                    if overdue:
+                        if retry_chunk:
+                            pending_chunks.append(retry_chunk)
                         last_pool_error = "hung worker process (deadline exceeded)"
-                        pool_broken = True
-                        for group, _, _ in futures.values():
-                            pending_groups.append(group)
-                        futures.clear()
-            # Each resubmitted group re-loads its datum in whatever
-            # process picks it up.
-            stats.locality_misses += resubmissions
+                        slot.fut = None
+                        slot.chunk = None  # already charged above
+                        slot.broken = True
+            stats.affinity_hits = affinity.hits
+            stats.affinity_misses = affinity.misses
+            stats.affinity_steals = affinity.steals
+            # Mirror into the locality counters so --queue-stats output
+            # is comparable across engines (hit = served from a warm
+            # worker, miss = a load somewhere paid for it).
+            stats.locality_hits = affinity.hits
+            stats.locality_misses = affinity.misses
         finally:
-            if pool is not None:
-                if pool_broken or futures:
-                    kill_pool(pool)
+            for slot in slots:
+                if slot.pool is None:
+                    continue
+                if slot.broken or slot.fut is not None:
+                    kill_pool(slot.pool)
                 else:
-                    pool.shutdown(wait=True)
+                    slot.pool.shutdown(wait=True)
         return results, stats
 
 
@@ -815,26 +1006,35 @@ _WORKER_FN: Callable[[Task, int], dict[str, Any]] | None = None
 _WORKER_ID: int = -1
 
 
-def _process_worker_init(worker_init, task_fn, id_counter) -> None:
-    """Runs once in each worker process: build the task function there."""
+def _process_worker_init(worker_init, task_fn, worker_id: int) -> None:
+    """Runs once in each worker process: build the task function there.
+
+    ``worker_id`` arrives by value (each slot is a single-process pool),
+    so worker identity is stable across the whole campaign — the parent's
+    affinity map and the worker's warm caches agree on who is who.
+    """
     global _WORKER_FN, _WORKER_ID
-    with id_counter.get_lock():
-        _WORKER_ID = int(id_counter.value)
-        id_counter.value += 1
+    _WORKER_ID = int(worker_id)
     _WORKER_FN = worker_init() if worker_init is not None else task_fn
 
 
-def _process_run_group(
-    group: list[Task],
-) -> list[tuple[int, dict[str, Any] | None, str | None, int, float]]:
-    """Execute one datum's tasks sequentially in a worker process.
+def _process_run_chunk(
+    chunk: list[Task],
+) -> tuple[list[tuple[int, dict[str, Any] | None, str | None, int, float]], dict[str, int]]:
+    """Execute one datum chunk sequentially in a worker process.
 
     Each outcome is ``(worker_id, payload, error, status, exec_seconds)``
     — the status code rides along so the parent's retry policy can
-    classify the failure without unpickling exception objects.
+    classify the failure without unpickling exception objects.  The
+    second element is the worker's data-plane counter delta for the
+    chunk (bytes copied vs mapped), shipped back so the parent's
+    ``QueueStats`` can account bytes it never saw move.
     """
+    from ..dataset.shm import PLANE_COUNTERS, PlaneCounters
+
+    before = PLANE_COUNTERS.snapshot()
     out: list[tuple[int, dict[str, Any] | None, str | None, int, float]] = []
-    for task in group:
+    for task in chunk:
         t0 = time.perf_counter()
         try:
             payload = _WORKER_FN(task, _WORKER_ID)
@@ -851,4 +1051,8 @@ def _process_run_group(
                     time.perf_counter() - t0,
                 )
             )
-    return out
+    delta = PlaneCounters.delta(before, PLANE_COUNTERS.snapshot())
+    return out, {
+        "bytes_copied": delta["bytes_copied"],
+        "bytes_mapped": delta["bytes_mapped"],
+    }

@@ -15,6 +15,7 @@ from typing import Any, Iterator
 from ..core.data import PressioData
 from ..core.options import PressioOptions
 from ..core.registry import Registry
+from .shm import PLANE_COUNTERS
 
 #: Registry of dataset plugin factories.
 dataset_registry: Registry["DatasetPlugin"] = Registry("dataset")
@@ -84,10 +85,22 @@ class DatasetPlugin:
             }
         )
 
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Release resources held by the plugin (segments, mappings).
+
+        The base class holds nothing; stacked wrappers propagate the call
+        inward so closing the outermost plugin tears down the whole
+        pipeline.  Safe to call more than once.
+        """
+
     # -- bookkeeping helper for subclasses ---------------------------------------
     def _count_load(self, data: PressioData) -> PressioData:
         self._loads += 1
         self._bytes_loaded += data.nbytes
+        # A leaf load materialises a fresh private buffer: that is a copy
+        # in data-plane terms, whatever cache tiers sit above it.
+        PLANE_COUNTERS.note_copied(data.nbytes)
         return data
 
     def __repr__(self) -> str:
@@ -120,6 +133,9 @@ class StackedDataset(DatasetPlugin):
         out = self.inner.get_metrics_results()
         out.merge(super().get_metrics_results())
         return out
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 def make_dataset(name: str, *args: Any, **options: Any) -> DatasetPlugin:

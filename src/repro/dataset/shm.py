@@ -1,0 +1,505 @@
+"""Shared-memory segment plane for zero-copy datum handoff.
+
+The process engine's original data plane re-loaded (or re-pickled) every
+datum into each worker process — a per-task copy of multi-megabyte float
+arrays that the paper's Figure-2 pipeline deliberately avoids ("same
+data routed to the same worker, loaded once, cached close to the
+compute").  This module is the substrate of the fix: loaded arrays are
+published once into named ``multiprocessing.shared_memory`` segments and
+every other consumer — same process or sibling worker — *attaches* to
+the segment by name instead of receiving a copy.
+
+Design points:
+
+* **Self-describing ledger.**  Each published segment has a JSON ledger
+  entry (shape, dtype, byte order flag) in a filesystem directory shared
+  by parent and workers.  Segment names are deterministic digests of the
+  datum key, so discovery needs no coordination channel: a worker that
+  wants ``hurricane/P/3`` derives the name, finds the ledger entry, and
+  attaches.  Publication is write-intent + atomic rename, so a reader
+  never attaches to a half-filled segment and a worker killed mid-publish
+  leaves an intent record the owner can sweep.
+
+* **Refcounted attachment registry.**  Within a process, attachments are
+  refcounted: the first consumer maps the segment, later consumers share
+  the mapping, and ``release``/``close`` drop it when the count reaches
+  zero.  NumPy views pin the underlying buffer, so close degrades
+  gracefully (``BufferError`` means a view is still alive; the mapping
+  then dies with the process).
+
+* **Unlink-on-close lifecycle.**  Segments are *owned by the campaign*,
+  not by whichever worker happened to publish them: ``unlink_all()``
+  sweeps the ledger (including intent records from crashed workers) and
+  unlinks every named segment — leak-proof even when a ChaosPlan kills a
+  worker between segment creation and ledger publication.
+
+* **Accounting.**  The module-global :data:`PLANE_COUNTERS` tallies
+  bytes moved by copy versus bytes served zero-copy; engines snapshot it
+  around task execution so ``QueueStats`` can report the win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib, but gate for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: The three data planes the bench understands.
+DATA_PLANES = ("pickle", "mmap", "shm")
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` can be used here."""
+    return _shared_memory is not None
+
+
+class PlaneCounters:
+    """Process-wide tally of bytes moved by copy vs served zero-copy.
+
+    ``copied`` counts bytes materialised as a private buffer (a leaf
+    load, a full ``.npy`` read, the one-time publish copy into a shared
+    segment).  ``mapped`` counts bytes served without a copy (a shared
+    in-RAM entry, an ``np.memmap`` page-in, a shared-memory attach).
+    """
+
+    __slots__ = ("_lock", "bytes_copied", "bytes_mapped", "segments_created",
+                 "segments_attached")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.bytes_copied = 0
+        self.bytes_mapped = 0
+        self.segments_created = 0
+        self.segments_attached = 0
+
+    def note_copied(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_copied += int(nbytes)
+
+    def note_mapped(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_mapped += int(nbytes)
+
+    def note_segment(self, *, created: bool) -> None:
+        with self._lock:
+            if created:
+                self.segments_created += 1
+            else:
+                self.segments_attached += 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "bytes_copied": self.bytes_copied,
+                "bytes_mapped": self.bytes_mapped,
+                "segments_created": self.segments_created,
+                "segments_attached": self.segments_attached,
+            }
+
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_copied = 0
+            self.bytes_mapped = 0
+            self.segments_created = 0
+            self.segments_attached = 0
+
+
+#: One tally per process; worker processes ship deltas back to the parent.
+PLANE_COUNTERS = PlaneCounters()
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Ledger record describing one published segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    order: str  # "C" or "F"
+    nbytes: int
+    key: str
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "shape": list(self.shape),
+                "dtype": self.dtype,
+                "order": self.order,
+                "nbytes": self.nbytes,
+                "key": self.key,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SegmentInfo":
+        raw = json.loads(text)
+        return cls(
+            name=raw["name"],
+            shape=tuple(int(s) for s in raw["shape"]),
+            dtype=raw["dtype"],
+            order=raw.get("order", "C"),
+            nbytes=int(raw["nbytes"]),
+            key=raw["key"],
+        )
+
+
+def _array_order(array: np.ndarray) -> str:
+    """The memory order a round-trip must restore.
+
+    C-contiguity wins ties (a 1-D array is both); only a genuinely
+    Fortran-ordered array is recorded as ``"F"`` so the attach side
+    rebuilds the exact same strides instead of silently re-laying it out.
+    """
+    if array.flags["C_CONTIGUOUS"]:
+        return "C"
+    if array.flags["F_CONTIGUOUS"]:
+        return "F"
+    return "C"  # non-contiguous inputs are copied into C layout
+
+
+class SharedSegmentRegistry:
+    """Publish/attach/unlink named shared-memory segments for one campaign.
+
+    Parameters
+    ----------
+    ledger_dir:
+        Directory (shared between parent and workers — a path, not a
+        handle) holding one ``<segment>.json`` record per published
+        segment plus ``<segment>.intent`` write-intent records.  The
+        directory's path also namespaces segment names, so two campaigns
+        on one node cannot collide.
+    attach_timeout:
+        Seconds to wait for a concurrent publisher to finish before the
+        caller falls back to loading its own copy.
+    track:
+        Whether segments stay registered with this process's
+        ``resource_tracker``.  The campaign *owner* keeps tracking as a
+        crash safety net (if the owner dies, its tracker sweeps).
+        Workers must pass ``False``: CPython < 3.13 registers on attach
+        as well as create, each forked worker lazily spawns its *own*
+        tracker, and a killed worker's tracker would then unlink live
+        segments out from under its siblings (bpo-39959).  The ledger
+        sweep (:meth:`unlink_all`) is the real cleanup path either way.
+    """
+
+    def __init__(
+        self,
+        ledger_dir: str,
+        *,
+        attach_timeout: float = 10.0,
+        track: bool = True,
+    ) -> None:
+        if not shared_memory_available():  # pragma: no cover - exotic builds
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.ledger_dir = os.fspath(ledger_dir)
+        os.makedirs(self.ledger_dir, exist_ok=True)
+        self.attach_timeout = float(attach_timeout)
+        self.track = bool(track)
+        self._namespace = hashlib.sha1(
+            os.path.abspath(self.ledger_dir).encode()
+        ).hexdigest()[:8]
+        self._lock = threading.Lock()
+        #: name -> (SharedMemory, SegmentInfo, refcount)
+        self._attached: dict[str, list[Any]] = {}
+
+    # -- naming & ledger paths -------------------------------------------------
+    def segment_name(self, key: str) -> str:
+        """Deterministic segment name for a datum key (no coordination)."""
+        digest = hashlib.sha1(key.encode()).hexdigest()[:20]
+        return f"psio{self._namespace}-{digest}"
+
+    def _ledger_path(self, name: str) -> str:
+        return os.path.join(self.ledger_dir, f"{name}.json")
+
+    def _intent_path(self, name: str) -> str:
+        return os.path.join(self.ledger_dir, f"{name}.intent")
+
+    # -- publish / attach --------------------------------------------------------
+    def get(self, key: str) -> tuple[np.ndarray, SegmentInfo] | None:
+        """Attach to *key*'s segment if published; None when absent.
+
+        The returned array is a read-only view over the shared buffer —
+        zero bytes are copied.  The registry holds the mapping open
+        (refcounted) until :meth:`release` or :meth:`close`.
+        """
+        name = self.segment_name(key)
+        with self._lock:
+            entry = self._attached.get(name)
+            if entry is not None:
+                entry[2] += 1
+                PLANE_COUNTERS.note_mapped(entry[1].nbytes)
+                return self._view(entry[0], entry[1]), entry[1]
+        info = self._read_ledger(name)
+        if info is None:
+            return None
+        return self._attach(info, copied=False)
+
+    def publish(self, key: str, array: np.ndarray) -> tuple[np.ndarray, SegmentInfo]:
+        """Publish *array* under *key* (or attach if already published).
+
+        Exactly one process wins a concurrent publish; the losers wait
+        for the winner's ledger record and attach.  The publish itself
+        pays one copy (counted); every later consumer maps for free.
+        """
+        existing = self.get(key)
+        if existing is not None:
+            return existing
+        name = self.segment_name(key)
+        array = np.ascontiguousarray(array) if not (
+            array.flags["C_CONTIGUOUS"] or array.flags["F_CONTIGUOUS"]
+        ) else array
+        info = SegmentInfo(
+            name=name,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+            order=_array_order(array),
+            nbytes=int(array.nbytes),
+            key=key,
+        )
+        # Write-intent before the segment exists: a worker killed between
+        # create and ledger publish still leaves a sweepable record.
+        intent = self._intent_path(name)
+        try:
+            fd = os.open(intent, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another process is publishing right now; wait for it.
+            return self._await_publisher(name, key, array)
+        try:
+            os.write(fd, info.to_json().encode())
+        finally:
+            os.close(fd)
+        try:
+            seg = _shared_memory.SharedMemory(
+                name=name, create=True, size=max(info.nbytes, 1)
+            )
+        except FileExistsError:
+            # Segment exists from a previous (unswept) publisher; adopt it
+            # only via its ledger record, else treat as a publish race.
+            os.remove(intent)
+            return self._await_publisher(name, key, array)
+        if not self.track:
+            # Worker-side publish: the segment belongs to the campaign
+            # owner's sweep, not to this process's resource tracker.
+            self._tracker_call("unregister", name)
+        dst = np.ndarray(info.shape, dtype=np.dtype(info.dtype),
+                         buffer=seg.buf, order=info.order)
+        dst[...] = array
+        PLANE_COUNTERS.note_copied(info.nbytes)  # the one-time publish copy
+        PLANE_COUNTERS.note_segment(created=True)
+        # Atomic publish: the ledger record appears only once the payload
+        # is fully written.
+        tmp = self._ledger_path(name) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(info.to_json())
+        os.replace(tmp, self._ledger_path(name))
+        os.remove(intent)
+        with self._lock:
+            self._attached[name] = [seg, info, 1]
+        return self._view(seg, info), info
+
+    def _await_publisher(
+        self, name: str, key: str, array: np.ndarray
+    ) -> tuple[np.ndarray, SegmentInfo]:
+        deadline = time.monotonic() + self.attach_timeout
+        while time.monotonic() < deadline:
+            info = self._read_ledger(name)
+            if info is not None:
+                return self._attach(info, copied=False)
+            time.sleep(0.005)
+        # Publisher died mid-write (or is wedged): serve a private copy
+        # so the task still runs; the sweep reclaims the intent later.
+        PLANE_COUNTERS.note_copied(array.nbytes)
+        return array, SegmentInfo(
+            name="", shape=tuple(array.shape), dtype=array.dtype.str,
+            order=_array_order(array), nbytes=int(array.nbytes), key=key,
+        )
+
+    def _attach(
+        self, info: SegmentInfo, *, copied: bool
+    ) -> tuple[np.ndarray, SegmentInfo]:
+        seg = _shared_memory.SharedMemory(name=info.name, create=False)
+        self._untrack_attachment(info.name)
+        with self._lock:
+            entry = self._attached.get(info.name)
+            if entry is not None:
+                # Raced with another thread attaching the same segment.
+                entry[2] += 1
+                seg.close()
+                seg, info = entry[0], entry[1]
+            else:
+                self._attached[info.name] = [seg, info, 1]
+        if not copied:
+            PLANE_COUNTERS.note_mapped(info.nbytes)
+            PLANE_COUNTERS.note_segment(created=False)
+        return self._view(seg, info), info
+
+    @staticmethod
+    def _tracker_call(op: str, name: str) -> None:
+        try:
+            from multiprocessing import resource_tracker
+
+            getattr(resource_tracker, op)(f"/{name}", "shared_memory")
+        except Exception:  # noqa: BLE001 - tracker internals vary by version
+            pass
+
+    def _untrack_attachment(self, name: str) -> None:
+        """Cancel the resource tracker's per-attach registration.
+
+        CPython < 3.13 registers on *attach* as well as create.  For an
+        untracked (worker-side) registry that registration must always
+        go: a forked worker lazily spawns its own tracker, and a killed
+        worker's tracker would unlink the campaign's live segments.  A
+        tracked (owner-side) registry keeps fork-shared registrations as
+        a crash safety net and only untracks where each attacher is
+        guaranteed its own tracker (no ``fork``; bpo-39959).
+        """
+        import multiprocessing
+
+        if self.track and "fork" in multiprocessing.get_all_start_methods():
+            return
+        self._tracker_call("unregister", name)
+
+    @staticmethod
+    def _view(seg: Any, info: SegmentInfo) -> np.ndarray:
+        """A read-only array over the segment, exact dtype/order restored."""
+        arr = np.ndarray(
+            info.shape, dtype=np.dtype(info.dtype), buffer=seg.buf, order=info.order
+        )
+        arr.setflags(write=False)
+        return arr
+
+    def _read_ledger(self, name: str) -> SegmentInfo | None:
+        try:
+            with open(self._ledger_path(name), encoding="utf-8") as fh:
+                return SegmentInfo.from_json(fh.read())
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError):  # torn record: treat as unpublished
+            return None
+
+    # -- lifecycle ----------------------------------------------------------------
+    def release(self, key: str) -> None:
+        """Drop one reference to *key*'s attachment (close at zero)."""
+        name = self.segment_name(key)
+        with self._lock:
+            entry = self._attached.get(name)
+            if entry is None:
+                return
+            entry[2] -= 1
+            if entry[2] > 0:
+                return
+            del self._attached[name]
+            seg = entry[0]
+        try:
+            seg.close()
+        except BufferError:  # a NumPy view still pins the buffer
+            pass
+
+    def attached_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._attached)
+
+    def ledger_names(self) -> list[str]:
+        """Every segment the ledger knows about (published or intended)."""
+        names = set()
+        try:
+            entries = os.listdir(self.ledger_dir)
+        except OSError:
+            return []
+        for entry in entries:
+            if entry.endswith(".json"):
+                names.add(entry[: -len(".json")])
+            elif entry.endswith(".intent"):
+                names.add(entry[: -len(".intent")])
+        return sorted(names)
+
+    def iter_live_segments(self) -> Iterator[str]:
+        """Ledger-known names that still exist in the OS namespace."""
+        for name in self.ledger_names():
+            if os.path.exists(f"/dev/shm/{name}"):
+                yield name
+            else:
+                try:
+                    seg = _shared_memory.SharedMemory(name=name, create=False)
+                except FileNotFoundError:
+                    continue
+                seg.close()
+                yield name
+
+    def close(self) -> None:
+        """Close every attachment held by this registry (no unlink)."""
+        with self._lock:
+            entries = list(self._attached.values())
+            self._attached.clear()
+        for seg, _info, _refs in entries:
+            try:
+                seg.close()
+            except BufferError:
+                pass
+
+    def unlink_all(self) -> list[str]:
+        """Unlink every ledger-known segment; returns the names removed.
+
+        This is the campaign-end (and crash-sweep) path: intent records
+        from workers killed mid-publish are honoured too, so a chaos run
+        cannot leak ``/dev/shm`` names.  Safe to call repeatedly and from
+        a process that never attached anything.
+        """
+        self.close()
+        removed: list[str] = []
+        for name in self.ledger_names():
+            try:
+                seg = _shared_memory.SharedMemory(name=name, create=False)
+            except FileNotFoundError:
+                seg = None
+            if seg is not None:
+                if not self.track:
+                    # unlink() sends an unregister; balance it so the
+                    # tracker never sees a name it was not holding.
+                    self._tracker_call("register", name)
+                try:
+                    seg.close()
+                finally:
+                    try:
+                        seg.unlink()
+                        removed.append(name)
+                    except FileNotFoundError:  # pragma: no cover - raced sweep
+                        pass
+            for path in (self._ledger_path(name), self._intent_path(name)):
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def __enter__(self) -> "SharedSegmentRegistry":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+__all__ = [
+    "DATA_PLANES",
+    "PLANE_COUNTERS",
+    "PlaneCounters",
+    "SegmentInfo",
+    "SharedSegmentRegistry",
+    "shared_memory_available",
+]

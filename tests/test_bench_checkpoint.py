@@ -1,5 +1,7 @@
 """Tests for the SQLite checkpoint store and task key model."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -192,6 +194,69 @@ class TestBufferedFlush:
         store = CheckpointStore(str(tmp_path / "w.db"))
         mode = store._db.execute("PRAGMA journal_mode").fetchone()[0]
         assert mode == "wal"
+
+
+class TestTimeBasedFlush:
+    """Satellite: wall-clock flush_interval alongside count-based
+    flush_every — the buffer commits on whichever trips first."""
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="flush_interval"):
+            CheckpointStore(":memory:", flush_interval=0)
+        with pytest.raises(ValueError, match="flush_interval"):
+            CheckpointStore(":memory:", flush_interval=-1.5)
+
+    def test_count_trips_first_under_long_interval(self, tmp_path):
+        # A 60 s interval never fires inside this test; the count-based
+        # threshold must still drive commits exactly as before.
+        store = CheckpointStore(
+            str(tmp_path / "c.db"), flush_every=2, flush_interval=60.0
+        )
+        base = store.commit_count
+        store.put("a", {"v": 1})
+        assert store.commit_count == base  # below both thresholds
+        store.put("b", {"v": 2})
+        assert store.commit_count == base + 1  # count tripped
+        store.close()
+
+    def test_timer_flushes_idle_buffer(self, tmp_path):
+        """The daemon timer bounds data loss even when no put arrives:
+        a buffered row becomes durable (visible to a second connection)
+        without flush()/close() ever being called on the writer."""
+        path = str(tmp_path / "t.db")
+        store = CheckpointStore(path, flush_every=100, flush_interval=0.05)
+        store.put("k", {"v": 1})
+        reader = CheckpointStore(path)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and reader.count() == 0:
+            time.sleep(0.02)
+        assert reader.count() == 1
+        assert reader.get("k") == {"v": 1}
+        store.close()
+        reader.close()
+
+    def test_interval_trips_put_despite_large_flush_every(self, tmp_path):
+        store = CheckpointStore(
+            str(tmp_path / "i.db"), flush_every=10_000, flush_interval=0.05
+        )
+        store.put("a", {"v": 1})
+        time.sleep(0.1)  # let the interval elapse
+        store.put("b", {"v": 2})  # this put (or the timer) must flush
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and store.commit_count == 0:
+            time.sleep(0.02)
+        assert store.commit_count >= 1
+        store.close()
+
+    def test_close_stops_the_timer_thread(self, tmp_path):
+        store = CheckpointStore(
+            str(tmp_path / "s.db"), flush_every=100, flush_interval=0.05
+        )
+        timer = store._flush_timer
+        assert timer is not None and timer.is_alive()
+        store.close()
+        timer.join(timeout=5.0)
+        assert not timer.is_alive()
 
 
 class TestIntegrity:
