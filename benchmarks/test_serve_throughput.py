@@ -1,0 +1,127 @@
+"""Serving throughput: 100 concurrent queries against the prediction
+server — the online-path counterpart of the queue-scaling benchmark.
+
+Publishes the campaign's models into a registry, stands the server up on
+a loopback socket, and fires ``N_QUERIES`` concurrent predicts released
+by a barrier.  Asserts the serving contract under a provisioned burst
+(admission limits sized for it): zero shed requests and a bounded p99
+latency.  Emits ``BENCH_serve.json`` with the latency distribution and
+micro-batching counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.predict.scheme import get_scheme
+from repro.serve import (
+    ModelRegistry,
+    PredictionClient,
+    PredictionServer,
+    ServerThread,
+    registry_key,
+    scheme_params,
+)
+
+ARTIFACT = "BENCH_serve.json"
+N_QUERIES = 100
+#: Generous bound for CI boxes; interactive runs land far below it.
+P99_BUDGET_MS = 1500.0
+BOUND = 1e-4
+
+
+@pytest.fixture(scope="module")
+def registry(runner, observations, tmp_path_factory):
+    reg = ModelRegistry(str(tmp_path_factory.mktemp("serve-registry")))
+    with warnings.catch_warnings():
+        # partial coverage (e.g. jin2022 on zfp) is expected, not news
+        warnings.simplefilter("ignore")
+        receipts = runner.publish(reg, observations)
+    assert receipts, "campaign published no models"
+    return reg
+
+
+def test_serve_throughput_100_concurrent(registry, observations, record_property):
+    scheme = get_scheme("rahman2023")
+    key = registry_key(
+        scheme.id,
+        "sz3",
+        {"pressio:abs": BOUND, "pressio:abs_is_relative": True},
+        scheme_params(scheme),
+    )
+    rows = [
+        dict(o)
+        for o in observations
+        if o.get("compressor") == "sz3"
+        and float(o.get("bound", 0.0)) == BOUND
+        and o.get("scheme:rahman2023:supported")
+    ]
+    assert rows, "campaign produced no usable feature rows"
+
+    server = PredictionServer(
+        registry,
+        batch_window_ms=10.0,
+        max_batch=64,
+        max_in_flight=2 * N_QUERIES,
+        max_queue_depth=4 * N_QUERIES,
+    )
+    responses: list = [None] * N_QUERIES
+    barrier = threading.Barrier(N_QUERIES + 1)
+
+    def worker(i: int) -> None:
+        with PredictionClient(*thread.address) as client:
+            barrier.wait()
+            responses[i] = client.predict(key, results=rows[i % len(rows)])
+
+    with ServerThread(server) as thread:
+        with PredictionClient(*thread.address) as client:
+            client.predict(key, results=rows[0])  # cold load outside the burst
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(N_QUERIES)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join(60)
+        wall = time.perf_counter() - t0
+        with PredictionClient(*thread.address) as client:
+            stats = client.stats()
+
+    assert all(r is not None and r["status"] == "ok" for r in responses), (
+        "a query failed or hung"
+    )
+    assert stats["shed"] == 0, f"provisioned burst shed {stats['shed']} request(s)"
+    assert stats["completed"] == N_QUERIES + 1
+    p99_ms = stats["latency_p99_ms"]
+    assert p99_ms < P99_BUDGET_MS, f"p99 {p99_ms:.1f}ms over {P99_BUDGET_MS}ms budget"
+    # micro-batching must engage under a 100-way burst
+    assert stats["mean_batch_size"] > 1.0
+    assert stats["predict_calls"] < N_QUERIES
+
+    payload = {
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "small"),
+        "n_queries": N_QUERIES,
+        "wall_seconds": wall,
+        "queries_per_second": N_QUERIES / wall if wall > 0 else 0.0,
+        "latency_p50_ms": stats["latency_p50_ms"],
+        "latency_p95_ms": stats["latency_p95_ms"],
+        "latency_p99_ms": p99_ms,
+        "p99_budget_ms": P99_BUDGET_MS,
+        "shed": stats["shed"],
+        "predict_calls": stats["predict_calls"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "model_loads": stats["model_loads"],
+        "cache_hits": stats["cache_hits"],
+        "load_waits": stats["load_waits"],
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    record_property("artifact", os.path.abspath(ARTIFACT))

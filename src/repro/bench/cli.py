@@ -160,6 +160,75 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--flush-every", type=int, default=1,
                      help="results per simulated checkpoint commit")
     sim.add_argument("--no-locality", action="store_true")
+    sim.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="model seeded faults in the simulation, e.g. 'crash:0.05,hang:0.02' "
+        "(classes: crash, hang, exception) — same selection draw as the live "
+        "harness, so the sweep shows recovery overhead at scale",
+    )
+    sim.add_argument("--chaos-seed", type=int, default=0)
+    sim.add_argument(
+        "--recovery-s", type=float, default=1.0,
+        help="virtual seconds a crashed node spends restarting",
+    )
+
+    publish = sub.add_parser(
+        "publish",
+        help="fit final models from a checkpoint and publish them to a registry",
+    )
+    publish.add_argument("checkpoint")
+    publish.add_argument("--registry", required=True, help="registry root directory")
+    publish.add_argument("--schemes", nargs="+", default=["khan2023", "jin2022", "rahman2023"])
+    publish.add_argument("--compressors", nargs="+", default=["sz3", "zfp"])
+    publish.add_argument(
+        "--bounds", nargs="+", type=float, default=None,
+        help="bounds to publish (default: every bound found in the checkpoint)",
+    )
+    publish.add_argument("--absolute-bounds", action="store_true")
+    publish.add_argument(
+        "--verify-n", type=int, default=8,
+        help="training rows used for the publish-time round-trip proof",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve predictions from a registry over TCP"
+    )
+    serve.add_argument("--registry", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listening port (0 = pick an ephemeral port)")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="micro-batch collection window")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush a batch at this many queued requests")
+    serve.add_argument("--max-in-flight", type=int, default=64,
+                       help="admission control: concurrent admitted requests")
+    serve.add_argument("--max-queue-depth", type=int, default=256,
+                       help="admission control: total queued rows before shedding")
+    serve.add_argument("--cache-capacity", type=int, default=8,
+                       help="warm-model LRU capacity")
+
+    query = sub.add_parser(
+        "query", help="query a running prediction server"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--key", default=None, help="registry key to query")
+    query.add_argument("--scheme", default=None,
+                       help="with --compressor/--bound: derive the key from config")
+    query.add_argument("--compressor", default=None)
+    query.add_argument("--bound", type=float, default=None)
+    query.add_argument("--absolute-bounds", action="store_true")
+    query.add_argument(
+        "--results", default=None, metavar="JSON",
+        help="precomputed metric results as a JSON object",
+    )
+    query.add_argument(
+        "--npy", default=None, metavar="PATH",
+        help="raw field as a .npy file; the server featurizes it",
+    )
+    query.add_argument("--stats", action="store_true", help="print server stats")
+    query.add_argument("--models", action="store_true", help="list published models")
 
     gen = sub.add_parser(
         "generate", help="materialise the synthetic Hurricane as .npy files"
@@ -342,8 +411,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     tasks = runner.build_tasks()
     cost = args.compute_ms / 1e3
+    chaos = None
+    if args.chaos:
+        chaos = ChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
     print(f"{len(tasks)} tasks, {args.compute_ms:.0f} ms compute model")
-    print(f"{'nodes':>5s} {'makespan(s)':>12s} {'speedup':>8s} {'util':>6s} {'hits':>6s}")
+    header = f"{'nodes':>5s} {'makespan(s)':>12s} {'speedup':>8s} {'util':>6s} {'hits':>6s}"
+    if chaos is not None:
+        header += f" {'faults':>7s} {'wasted(s)':>10s}"
+    print(header)
     base = None
     for n in args.nodes:
         report = SimulatedCluster(
@@ -351,12 +426,140 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             locality_aware=not args.no_locality,
             checkpoint_seconds=args.checkpoint_ms / 1e3,
             flush_every=args.flush_every,
-        ).run(list(tasks), lambda t: cost)
+        ).run(
+            list(tasks), lambda t: cost, chaos=chaos, recovery_seconds=args.recovery_s
+        )
         base = base or report.makespan
-        print(
+        line = (
             f"{n:5d} {report.makespan:12.2f} {base / report.makespan:8.2f} "
             f"{report.utilisation:6.0%} {report.cache_hits:6d}"
         )
+        if chaos is not None:
+            line += (
+                f" {sum(report.injected_faults.values()):7d}"
+                f" {report.wasted_seconds + report.recovery_seconds_total:10.2f}"
+            )
+        print(line)
+    return 0
+
+
+def cmd_publish(args: argparse.Namespace) -> int:
+    """Fit final models from checkpointed observations and publish them."""
+    from ..dataset.synthetic import SyntheticDataset
+    from ..serve import ModelRegistry
+
+    store = CheckpointStore(args.checkpoint)
+    observations = store.query()
+    if not observations:
+        print(f"checkpoint {args.checkpoint!r} holds no observations")
+        return 1
+    bounds = args.bounds
+    if bounds is None:
+        bounds = sorted(
+            {float(o["bound"]) for o in observations if o.get("bound") is not None}
+        )
+    runner = ExperimentRunner(
+        SyntheticDataset([]),
+        compressors=args.compressors,
+        bounds=bounds,
+        schemes=args.schemes,
+        relative_bounds=not args.absolute_bounds,
+        store=store,
+    )
+    registry = ModelRegistry(args.registry)
+    receipts = runner.publish(registry, observations, verify_n=args.verify_n)
+    for receipt in receipts:
+        m = receipt.manifest
+        print(
+            f"published {m['scheme']} / {m['compressor']} @ "
+            f"{m['compressor_options'].get('pressio:abs'):g} -> "
+            f"{receipt.key[:12]}…/{receipt.version} "
+            f"({m['meta'].get('n_observations')} obs)"
+        )
+    if not receipts:
+        print("nothing published (no usable observations)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the prediction server in the foreground until interrupted."""
+    import asyncio
+
+    from ..serve import ModelRegistry, PredictionServer
+
+    server = PredictionServer(
+        ModelRegistry(args.registry),
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.max_queue_depth,
+        cache_capacity=args.cache_capacity,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving {args.registry} on {server.host}:{server.port}", flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """One-shot client: stats, model listing, or a prediction."""
+    from ..predict.scheme import get_scheme
+    from ..serve import PredictionClient, ServerError, registry_key, scheme_params
+
+    with PredictionClient(args.host, args.port) as client:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.models:
+            print(json.dumps(client.models(), indent=2))
+            return 0
+        key = args.key
+        if key is None:
+            if not (args.scheme and args.compressor and args.bound is not None):
+                print(
+                    "query needs --key, or --scheme/--compressor/--bound to "
+                    "derive it, or --stats/--models",
+                    file=sys.stderr,
+                )
+                return 2
+            scheme = get_scheme(args.scheme)
+            key = registry_key(
+                scheme.id,
+                args.compressor,
+                {
+                    "pressio:abs": args.bound,
+                    "pressio:abs_is_relative": not args.absolute_bounds,
+                },
+                scheme_params(scheme),
+            )
+        results = json.loads(args.results) if args.results else None
+        data = None
+        if args.npy:
+            import numpy as np
+
+            data = np.load(args.npy)
+        if results is None and data is None:
+            print("query needs --results JSON or --npy PATH", file=sys.stderr)
+            return 2
+        try:
+            response = client.predict(key, results=results, data=data)
+        except ServerError as exc:
+            print(
+                json.dumps({"status": exc.server_status, "error": str(exc)}),
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(response, indent=2))
     return 0
 
 
@@ -377,6 +580,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_report(args)
     if args.command == "simulate":
         return cmd_simulate(args)
+    if args.command == "publish":
+        return cmd_publish(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "query":
+        return cmd_query(args)
     if args.command == "generate":
         return cmd_generate(args)
     if args.command == "list-schemes":

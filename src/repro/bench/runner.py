@@ -433,6 +433,82 @@ class ExperimentRunner:
             self._plane_dataset.unlink_all()
         return CollectionResult(observations, stats, failures)
 
+    # -- publish ---------------------------------------------------------------
+    def publish(
+        self,
+        registry,
+        observations: Sequence[Mapping[str, Any]] | None = None,
+        *,
+        verify_n: int = 8,
+        min_observations: int = 2,
+        meta: Mapping[str, Any] | None = None,
+    ):
+        """Fit and publish one model per (scheme, compressor, bound).
+
+        The bridge from a finished campaign into the serving layer: for
+        every combination the campaign collected, fit the scheme's
+        predictor on *all* matching observations (serving wants the best
+        model, not the cross-validation folds) and publish it to
+        *registry* with round-trip verification against the first
+        ``verify_n`` training rows.  Schemes that need no training
+        (analytic formulas) are published too — their empty state still
+        gets a manifest, a key, and a version, so the server answers for
+        them uniformly.
+
+        Returns the list of :class:`~repro.serve.registry.PublishedModel`
+        receipts.  A (scheme, compressor, bound) with fewer than
+        ``min_observations`` usable rows is skipped with a warning, not
+        an error — a partial campaign publishes what it can.
+        """
+        if observations is None:
+            observations = self.collect().observations
+        published = []
+        for scheme in self.schemes:
+            target_key = scheme.target_key
+            for comp_id in self.compressors:
+                for eb in self.bounds:
+                    rows = [
+                        dict(o)
+                        for o in observations
+                        if o.get("compressor") == comp_id
+                        and float(o.get("bound", math.nan)) == eb
+                        and o.get(f"scheme:{scheme.id}:supported", False)
+                        and o.get(target_key) is not None
+                    ]
+                    if len(rows) < min_observations:
+                        warnings.warn(
+                            f"publish: skipping {scheme.id}/{comp_id}@{eb:g} "
+                            f"({len(rows)} usable observation(s), need "
+                            f"{min_observations})",
+                            stacklevel=2,
+                        )
+                        continue
+                    compressor_options = {
+                        "pressio:abs": eb,
+                        "pressio:abs_is_relative": self.relative_bounds,
+                    }
+                    comp = make_compressor(comp_id)
+                    comp.set_options({"pressio:abs": eb})
+                    predictor = scheme.get_predictor(comp)
+                    if predictor.needs_training:
+                        y = np.asarray([float(r[target_key]) for r in rows])
+                        predictor.fit(rows, y)
+                    receipt = registry.publish(
+                        scheme,
+                        comp_id,
+                        compressor_options,
+                        predictor,
+                        verify_rows=rows[: max(int(verify_n), 1)],
+                        meta={
+                            "n_observations": len(rows),
+                            "protocol": self.protocol,
+                            "relative_bounds": self.relative_bounds,
+                            **dict(meta or {}),
+                        },
+                    )
+                    published.append(receipt)
+        return published
+
     def close(self) -> None:
         """Tear down the data plane (idempotent).
 

@@ -14,9 +14,19 @@ policy and a simple cost model:
 * checkpointing costs ``checkpoint_seconds`` per commit, charged to the
   completing node once every ``flush_every`` results — mirroring the
   real store's buffered-flush batching, so the knob's effect on
-  makespan can be explored before a campaign.
+  makespan can be explored before a campaign;
+* chaos (``chaos=ChaosPlan(...)``) models the queue's fault classes at
+  node counts the test box cannot run: a **crash** wastes the attempt's
+  work, restarts the node cold (its cache is lost — the locality price
+  of recovery), and charges ``recovery_seconds``; a **hang** stalls the
+  node for the plan's ``hang_seconds`` before the supervisor abandons
+  and requeues; an **exception** fails fast after the load.  Selection
+  reuses :meth:`~repro.bench.faults.ChaosPlan.selects` — the same pure
+  ``(seed, class, key)`` draw the live harness uses, so a simulated
+  campaign faults exactly the tasks a real one with that seed would.
 
-Determinism: no randomness; events tie-break on (time, node id).
+Determinism: no randomness; events tie-break on (time, node id); chaos
+decisions are pure functions of the plan seed.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .faults import ChaosPlan
 from .taskqueue import LocalityScheduler
 from .tasks import Task
 
@@ -42,6 +53,13 @@ class SimReport:
     per_node_busy: dict[int, float] = field(default_factory=dict)
     total_checkpoint_seconds: float = 0.0
     checkpoint_commits: int = 0
+    #: Chaos accounting (all zero when no plan was given).
+    injected_faults: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    #: Attempt-work thrown away by faults (load + partial compute + stalls).
+    wasted_seconds: float = 0.0
+    #: Virtual time spent restarting crashed nodes.
+    recovery_seconds_total: float = 0.0
 
     @property
     def load_fraction(self) -> float:
@@ -88,8 +106,18 @@ class SimulatedCluster:
         self,
         tasks: list[Task],
         compute_cost: Callable[[Task], float],
+        *,
+        chaos: ChaosPlan | None = None,
+        recovery_seconds: float = 1.0,
     ) -> SimReport:
-        """Simulate executing *tasks*; returns the virtual-time report."""
+        """Simulate executing *tasks*; returns the virtual-time report.
+
+        With a :class:`~repro.bench.faults.ChaosPlan`, each supported
+        fault class (``crash``, ``hang``, ``exception``) fires at most
+        once per task key, selected by the plan's pure seeded draw — no
+        marker files, so the simulator stays side-effect free while
+        agreeing with the live harness about *which* tasks fault.
+        """
         pending: deque[Task] = deque(tasks)
         scheduler = LocalityScheduler() if self.locality_aware else None
         caches: dict[int, deque[str]] = {n: deque() for n in range(self.n_nodes)}
@@ -105,6 +133,30 @@ class SimulatedCluster:
         misses = 0
         busy: dict[int, float] = {n: 0.0 for n in range(self.n_nodes)}
         makespan = 0.0
+        injected = {"crash": 0, "hang": 0, "exception": 0}
+        retries = 0
+        wasted = 0.0
+        recovery_total = 0.0
+        fired: set[tuple[str, str]] = set()
+
+        def fires(kind: str, key: str) -> bool:
+            # Once per (class, key), like the live plan's markers — but
+            # tracked in memory: the sim must not touch the filesystem.
+            if chaos is None or (kind, key) in fired:
+                return False
+            if chaos.selects(kind, key):
+                fired.add((kind, key))
+                return True
+            return False
+
+        def node_restart(node: int) -> None:
+            # A crashed node comes back cold: its in-memory cache (and
+            # the scheduler's belief about it) is gone, so recovery also
+            # costs refetches — the locality price of a crash.
+            caches[node].clear()
+            if scheduler is not None:
+                scheduler.worker_cache[node].clear()
+
         while pending:
             t, node = heapq.heappop(events)
             if scheduler is not None:
@@ -125,6 +177,47 @@ class SimulatedCluster:
                         scheduler.worker_cache[node].discard(evicted)
             load_s = self.load_cost(task, cached)
             compute_s = float(compute_cost(task))
+            key = task.key()
+            if fires("crash", key):
+                # Crash mid-compute: the load and half the compute are
+                # lost, the node restarts cold, the task is requeued.
+                injected["crash"] += 1
+                retries += 1
+                lost = load_s + 0.5 * compute_s
+                wasted += lost
+                recovery_total += recovery_seconds
+                busy[node] += lost
+                node_restart(node)
+                pending.append(task)
+                finish = t + lost + recovery_seconds
+                makespan = max(makespan, finish)
+                heapq.heappush(events, (finish, node))
+                continue
+            if fires("hang", key):
+                # Hang: the node stalls for the plan's hang duration,
+                # then the supervisor abandons the attempt and requeues.
+                injected["hang"] += 1
+                retries += 1
+                lost = load_s + chaos.hang_seconds
+                wasted += lost
+                busy[node] += lost
+                pending.append(task)
+                finish = t + lost
+                makespan = max(makespan, finish)
+                heapq.heappush(events, (finish, node))
+                continue
+            if fires("exception", key):
+                # Fail-fast fault from the metric bridge: the load was
+                # already paid, the compute never ran.
+                injected["exception"] += 1
+                retries += 1
+                wasted += load_s
+                busy[node] += load_s
+                pending.append(task)
+                finish = t + load_s
+                makespan = max(makespan, finish)
+                heapq.heappush(events, (finish, node))
+                continue
             completed += 1
             # The completing node pays the commit when the buffered
             # checkpoint batch fills (count-based flush, like the store).
@@ -153,6 +246,10 @@ class SimulatedCluster:
             per_node_busy=busy,
             total_checkpoint_seconds=total_checkpoint,
             checkpoint_commits=commits,
+            injected_faults=injected,
+            retries=retries,
+            wasted_seconds=wasted,
+            recovery_seconds_total=recovery_total,
         )
 
 
@@ -160,10 +257,20 @@ def scaling_sweep(
     tasks: list[Task],
     compute_cost: Callable[[Task], float],
     node_counts: list[int],
+    *,
+    chaos: ChaosPlan | None = None,
+    recovery_seconds: float = 1.0,
     **cluster_kwargs,
 ) -> dict[int, SimReport]:
-    """Run the same campaign at several node counts (strong scaling)."""
+    """Run the same campaign at several node counts (strong scaling).
+
+    A shared ``chaos`` plan faults the *same task keys* at every node
+    count (selection is scheduling-independent), so the sweep isolates
+    how placement absorbs a fixed fault load.
+    """
     return {
-        n: SimulatedCluster(n_nodes=n, **cluster_kwargs).run(list(tasks), compute_cost)
+        n: SimulatedCluster(n_nodes=n, **cluster_kwargs).run(
+            list(tasks), compute_cost, chaos=chaos, recovery_seconds=recovery_seconds
+        )
         for n in node_counts
     }

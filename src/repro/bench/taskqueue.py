@@ -32,9 +32,11 @@ Fault domains supervised (see :mod:`repro.bench.faults`):
   unsupported scheme can never succeed, so no attempts are burned);
 * **hangs** — with ``task_timeout`` set, a watchdog abandons thread
   tasks past their deadline (the result of an abandoned execution is
-  discarded if it ever arrives), and the process engine recycles the
+  discarded if it ever arrives), the process engine recycles the
   whole pool when a group overruns, since a hung worker process cannot
-  be reclaimed any other way;
+  be reclaimed any other way, and the serial engine — which has no
+  second thread to supervise from — preempts the running task with a
+  SIGALRM deadline guard (main thread only);
 * **worker crashes** — a dead worker process breaks the pool; the queue
   rebuilds the executor, requeues every in-flight group *without*
   charging the tasks an attempt (the pool, not the task, failed), and
@@ -55,6 +57,8 @@ Coordination invariants (thread engine):
 
 from __future__ import annotations
 
+import contextlib
+import signal
 import threading
 import time
 import warnings
@@ -62,11 +66,65 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..core.errors import Status, error_status
+from ..core.errors import Status, TaskTimeoutError, error_status
 from .faults import FaultInjector, RetryPolicy  # noqa: F401 - re-exported
 from .tasks import Task
 
 ENGINES = ("serial", "thread", "process")
+
+#: Warn once per process that the serial deadline cannot be enforced
+#: (no SIGALRM on this platform, or running off the main thread).
+_ALARM_UNAVAILABLE_WARNED = False
+
+
+@contextlib.contextmanager
+def _serial_deadline(seconds: float | None, task_key: str):
+    """Enforce a per-task deadline in the serial engine via SIGALRM.
+
+    The serial engine runs tasks on the calling thread, so the thread
+    engine's watchdog (which abandons a hung *other* thread) cannot
+    apply — the only preemption available is a signal.  ``setitimer``
+    delivers SIGALRM after *seconds*; the handler raises
+    :class:`TaskTimeoutError`, which the worker loop's existing fault
+    boundary classifies as a retriable ``TIMEOUT``.
+
+    Signals only reach Python code on the main thread of the main
+    interpreter; elsewhere (or on platforms without SIGALRM) this guard
+    degrades to a no-op with a one-time warning, matching the documented
+    "main-thread only" contract.
+    """
+    global _ALARM_UNAVAILABLE_WARNED
+    if seconds is None or seconds <= 0.0:
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        if not _ALARM_UNAVAILABLE_WARNED:
+            _ALARM_UNAVAILABLE_WARNED = True
+            warnings.warn(
+                "task_timeout cannot be enforced by the serial engine here "
+                "(SIGALRM unavailable or not on the main thread); deadlines "
+                "are disabled for this run",
+                stacklevel=3,
+            )
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise TaskTimeoutError(
+            f"task exceeded {seconds:g}s deadline (serial SIGALRM guard)",
+            task_key=task_key,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
@@ -311,8 +369,9 @@ class TaskQueue:
         abandons overdue executions; on the process engine an overdue
         group triggers a pool recycle (hung worker processes are
         terminated).  ``None`` (default) disables supervision.  The
-        serial engine cannot preempt its only thread, so the deadline is
-        not enforced there.
+        serial engine enforces the deadline in-line with a SIGALRM
+        guard — main thread only; elsewhere it degrades to a no-op with
+        a one-time warning.
     max_pool_rebuilds:
         Consecutive no-progress pool rebuilds tolerated before the run
         fails with a diagnosis (process engine only).
@@ -427,6 +486,11 @@ class TaskQueue:
         # unique id, plus ids the watchdog gave up on — a late result
         # from an abandoned execution is discarded, not double-counted.
         use_watchdog = self.task_timeout is not None and n_workers > 1
+        # Serial engine: no second thread exists to watch this one, so
+        # the deadline is enforced in-line by a SIGALRM guard instead.
+        serial_deadline = (
+            self.task_timeout if (self.task_timeout is not None and n_workers == 1) else None
+        )
         executing: dict[int, tuple[str, Task, int, float]] = {}
         abandoned: set[int] = set()
         exec_counter = [0]
@@ -549,13 +613,16 @@ class TaskQueue:
                 payload: dict[str, Any] | None = None
                 t0 = time.perf_counter()
                 try:
-                    payload = task_fn(task, worker)
+                    with _serial_deadline(serial_deadline, key):
+                        payload = task_fn(task, worker)
                 except Exception as exc:  # noqa: BLE001 - fault isolation boundary
                     error = f"{type(exc).__name__}: {exc}"
                     status = error_status(exc)
                 elapsed = time.perf_counter() - t0
                 with cond:
                     stats.execute_seconds += elapsed
+                    if serial_deadline is not None and status == int(Status.TIMEOUT):
+                        stats.timeouts += 1
                     if exec_id in abandoned:
                         # The watchdog already charged this execution as
                         # a timeout and requeued/failed the task; the

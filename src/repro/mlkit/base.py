@@ -54,6 +54,18 @@ class BaseEstimator:
         """A fresh, unfitted copy with the same hyper-parameters."""
         return type(self)(**self.get_params())
 
+    def get_plain_params(self) -> dict[str, Any]:
+        """Hyper-parameters with estimator-valued entries made plain.
+
+        Wrapper estimators (e.g. the conformal regressor) take another
+        estimator as a constructor argument; ``get_params`` returns that
+        live object, which no exact serialiser can accept.  This variant
+        replaces each such value with a tagged, recursively plain dict
+        that :func:`params_from_plain` turns back into an equivalent
+        unfitted estimator.
+        """
+        return params_to_plain(self.get_params())
+
     # -- serialisable learned state ------------------------------------------
     def _state_names(self) -> list[str]:
         return sorted(
@@ -69,12 +81,13 @@ class BaseEstimator:
             value = getattr(self, name)
             if isinstance(value, BaseEstimator):
                 value = {"__nested__": True, **value.get_state(),
-                         "__params__": value.get_params()}
+                         "__params__": value.get_plain_params()}
             elif isinstance(value, list) and value and isinstance(value[0], BaseEstimator):
                 value = {
                     "__nested_list__": True,
                     "items": [
-                        {**v.get_state(), "__params__": v.get_params()} for v in value
+                        {**v.get_state(), "__params__": v.get_plain_params()}
+                        for v in value
                     ],
                     "factory": type(value[0]).__name__,
                 }
@@ -89,7 +102,7 @@ class BaseEstimator:
             if name == "__class__":
                 continue
             if isinstance(value, dict) and value.get("__nested__"):
-                params = value.get("__params__", {})
+                params = params_from_plain(value.get("__params__", {}))
                 nested = _estimator_by_name(value["__class__"])(**params)
                 nested.set_state({k: v for k, v in value.items()
                                   if k not in ("__nested__", "__params__")})
@@ -98,7 +111,7 @@ class BaseEstimator:
                 cls = _estimator_by_name(value["factory"])
                 items = []
                 for item in value["items"]:
-                    est = cls(**item.get("__params__", {}))
+                    est = cls(**params_from_plain(item.get("__params__", {})))
                     est.set_state({k: v for k, v in item.items() if k != "__params__"})
                     items.append(est)
                 value = items
@@ -119,6 +132,38 @@ class BaseEstimator:
     def __repr__(self) -> str:
         params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
         return f"{type(self).__name__}({params})"
+
+
+_TAG_ESTIMATOR_PARAM = "__estimator_param__"
+
+
+def params_to_plain(params: dict[str, Any]) -> dict[str, Any]:
+    """Replace estimator-valued hyper-parameters with tagged plain dicts."""
+    out: dict[str, Any] = {}
+    for name, value in params.items():
+        if isinstance(value, BaseEstimator):
+            out[name] = {
+                _TAG_ESTIMATOR_PARAM: True,
+                "__class__": type(value).__name__,
+                "__params__": value.get_plain_params(),
+            }
+        else:
+            out[name] = value
+    return out
+
+
+def params_from_plain(params: dict[str, Any]) -> dict[str, Any]:
+    """Inverse of :func:`params_to_plain`: rebuild unfitted estimators."""
+    from . import _estimator_by_name  # late import to avoid cycles
+
+    out: dict[str, Any] = {}
+    for name, value in params.items():
+        if isinstance(value, dict) and value.get(_TAG_ESTIMATOR_PARAM):
+            cls = _estimator_by_name(value["__class__"])
+            out[name] = cls(**params_from_plain(value.get("__params__", {})))
+        else:
+            out[name] = value
+    return out
 
 
 def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

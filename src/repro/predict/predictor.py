@@ -20,7 +20,7 @@ import numpy as np
 
 from ..core.errors import MissingOptionError, PressioError
 from ..core.options import PressioOptions, as_options
-from ..mlkit.base import BaseEstimator
+from ..mlkit.base import BaseEstimator, params_from_plain
 
 
 def feature_vector(results: Mapping[str, Any], keys: Sequence[str]) -> np.ndarray:
@@ -195,7 +195,9 @@ class EstimatorPredictor(PredictorPlugin):
             return {}
         return {
             "estimator_state": self._fitted.get_state(),
-            "estimator_params": self._fitted.get_params(),
+            # plain params: wrapper estimators hold other estimators as
+            # constructor args, which must serialise as tagged dicts
+            "estimator_params": self._fitted.get_plain_params(),
             "feature_keys": list(self.feature_keys),
             "log_target": self.log_target,
         }
@@ -204,7 +206,7 @@ class EstimatorPredictor(PredictorPlugin):
         if not state:
             return
         model = self.estimator.clone()
-        model.set_params(**state.get("estimator_params", {}))
+        model.set_params(**params_from_plain(state.get("estimator_params", {})))
         model.set_state(state["estimator_state"])
         self._fitted = model
         self.feature_keys = list(state.get("feature_keys", self.feature_keys))

@@ -174,6 +174,25 @@ class CounterfactualPredictor(EstimatorPredictor):
         finally:
             self._active_order = saved
 
+    def get_state(self) -> dict[str, Any]:
+        # The active order selects which probed column the design matrix
+        # reads — without it a restored model silently predicts for
+        # whatever order the fresh instance defaulted to.
+        state = super().get_state()
+        if state:
+            state["orders"] = tuple(self.orders)
+            state["active_order"] = int(self._active_order)
+        return state
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        super().set_state(state)
+        if not state:
+            return
+        if "orders" in state:
+            self.orders = tuple(int(o) for o in state["orders"])
+        if "active_order" in state:
+            self.set_active_order(int(state["active_order"]))
+
 
 class ZPerfProbeMetric(MetricsPlugin):
     """Probe SZ3 residual statistics under every candidate Lorenzo order

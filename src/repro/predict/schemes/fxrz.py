@@ -164,6 +164,20 @@ class FXRZPredictor(EstimatorPredictor):
             out = out / np.asarray([self._density(r) for r in rows])
         return out
 
+    def get_state(self) -> dict[str, Any]:
+        # The correction flag changes what the forest was fit *against*
+        # (density-adjusted vs raw CR), so state without it restores a
+        # model whose predictions are off by the density factor.
+        state = super().get_state()
+        if state:
+            state["sparsity_correction"] = bool(self.sparsity_correction)
+        return state
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        super().set_state(state)
+        if state and "sparsity_correction" in state:
+            self.sparsity_correction = bool(state["sparsity_correction"])
+
 
 @scheme_registry.register("rahman2023_bandwidth")
 class Rahman2023BandwidthScheme(Rahman2023Scheme):

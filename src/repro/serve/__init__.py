@@ -1,0 +1,65 @@
+"""Online prediction serving: model registry + batched inference server.
+
+The bridge from an offline training campaign to live queries: the
+runner publishes fitted predictors into a :class:`ModelRegistry`
+(versioned, checksummed, atomically pointed), and a
+:class:`PredictionServer` answers "what will this compressor at this
+bound do to this field?" with micro-batched vectorised inference.
+"""
+
+from .codec import (
+    CODEC_VERSION,
+    StateSerializationError,
+    decode_array,
+    decode_state,
+    encode_array,
+    encode_state,
+    state_checksum,
+)
+from .client import PredictionClient, ServerError
+from .registry import (
+    LoadedModel,
+    ModelIntegrityError,
+    ModelNotFoundError,
+    ModelRegistry,
+    PublishedModel,
+    registry_key,
+    scheme_params,
+)
+from .server import (
+    STATUS_BAD_REQUEST,
+    STATUS_ERROR,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    PredictionServer,
+    ServeStats,
+    ServerThread,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "LoadedModel",
+    "ModelIntegrityError",
+    "ModelNotFoundError",
+    "ModelRegistry",
+    "PredictionClient",
+    "PredictionServer",
+    "PublishedModel",
+    "STATUS_BAD_REQUEST",
+    "STATUS_ERROR",
+    "STATUS_NOT_FOUND",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "ServeStats",
+    "ServerError",
+    "ServerThread",
+    "StateSerializationError",
+    "decode_array",
+    "decode_state",
+    "encode_array",
+    "encode_state",
+    "registry_key",
+    "scheme_params",
+    "state_checksum",
+]

@@ -1,0 +1,112 @@
+"""Synchronous client for the prediction server.
+
+Thin blocking wrapper over the newline-delimited JSON protocol —
+applications (and the ``query`` CLI) get predictions without touching
+asyncio.  One client = one TCP connection; requests on a connection are
+answered in order, so concurrency comes from opening more clients,
+which is exactly how the burst tests and the throughput benchmark
+drive the server's micro-batcher.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.errors import PressioError, Status
+from .codec import encode_array
+
+
+class ServerError(PressioError):
+    """The server answered with a non-``ok`` status (carried verbatim)."""
+
+    status = Status.GENERIC_ERROR
+
+    def __init__(self, message: str, response: Mapping[str, Any]):
+        super().__init__(message)
+        self.response = dict(response)
+        self.server_status = self.response.get("status", "error")
+
+
+class PredictionClient:
+    """Blocking client; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- transport -------------------------------------------------------------
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        line = (json.dumps(dict(payload)) + "\n").encode("utf-8")
+        self._sock.sendall(line)
+        raw = self._rfile.readline()
+        if not raw:
+            raise ServerError("server closed the connection", {"status": "error"})
+        return json.loads(raw)
+
+    def _checked(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServerError(
+                f"server returned {response.get('status')!r}: "
+                f"{response.get('error', 'no detail')}",
+                response,
+            )
+        return response
+
+    # -- operations ------------------------------------------------------------
+    def predict(
+        self,
+        key: str,
+        *,
+        results: Mapping[str, Any] | None = None,
+        data: np.ndarray | None = None,
+        version: str | None = None,
+    ) -> dict[str, Any]:
+        """Predict for precomputed metric ``results`` or a raw field.
+
+        Returns the full response (``prediction``, ``target``,
+        ``version``, ``batch_size``, ``timings``).  Raises
+        :class:`ServerError` on any non-ok status; the documented status
+        is on ``exc.server_status`` so callers can back off on
+        ``"overloaded"`` specifically.
+        """
+        payload: dict[str, Any] = {"op": "predict", "key": key}
+        if results is not None:
+            payload["results"] = dict(results)
+        if data is not None:
+            payload["data"] = encode_array(np.asarray(data))
+        if version is not None:
+            payload["version"] = version
+        return self._checked(payload)
+
+    def stats(self) -> dict[str, Any]:
+        return self._checked({"op": "stats"})["stats"]
+
+    def models(self) -> list[dict[str, Any]]:
+        return self._checked({"op": "models"})["models"]
+
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> None:
+        self._checked({"op": "shutdown"})
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

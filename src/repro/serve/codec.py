@@ -1,0 +1,164 @@
+"""Exact serialisation of trained predictor state.
+
+The paper requires predictor state to be *serialisable* (Figure 4's
+``predictors:state``) so trained models can leave the bench and be
+reloaded by applications.  The checkpoint store's JSON coercion is not
+enough for that: ``tolist()`` silently drops dtypes (a ``float32``
+forest threshold comes back ``float64``) and tuples come back as lists,
+so a round-tripped model is *almost* the one that was trained.  A
+serving layer cannot tolerate "almost" — a registry blob must
+reconstruct a predictor whose ``predict`` is bit-identical to the
+trained one.
+
+This codec therefore tags everything whose JSON image is lossy:
+
+* ``np.ndarray`` → base64 payload + ``dtype.str`` + shape + C/F order;
+* numpy scalars → value + dtype (so ``np.float32(1.5)`` does not come
+  back as a Python float);
+* ``tuple`` → tagged list (hyper-parameters like ``hidden=(32, 16)``
+  survive);
+* ``bytes`` → base64.
+
+Anything else — closures, lambdas, live compressor handles, open files —
+raises :class:`StateSerializationError` naming the offending path, which
+is how ``publish`` fails loudly instead of shipping a blob that explodes
+at first query.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import PressioError, Status
+
+#: Bump when the encoding changes; stored in every blob so a registry
+#: refuses to deserialise state written under a different convention.
+CODEC_VERSION = 1
+
+_TAG_ARRAY = "__ndarray__"
+_TAG_SCALAR = "__npscalar__"
+_TAG_TUPLE = "__tuple__"
+_TAG_BYTES = "__bytes__"
+_RESERVED = (_TAG_ARRAY, _TAG_SCALAR, _TAG_TUPLE, _TAG_BYTES)
+
+
+class StateSerializationError(PressioError):
+    """Predictor state contains a value that cannot round-trip exactly.
+
+    Raised at *publish* time (not first query): the path into the state
+    dict is included so the offending scheme attribute — a formula
+    closure, a live metric handle — is identifiable immediately.
+    """
+
+    status = Status.INVALID_TYPE
+
+
+def _encode(value: Any, path: str) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        arr = value
+        order = "F" if (arr.flags.f_contiguous and not arr.flags.c_contiguous) else "C"
+        raw = np.asfortranarray(arr) if order == "F" else np.ascontiguousarray(arr)
+        return {
+            _TAG_ARRAY: base64.b64encode(raw.tobytes(order=order)).decode("ascii"),
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "order": order,
+        }
+    if isinstance(value, np.generic):
+        return {_TAG_SCALAR: value.item(), "dtype": value.dtype.str}
+    if isinstance(value, tuple):
+        return {_TAG_TUPLE: [_encode(v, f"{path}[{i}]") for i, v in enumerate(value)]}
+    if isinstance(value, bytes):
+        return {_TAG_BYTES: base64.b64encode(value).decode("ascii")}
+    if isinstance(value, list):
+        return [_encode(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise StateSerializationError(
+                    f"state key at {path!r} is {type(key).__name__}, not str"
+                )
+            if key in _RESERVED:
+                raise StateSerializationError(
+                    f"state key {key!r} at {path!r} collides with a codec tag"
+                )
+            out[key] = _encode(item, f"{path}.{key}")
+        return out
+    raise StateSerializationError(
+        f"state value at {path!r} has unserialisable type "
+        f"{type(value).__name__}; predictor state must contain only "
+        "numbers, strings, arrays, and containers thereof (no closures, "
+        "handles, or callables)"
+    )
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if _TAG_ARRAY in value:
+            raw = base64.b64decode(value[_TAG_ARRAY])
+            arr = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            shape = tuple(value["shape"])
+            order = value.get("order", "C")
+            # frombuffer yields a read-only view over the decode buffer;
+            # copy so restored state is as mutable as the original.
+            return arr.reshape(shape, order=order).copy(order=order)
+        if _TAG_SCALAR in value:
+            return np.dtype(value["dtype"]).type(value[_TAG_SCALAR])
+        if _TAG_TUPLE in value:
+            return tuple(_decode(v) for v in value[_TAG_TUPLE])
+        if _TAG_BYTES in value:
+            return base64.b64decode(value[_TAG_BYTES])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def encode_state(state: dict[str, Any]) -> str:
+    """Serialise a predictor state dict to a JSON string (exact)."""
+    if not isinstance(state, dict):
+        raise StateSerializationError(
+            f"predictor state must be a dict, got {type(state).__name__}"
+        )
+    payload = {"codec_version": CODEC_VERSION, "state": _encode(state, "state")}
+    return json.dumps(payload, sort_keys=True)
+
+
+def decode_state(blob: str) -> dict[str, Any]:
+    """Reconstruct the exact state dict from :func:`encode_state` output."""
+    payload = json.loads(blob)
+    version = payload.get("codec_version")
+    if version != CODEC_VERSION:
+        raise StateSerializationError(
+            f"state blob written with codec version {version!r}; "
+            f"this build reads version {CODEC_VERSION}"
+        )
+    return _decode(payload["state"])
+
+
+def state_checksum(blob: str) -> str:
+    """Integrity checksum over the serialised blob bytes."""
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def encode_array(array: np.ndarray) -> dict[str, Any]:
+    """Wire encoding of one ndarray (the query payload of a field)."""
+    return _encode(np.asarray(array), "array")
+
+
+def decode_array(value: Any) -> np.ndarray:
+    """Inverse of :func:`encode_array`; validates the tag."""
+    if not (isinstance(value, dict) and _TAG_ARRAY in value):
+        raise StateSerializationError("expected an encoded ndarray payload")
+    out = _decode(value)
+    if not isinstance(out, np.ndarray):
+        raise StateSerializationError("encoded payload did not decode to an array")
+    return out

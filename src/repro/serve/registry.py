@@ -1,0 +1,452 @@
+"""On-disk model registry: versioned publish of trained predictor state.
+
+The bridge between a finished training campaign and the online serving
+layer.  Each published model lives under a *registry key* — the same
+stable option-structure hash the checkpoint store uses
+(:mod:`repro.core.hashing`) — computed over the scheme identity+options,
+the compressor identity, and the error-bound configuration, so "the
+FXRZ model for SZ3 at 1e-4 range-relative" resolves to one directory
+across processes, machines, and restarts.
+
+Layout::
+
+    root/
+      <key>/
+        v0001/
+          MANIFEST.json   # scheme/compressor identity, checksum, meta
+          state.json      # exact predictor state (serve.codec)
+        v0002/...
+        v0001.quarantined-<n>/   # corrupt blobs moved aside by load()
+        LATEST            # text file naming the live version
+
+Guarantees:
+
+* **versioned publish** — versions are append-only; a publish never
+  mutates an existing version directory (it is staged under a dot-prefix
+  temp name and atomically renamed into place);
+* **atomic latest pointer** — ``LATEST`` is replaced via write-temp +
+  ``os.replace``, so readers see the old version or the new one, never a
+  torn pointer;
+* **integrity** — the manifest records a SHA-256 checksum of the state
+  blob; :meth:`ModelRegistry.load` verifies it and *quarantines* a
+  mismatching blob (renames the version directory aside, retargets
+  ``LATEST``) and falls back to the most recent intact version instead
+  of serving corrupt state;
+* **publish-time round-trip proof** — the encoded state is decoded into
+  a freshly constructed predictor and its predictions compared against
+  the live one, so a scheme whose state does not round-trip exactly
+  fails at publish, not at first query.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..compressors import make_compressor
+from ..core.errors import PressioError, Status
+from ..core.hashing import options_hash
+from ..predict.predictor import PredictorPlugin
+from ..predict.scheme import SchemePlugin, get_scheme
+from .codec import (
+    CODEC_VERSION,
+    StateSerializationError,
+    decode_state,
+    encode_state,
+    state_checksum,
+)
+
+MANIFEST_NAME = "MANIFEST.json"
+STATE_NAME = "state.json"
+LATEST_NAME = "LATEST"
+
+#: Bump when the registry layout changes.
+REGISTRY_VERSION = 1
+
+
+class ModelNotFoundError(PressioError):
+    """No published (intact) version exists for the requested key."""
+
+    status = Status.MISSING_OPTION
+
+
+class ModelIntegrityError(PressioError):
+    """A blob failed its checksum and no fallback version survived."""
+
+    status = Status.CORRUPT_STREAM
+
+
+def scheme_params(scheme: SchemePlugin) -> dict[str, Any]:
+    """Recover a scheme's constructor arguments from its attributes.
+
+    Scheme constructors follow the estimator convention — every named
+    parameter is stored verbatim on ``self`` under the same name — so the
+    manifest can record enough to rebuild the identical scheme with
+    ``get_scheme(id, **params)``.  ``**options`` catch-alls are covered
+    by the scheme's own option structure.
+    """
+    sig = inspect.signature(type(scheme).__init__)
+    out: dict[str, Any] = {}
+    for name, p in sig.parameters.items():
+        if name == "self" or p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD):
+            continue
+        if hasattr(scheme, name):
+            out[name] = getattr(scheme, name)
+    return out
+
+
+def registry_key(
+    scheme_id: str,
+    compressor_id: str,
+    compressor_options: Mapping[str, Any],
+    scheme_options: Mapping[str, Any] | None = None,
+) -> str:
+    """The stable hash identifying one (scheme, compressor, bound) model.
+
+    Built from the same canonical option hashing as checkpoint keys, so
+    the key is reproducible from configuration alone — a client that
+    knows what it wants to ask never needs a directory listing.
+    """
+    return options_hash(
+        {
+            "registry:scheme": scheme_id,
+            "registry:scheme_options": dict(scheme_options or {}),
+            "registry:compressor": compressor_id,
+            "registry:compressor_options": dict(compressor_options),
+        }
+    )
+
+
+@dataclass
+class PublishedModel:
+    """Receipt for one successful publish."""
+
+    key: str
+    version: str
+    path: str
+    manifest: dict[str, Any]
+
+
+@dataclass
+class LoadedModel:
+    """A deserialised, ready-to-predict model plus its provenance."""
+
+    key: str
+    version: str
+    predictor: PredictorPlugin
+    scheme: SchemePlugin
+    compressor: Any
+    manifest: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def target_key(self) -> str:
+        return self.manifest.get("target_key", self.scheme.target_key)
+
+
+def _version_name(n: int) -> str:
+    return f"v{n:04d}"
+
+
+def _parse_version(name: str) -> int | None:
+    if len(name) == 5 and name.startswith("v") and name[1:].isdigit():
+        return int(name[1:])
+    return None
+
+
+class ModelRegistry:
+    """Filesystem-backed registry of published predictor models."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------------
+    def _key_dir(self, key: str) -> str:
+        return os.path.join(self.root, key)
+
+    def _version_dir(self, key: str, version: str) -> str:
+        return os.path.join(self._key_dir(key), version)
+
+    # -- enumeration -----------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Every key with at least one published version."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return []
+        return [k for k in names if self.versions(k)]
+
+    def versions(self, key: str) -> list[str]:
+        """Intact (non-quarantined) version names, oldest first."""
+        try:
+            names = os.listdir(self._key_dir(key))
+        except FileNotFoundError:
+            return []
+        out = [(n, name) for name in names if (n := _parse_version(name)) is not None]
+        return [name for _, name in sorted(out)]
+
+    def latest(self, key: str) -> str | None:
+        """The version ``LATEST`` points at (validated), else None."""
+        try:
+            with open(os.path.join(self._key_dir(key), LATEST_NAME)) as fh:
+                name = fh.read().strip()
+        except FileNotFoundError:
+            return None
+        if _parse_version(name) is None or not os.path.isdir(
+            self._version_dir(key, name)
+        ):
+            return None
+        return name
+
+    def describe(self, key: str) -> dict[str, Any]:
+        """Manifest of the latest version plus version inventory."""
+        version = self.latest(key)
+        if version is None:
+            raise ModelNotFoundError(f"no published model under key {key[:12]}…")
+        return {
+            "key": key,
+            "latest": version,
+            "versions": self.versions(key),
+            "manifest": self._read_manifest(key, version),
+        }
+
+    # -- publish ---------------------------------------------------------------
+    def _set_latest(self, key: str, version: str) -> None:
+        # Atomic pointer flip: readers racing this see old or new, never
+        # a partially written name.
+        target = os.path.join(self._key_dir(key), LATEST_NAME)
+        tmp = target + f".tmp-{os.getpid()}-{time.monotonic_ns()}"
+        with open(tmp, "w") as fh:
+            fh.write(version + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+
+    def publish(
+        self,
+        scheme: SchemePlugin,
+        compressor_id: str,
+        compressor_options: Mapping[str, Any],
+        predictor: PredictorPlugin,
+        *,
+        verify_rows: Sequence[Mapping[str, Any]] | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> PublishedModel:
+        """Publish *predictor* as the new latest version for its key.
+
+        The state is serialised through the exact codec, decoded back
+        into a freshly built predictor, and — when ``verify_rows`` are
+        given — the restored predictor's outputs are compared
+        element-exactly against the live one.  Any mismatch (or any
+        unserialisable state member) raises here, at publish time.
+        """
+        if predictor.needs_training and not predictor.is_fitted():
+            raise StateSerializationError(
+                f"refusing to publish unfitted predictor {predictor.id!r} "
+                f"for scheme {scheme.id!r}"
+            )
+        state = predictor.get_state()
+        if predictor.needs_training and not state:
+            raise StateSerializationError(
+                f"scheme {scheme.id!r} reports a fitted predictor but "
+                "get_state() returned nothing to persist — its trained "
+                "state is trapped in unserialisable members"
+            )
+        blob = encode_state(state)
+        restored = self._rebuild(
+            scheme, compressor_id, compressor_options, decode_state(blob)
+        )
+        if verify_rows:
+            rows = list(verify_rows)
+            want = np.asarray(predictor.predict_many(rows), dtype=np.float64)
+            got = np.asarray(restored.predict_many(rows), dtype=np.float64)
+            if want.shape != got.shape or not np.array_equal(want, got):
+                raise StateSerializationError(
+                    f"scheme {scheme.id!r} predictor state does not "
+                    "round-trip: restored predictions differ from the "
+                    f"live model (max |Δ| = "
+                    f"{float(np.max(np.abs(want - got))) if want.shape == got.shape else float('nan'):g})"
+                )
+        key = registry_key(
+            scheme.id,
+            compressor_id,
+            compressor_options,
+            scheme_params(scheme),
+        )
+        key_dir = self._key_dir(key)
+        os.makedirs(key_dir, exist_ok=True)
+        existing = self.versions(key)
+        n = (_parse_version(existing[-1]) or 0) + 1 if existing else 1
+        version = _version_name(n)
+        manifest = {
+            "registry_version": REGISTRY_VERSION,
+            "codec_version": CODEC_VERSION,
+            "key": key,
+            "version": version,
+            "scheme": scheme.id,
+            "scheme_params": _plain(scheme_params(scheme)),
+            "compressor": compressor_id,
+            "compressor_options": _plain(dict(compressor_options)),
+            "target_key": scheme.target_key,
+            "needs_training": bool(scheme.needs_training),
+            "feature_keys": list(scheme.feature_keys()),
+            "state_checksum": state_checksum(blob),
+            "created_at": time.time(),
+            "meta": _plain(dict(meta or {})),
+        }
+        # Stage the whole version under a dot-name, then one rename
+        # publishes it: a crash mid-stage leaves only an ignorable temp.
+        stage = os.path.join(key_dir, f".stage-{version}-{os.getpid()}")
+        os.makedirs(stage, exist_ok=True)
+        with open(os.path.join(stage, STATE_NAME), "w") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        with open(os.path.join(stage, MANIFEST_NAME), "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        final = self._version_dir(key, version)
+        os.rename(stage, final)
+        self._set_latest(key, version)
+        return PublishedModel(key=key, version=version, path=final, manifest=manifest)
+
+    # -- load ------------------------------------------------------------------
+    def _read_manifest(self, key: str, version: str) -> dict[str, Any]:
+        with open(os.path.join(self._version_dir(key, version), MANIFEST_NAME)) as fh:
+            return json.load(fh)
+
+    def _rebuild(
+        self,
+        scheme: SchemePlugin,
+        compressor_id: str,
+        compressor_options: Mapping[str, Any],
+        state: dict[str, Any],
+    ) -> PredictorPlugin:
+        compressor = make_compressor(compressor_id)
+        opts = {
+            k: v for k, v in dict(compressor_options).items() if k != "pressio:id"
+        }
+        if opts:
+            compressor.set_options(opts)
+        predictor = scheme.get_predictor(compressor)
+        if state:
+            predictor.set_state(state)
+        return predictor
+
+    def _quarantine(self, key: str, version: str) -> None:
+        src = self._version_dir(key, version)
+        n = 0
+        while True:
+            dst = f"{src}.quarantined-{n}"
+            if not os.path.exists(dst):
+                break
+            n += 1
+        try:
+            os.rename(src, dst)
+        except FileNotFoundError:
+            pass  # a concurrent loader already moved it aside
+
+    def load(self, key: str, version: str | None = None) -> LoadedModel:
+        """Deserialise a model, verifying blob integrity.
+
+        With ``version=None`` the latest pointer is followed; a corrupt
+        blob (checksum mismatch, unreadable state) is quarantined and the
+        most recent surviving version is loaded instead, with ``LATEST``
+        retargeted so subsequent loads skip the probe.  A pinned
+        ``version`` never falls back — the caller asked for that blob
+        exactly.
+        """
+        pinned = version is not None
+        attempted: list[str] = []
+        while True:
+            name = version if pinned else (self.latest(key) or None)
+            if name is None:
+                candidates = [v for v in self.versions(key) if v not in attempted]
+                if not candidates:
+                    break
+                name = candidates[-1]
+            if name in attempted:  # latest pointer already tried
+                candidates = [v for v in self.versions(key) if v not in attempted]
+                if not candidates:
+                    break
+                name = candidates[-1]
+            attempted.append(name)
+            try:
+                manifest = self._read_manifest(key, name)
+                with open(
+                    os.path.join(self._version_dir(key, name), STATE_NAME)
+                ) as fh:
+                    blob = fh.read()
+            except (FileNotFoundError, ValueError) as exc:
+                if pinned:
+                    raise ModelNotFoundError(
+                        f"version {name} of key {key[:12]}… is unreadable: {exc}"
+                    ) from exc
+                self._quarantine(key, name)
+                continue
+            if state_checksum(blob) != manifest.get("state_checksum"):
+                if pinned:
+                    raise ModelIntegrityError(
+                        f"blob checksum mismatch for {key[:12]}…/{name}; "
+                        "refusing to load corrupt state"
+                    )
+                # Quarantine and fall back to the prior version.
+                self._quarantine(key, name)
+                survivors = self.versions(key)
+                if survivors:
+                    self._set_latest(key, survivors[-1])
+                continue
+            state = decode_state(blob)
+            scheme = get_scheme(manifest["scheme"], **manifest.get("scheme_params", {}))
+            compressor = make_compressor(manifest["compressor"])
+            opts = {
+                k: v
+                for k, v in manifest.get("compressor_options", {}).items()
+                if k != "pressio:id"
+            }
+            if opts:
+                compressor.set_options(opts)
+            predictor = scheme.get_predictor(compressor)
+            if state:
+                predictor.set_state(state)
+            return LoadedModel(
+                key=key,
+                version=name,
+                predictor=predictor,
+                scheme=scheme,
+                compressor=compressor,
+                manifest=manifest,
+            )
+        if pinned:
+            raise ModelNotFoundError(
+                f"no version {version!r} published under key {key[:12]}…"
+            )
+        if not attempted:
+            raise ModelNotFoundError(f"no published model under key {key[:12]}…")
+        raise ModelIntegrityError(
+            f"every published version under key {key[:12]}… failed its "
+            "integrity check; nothing intact to serve"
+        )
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe rendering of manifest metadata (lossy is fine here —
+    exactness matters for *state*, which goes through the codec)."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,531 @@
+"""Online prediction server: batched async inference over the registry.
+
+Turns the trained predictors a campaign published into a queryable
+service answering "what will SZ3 at 1e-4 do to this field?" without
+running the compressor.  The design follows the bench's own playbook —
+stage-bucketed timing, explicit counters, shed-don't-hang overload
+behaviour — applied to a latency-sensitive online path:
+
+* **micro-batching** — requests for the same model key collect for up
+  to ``batch_window_ms`` (or until ``max_batch`` arrive) and run through
+  *one* vectorised ``predict_many`` call, so a burst of K concurrent
+  queries costs far fewer than K model invocations;
+* **warm-model LRU + single-flight loading** — deserialised models live
+  in a small LRU; concurrent requests for a cold key coalesce onto one
+  loader (the blob is read and decoded exactly once), everyone else
+  awaits the same future;
+* **admission control** — at most ``max_in_flight`` admitted requests
+  and ``max_queue_depth`` queued rows; beyond that, requests are *shed*
+  with the documented ``"overloaded"`` status instead of queuing
+  unboundedly (a client can back off; a hung socket cannot);
+* **stage timings** — every response carries queue-wait / featurize /
+  predict milliseconds, and the ``stats`` op exposes the aggregate
+  :class:`ServeStats` counters (the server-side analog of
+  :class:`~repro.bench.taskqueue.QueueStats`).
+
+Wire protocol: newline-delimited JSON over TCP.  Request::
+
+    {"op": "predict", "key": "<registry key>",
+     "results": {...}}                  # precomputed metric features
+    {"op": "predict", "key": "...",
+     "data": {"__ndarray__": ...}}      # raw field; server featurizes
+    {"op": "stats" | "ping" | "models" | "shutdown"}
+
+Response statuses (documented contract): ``"ok"``, ``"overloaded"``
+(shed by admission control — retry after backoff), ``"not_found"``
+(unknown/unpublished key), ``"bad_request"`` (malformed request),
+``"error"`` (internal failure; request was admitted but not served).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.data import as_data
+from .codec import decode_array
+from .registry import LoadedModel, ModelNotFoundError, ModelRegistry
+
+#: Documented response statuses (see module docstring / DESIGN.md §8).
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_NOT_FOUND = "not_found"
+STATUS_BAD_REQUEST = "bad_request"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class ServeStats:
+    """Aggregate serving statistics (the online QueueStats analog)."""
+
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Requests rejected by admission control (the overload contract).
+    shed: int = 0
+    batches: int = 0
+    #: Vectorised ``predict_many`` invocations — the micro-batching
+    #: win is ``batched_rows / predict_calls`` rows per call.
+    predict_calls: int = 0
+    batched_rows: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Requests that awaited another request's in-flight load instead of
+    #: issuing their own (the single-flight saving).
+    load_waits: int = 0
+    #: Actual blob deserialisations (cold loads).
+    model_loads: int = 0
+    queue_wait_seconds: float = 0.0
+    featurize_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    #: Per-request end-to-end server latencies (ring buffer, seconds).
+    latencies: deque = field(default_factory=lambda: deque(maxlen=8192))
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def latency_quantile(self, q: float) -> float:
+        """Latency quantile in seconds over the retained window."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[idx]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_rows / self.predict_calls if self.predict_calls else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "batches": self.batches,
+            "predict_calls": self.predict_calls,
+            "batched_rows": self.batched_rows,
+            "mean_batch_size": self.mean_batch_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "load_waits": self.load_waits,
+            "model_loads": self.model_loads,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "featurize_seconds": self.featurize_seconds,
+            "predict_seconds": self.predict_seconds,
+            "latency_p50_ms": self.latency_quantile(0.50) * 1e3,
+            "latency_p95_ms": self.latency_quantile(0.95) * 1e3,
+            "latency_p99_ms": self.latency_quantile(0.99) * 1e3,
+        }
+
+
+class _ModelCache:
+    """Warm-model LRU with single-flight cold loading.
+
+    A cold key is deserialised exactly once no matter how many requests
+    race it: the first creates the load future, the rest await it.  The
+    blocking registry read runs in a worker thread so the event loop
+    keeps batching other keys meanwhile.
+    """
+
+    def __init__(self, registry: ModelRegistry, capacity: int, stats: ServeStats) -> None:
+        self.registry = registry
+        self.capacity = max(1, int(capacity))
+        self.stats = stats
+        self._models: OrderedDict[tuple[str, str | None], LoadedModel] = OrderedDict()
+        self._loading: dict[tuple[str, str | None], asyncio.Future] = {}
+
+    async def get(self, key: str, version: str | None = None) -> LoadedModel:
+        cache_key = (key, version)
+        model = self._models.get(cache_key)
+        if model is not None:
+            self.stats.cache_hits += 1
+            self._models.move_to_end(cache_key)
+            return model
+        pending = self._loading.get(cache_key)
+        if pending is not None:
+            self.stats.load_waits += 1
+            return await asyncio.shield(pending)
+        self.stats.cache_misses += 1
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._loading[cache_key] = fut
+        try:
+            try:
+                model = await asyncio.to_thread(self.registry.load, key, version)
+            except Exception as exc:  # noqa: BLE001 - propagate to all waiters
+                fut.set_exception(exc)
+            else:
+                self.stats.model_loads += 1
+                self._models[cache_key] = model
+                while len(self._models) > self.capacity:
+                    self._models.popitem(last=False)
+                fut.set_result(model)
+            # The creator consumes the future too, so a load failure is
+            # always retrieved even with zero coalesced waiters.
+            return await asyncio.shield(fut)
+        finally:
+            self._loading.pop(cache_key, None)
+
+    def invalidate(self, key: str) -> None:
+        """Drop every cached generation of *key* (after a re-publish)."""
+        for cached in [ck for ck in self._models if ck[0] == key]:
+            self._models.pop(cached, None)
+
+
+@dataclass
+class _Pending:
+    """One admitted predict request awaiting its batch."""
+
+    row: Mapping[str, Any] | None
+    array: Any  # encoded ndarray payload, if featurization is needed
+    future: asyncio.Future
+    enqueued: float
+    queue_wait: float = 0.0
+    featurize_s: float = 0.0
+
+
+class PredictionServer:
+    """Asyncio TCP server fronting a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_window_ms: float = 5.0,
+        max_batch: int = 32,
+        max_in_flight: int = 64,
+        max_queue_depth: int = 256,
+        cache_capacity: int = 8,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = int(port)  # 0 = ephemeral; real port known after start
+        self.batch_window = max(float(batch_window_ms), 0.0) / 1e3
+        self.max_batch = max(1, int(max_batch))
+        self.max_in_flight = max(1, int(max_in_flight))
+        self.max_queue_depth = max(1, int(max_queue_depth))
+        self.stats = ServeStats()
+        self.cache = _ModelCache(registry, cache_capacity, self.stats)
+        self._queues: dict[tuple[str, str | None], list[_Pending]] = {}
+        self._flush_tasks: dict[tuple[str, str | None], asyncio.Task] = {}
+        self._in_flight = 0
+        self._queued = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping: asyncio.Event | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        async with self._server:
+            await self._stopping.wait()
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- connection handling -----------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+                if response.get("op") == "shutdown":
+                    self.request_stop()
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        try:
+            request = json.loads(line)
+        except ValueError:
+            return {"ok": False, "status": STATUS_BAD_REQUEST, "error": "invalid JSON"}
+        if not isinstance(request, dict):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "request must be a JSON object",
+            }
+        op = request.get("op", "predict")
+        rid = request.get("id")
+        if op == "predict":
+            response = await self._handle_predict(request)
+        elif op == "stats":
+            response = {"ok": True, "status": STATUS_OK, "stats": self.stats.snapshot()}
+        elif op == "ping":
+            response = {"ok": True, "status": STATUS_OK, "pong": True}
+        elif op == "models":
+            response = {
+                "ok": True,
+                "status": STATUS_OK,
+                "models": [self.registry.describe(k) for k in self.registry.keys()],
+            }
+        elif op == "shutdown":
+            response = {"ok": True, "status": STATUS_OK, "op": "shutdown"}
+        else:
+            response = {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": f"unknown op {op!r}",
+            }
+        if rid is not None:
+            response["id"] = rid
+        return response
+
+    # -- predict path ------------------------------------------------------------
+    async def _handle_predict(self, request: dict[str, Any]) -> dict[str, Any]:
+        t_admit = time.perf_counter()
+        self.stats.requests += 1
+        key = request.get("key")
+        if not isinstance(key, str) or not key:
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "predict requires a registry 'key'",
+            }
+        row = request.get("results")
+        array = request.get("data")
+        if (row is None) == (array is None):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "predict requires exactly one of 'results' / 'data'",
+            }
+        if row is not None and not isinstance(row, dict):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "'results' must be an object of metric values",
+            }
+        # Admission control: shed instead of queueing unboundedly.  The
+        # overload contract is a *fast* "overloaded" response so clients
+        # back off; an unbounded queue turns overload into timeouts.
+        if self._in_flight >= self.max_in_flight or self._queued >= self.max_queue_depth:
+            self.stats.shed += 1
+            return {
+                "ok": False,
+                "status": STATUS_OVERLOADED,
+                "error": (
+                    f"admission control: {self._in_flight} in flight "
+                    f"(max {self.max_in_flight}), {self._queued} queued "
+                    f"(max {self.max_queue_depth}); retry with backoff"
+                ),
+            }
+        version = request.get("version")
+        pending = _Pending(
+            row=row,
+            array=array,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued=time.perf_counter(),
+        )
+        self._in_flight += 1
+        self._queued += 1
+        try:
+            self._enqueue(key, version, pending)
+            payload = await pending.future
+        except ModelNotFoundError as exc:
+            self.stats.failed += 1
+            return {"ok": False, "status": STATUS_NOT_FOUND, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            self.stats.failed += 1
+            return {
+                "ok": False,
+                "status": STATUS_ERROR,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            self._in_flight -= 1
+        self.stats.completed += 1
+        self.stats.observe_latency(time.perf_counter() - t_admit)
+        return payload
+
+    def _enqueue(self, key: str, version: str | None, pending: _Pending) -> None:
+        cache_key = (key, version)
+        queue = self._queues.get(cache_key)
+        if queue is None:
+            queue = self._queues[cache_key] = []
+            self._flush_tasks[cache_key] = asyncio.get_running_loop().create_task(
+                self._flush_after_window(cache_key)
+            )
+        queue.append(pending)
+        if len(queue) >= self.max_batch:
+            self._start_batch(cache_key)
+
+    def _start_batch(self, cache_key: tuple[str, str | None]) -> None:
+        """Detach the queued batch and run it (idempotent per batch)."""
+        batch = self._queues.pop(cache_key, None)
+        timer = self._flush_tasks.pop(cache_key, None)
+        if timer is not None and not timer.done():
+            timer.cancel()
+        if not batch:
+            return
+        self._queued -= len(batch)
+        asyncio.get_running_loop().create_task(self._run_batch(cache_key, batch))
+
+    async def _flush_after_window(self, cache_key: tuple[str, str | None]) -> None:
+        try:
+            await asyncio.sleep(self.batch_window)
+        except asyncio.CancelledError:
+            return
+        self._flush_tasks.pop(cache_key, None)
+        batch = self._queues.pop(cache_key, None)
+        if not batch:
+            return
+        self._queued -= len(batch)
+        await self._run_batch(cache_key, batch)
+
+    async def _run_batch(
+        self, cache_key: tuple[str, str | None], batch: list[_Pending]
+    ) -> None:
+        """Load (warm or single-flight), featurize, one predict_many."""
+        key, version = cache_key
+        t_start = time.perf_counter()
+        for item in batch:
+            item.queue_wait = t_start - item.enqueued
+            self.stats.queue_wait_seconds += item.queue_wait
+        self.stats.batches += 1
+        try:
+            model = await self.cache.get(key, version)
+            rows = await asyncio.to_thread(self._featurize_batch, model, batch)
+            t_pred = time.perf_counter()
+            preds = await asyncio.to_thread(model.predictor.predict_many, rows)
+            predict_s = time.perf_counter() - t_pred
+            self.stats.predict_calls += 1
+            self.stats.batched_rows += len(batch)
+            self.stats.predict_seconds += predict_s
+        except Exception as exc:  # noqa: BLE001 - fail the whole batch
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, pred in zip(batch, preds):
+            if item.future.done():
+                continue
+            item.future.set_result(
+                {
+                    "ok": True,
+                    "status": STATUS_OK,
+                    "prediction": float(pred),
+                    "target": model.target_key,
+                    "key": key,
+                    "version": model.version,
+                    "batch_size": len(batch),
+                    "timings": {
+                        "queue_wait_ms": item.queue_wait * 1e3,
+                        "featurize_ms": item.featurize_s * 1e3,
+                        "predict_ms": predict_s * 1e3,
+                    },
+                }
+            )
+
+    def _featurize_batch(
+        self, model: LoadedModel, batch: list[_Pending]
+    ) -> list[Mapping[str, Any]]:
+        """Turn each pending request into a metric-feature row.
+
+        Requests carrying precomputed ``results`` only gain the scheme's
+        zero-cost config features; raw ``data`` payloads run through the
+        scheme's own metric evaluator — the same featurization the bench
+        used at training time, so online and offline rows agree.
+        """
+        config = model.scheme.config_features(model.compressor)
+        rows: list[Mapping[str, Any]] = []
+        for item in batch:
+            t0 = time.perf_counter()
+            if item.row is not None:
+                row = dict(item.row)
+            else:
+                data = as_data(decode_array(item.array))
+                evaluator = model.scheme.req_metrics_opts(model.compressor)
+                row = dict(evaluator.evaluate(data))
+            # Fill in zero-cost config features without clobbering any
+            # the client computed itself (training rows carry per-field
+            # effective bounds when range-relative mode was on).
+            for ck, cv in config.items():
+                row.setdefault(ck, cv)
+            item.featurize_s = time.perf_counter() - t0
+            self.stats.featurize_seconds += item.featurize_s
+            rows.append(row)
+        return rows
+
+
+class ServerThread:
+    """Run a :class:`PredictionServer` on a daemon thread (tests, CLI).
+
+    The server owns its own event loop; :meth:`start` blocks until the
+    listening port is bound, :meth:`stop` requests a graceful stop and
+    joins the thread.
+    """
+
+    def __init__(self, server: PredictionServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+
+    def _main(self) -> None:
+        async def run() -> None:
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.server.serve_until_stopped()
+
+        try:
+            asyncio.run(run())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self._started.set()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("prediction server failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"prediction server failed to start: {self._error}")
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.server.host, self.server.port)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

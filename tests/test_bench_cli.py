@@ -199,6 +199,91 @@ class TestReportCommand:
         assert "no observations" in capsys.readouterr().out
 
 
+class TestServeCommands:
+    def test_serve_and_publish_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "/tmp/reg", "--port", "7000",
+             "--batch-window-ms", "2.5", "--max-batch", "16"]
+        )
+        assert args.registry == "/tmp/reg"
+        assert args.batch_window_ms == 2.5
+        args = build_parser().parse_args(
+            ["publish", "ck.db", "--registry", "/tmp/reg",
+             "--schemes", "khan2023", "--bounds", "1e-4"]
+        )
+        assert args.checkpoint == "ck.db"
+        assert args.bounds == [1e-4]
+
+    def test_publish_empty_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        from repro.bench import CheckpointStore
+
+        ck = str(tmp_path / "empty.db")
+        CheckpointStore(ck).close()
+        assert main(["publish", ck, "--registry", str(tmp_path / "reg")]) == 1
+        assert "no observations" in capsys.readouterr().out
+
+    def test_publish_serve_query_roundtrip(self, tmp_path, capsys):
+        db = str(tmp_path / "serve.db")
+        assert main(
+            [
+                "run",
+                "--schemes", "khan2023",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--shape", "8", "8", "4",
+                "--timesteps", "2",
+                "--fields", "P", "U", "QRAIN",
+                "--folds", "2",
+                "--checkpoint", db,
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        reg = str(tmp_path / "registry")
+        assert main(
+            ["publish", db, "--registry", reg,
+             "--schemes", "khan2023", "--compressors", "szx"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "published khan2023 / szx" in out
+
+        from repro.bench import CheckpointStore
+        from repro.serve import ModelRegistry, PredictionServer, ServerThread
+
+        row = next(
+            dict(o)
+            for o in CheckpointStore(db).query()
+            if o.get("compressor") == "szx"
+        )
+        with ServerThread(PredictionServer(ModelRegistry(reg))) as thread:
+            host, port = thread.address
+            base = ["query", "--host", host, "--port", str(port)]
+
+            assert main(base + ["--models"]) == 0
+            models = json.loads(capsys.readouterr().out)
+            assert any(m["manifest"]["scheme"] == "khan2023" for m in models)
+
+            assert main(
+                base
+                + ["--scheme", "khan2023", "--compressor", "szx",
+                   "--bound", "1e-4", "--results", json.dumps(row)]
+            ) == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["status"] == "ok"
+            assert response["prediction"] > 0
+
+            assert main(base + ["--stats"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["completed"] >= 1
+
+            # arg error: a derived key needs all three of scheme/compressor/bound
+            assert main(base + ["--scheme", "khan2023"]) == 2
+            # server error: unknown key surfaces the server status, exit 1
+            assert main(base + ["--key", "f" * 16, "--results", "{}"]) == 1
+            err = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+            assert err["status"] == "not_found"
+
+
 class TestChaosFlags:
     def test_chaos_flags_parse(self):
         args = build_parser().parse_args(
@@ -247,6 +332,24 @@ class TestChaosFlags:
         store = CheckpointStore(db)
         assert store.verify() == []
         assert store.failed_keys() == set()
+
+    def test_simulate_chaos_columns(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "1", "2",
+                "--shape", "8", "8", "4",
+                "--timesteps", "2",
+                "--compressors", "szx",
+                "--bounds", "1e-4",
+                "--chaos", "crash:0.3,hang:0.1",
+                "--chaos-seed", "5",
+                "--recovery-s", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "wasted(s)" in out
 
     def test_report_failures_flag(self, tmp_path, capsys):
         from repro.bench import CheckpointStore

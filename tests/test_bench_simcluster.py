@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench import SimulatedCluster, Task, scaling_sweep
+from repro.bench import ChaosPlan, SimulatedCluster, Task, scaling_sweep
 
 
 def make_tasks(n_data=8, per_data=4, nbytes=1 << 24):
@@ -100,3 +100,94 @@ class TestSimulatedCluster:
         task = make_tasks(1, 1, nbytes=10**9)[0]
         assert cluster.load_cost(task, cached=False) == pytest.approx(1.01)
         assert cluster.load_cost(task, cached=True) == cluster.cache_hit_seconds
+
+
+def chaos(spec, seed=0, hang_seconds=0.5, tmpdir=None):
+    return ChaosPlan.from_spec(spec, seed=seed, hang_seconds=hang_seconds,
+                               state_dir=tmpdir)
+
+
+class TestSimulatedChaos:
+    def test_no_chaos_report_has_zero_fault_fields(self):
+        report = SimulatedCluster(2).run(make_tasks(2, 2), lambda t: CONST_COST)
+        assert report.injected_faults == {"crash": 0, "hang": 0, "exception": 0}
+        assert report.retries == 0
+        assert report.wasted_seconds == 0.0
+        assert report.recovery_seconds_total == 0.0
+
+    def test_chaos_run_is_deterministic(self, tmp_path):
+        plan_a = chaos("crash:0.2,hang:0.1", tmpdir=str(tmp_path / "a"))
+        plan_b = chaos("crash:0.2,hang:0.1", tmpdir=str(tmp_path / "b"))
+        a = SimulatedCluster(4).run(make_tasks(), lambda t: CONST_COST, chaos=plan_a)
+        b = SimulatedCluster(4).run(make_tasks(), lambda t: CONST_COST, chaos=plan_b)
+        assert a.makespan == b.makespan
+        assert a.injected_faults == b.injected_faults
+        assert a.wasted_seconds == b.wasted_seconds
+
+    def test_every_task_still_completes(self, tmp_path):
+        tasks = make_tasks(n_data=6, per_data=3)
+        plan = chaos("crash:0.3,hang:0.2,exception:0.2", tmpdir=str(tmp_path))
+        report = SimulatedCluster(3).run(tasks, lambda t: CONST_COST, chaos=plan)
+        # every injected fault requeues; completions show up as cache
+        # traffic — one hit/miss per *attempt* that reached the cache.
+        assert report.total_compute_seconds == pytest.approx(CONST_COST * len(tasks))
+        assert sum(report.injected_faults.values()) > 0
+        assert report.retries == sum(report.injected_faults.values())
+
+    def test_chaos_costs_time_and_work(self, tmp_path):
+        tasks = make_tasks(n_data=6, per_data=3)
+        clean = SimulatedCluster(3).run(list(tasks), lambda t: CONST_COST)
+        plan = chaos("crash:0.3", tmpdir=str(tmp_path))
+        faulty = SimulatedCluster(3).run(list(tasks), lambda t: CONST_COST, chaos=plan)
+        assert faulty.injected_faults["crash"] > 0
+        assert faulty.makespan > clean.makespan
+        assert faulty.wasted_seconds > 0
+        assert faulty.recovery_seconds_total == pytest.approx(
+            faulty.injected_faults["crash"] * 1.0
+        )
+
+    def test_crash_restarts_node_cold(self, tmp_path):
+        # Same data reused heavily: without chaos almost every re-touch
+        # hits the node cache; crashes clear caches so hits drop.
+        tasks = make_tasks(n_data=2, per_data=12)
+        clean = SimulatedCluster(2).run(list(tasks), lambda t: CONST_COST)
+        plan = chaos("crash:0.4", tmpdir=str(tmp_path))
+        faulty = SimulatedCluster(2).run(list(tasks), lambda t: CONST_COST, chaos=plan)
+        assert faulty.injected_faults["crash"] > 0
+        assert faulty.cache_misses > clean.cache_misses
+
+    def test_hang_charges_stall_not_recovery(self, tmp_path):
+        plan = chaos("hang", hang_seconds=0.7, tmpdir=str(tmp_path))  # rate 1.0
+        tasks = make_tasks(n_data=2, per_data=1)
+        report = SimulatedCluster(1).run(tasks, lambda t: CONST_COST, chaos=plan)
+        # every task hangs exactly once (once-per-key semantics), then
+        # completes on retry.
+        assert report.injected_faults["hang"] == len(tasks)
+        assert report.recovery_seconds_total == 0.0
+        assert report.wasted_seconds > 0.7 * len(tasks)
+
+    def test_injection_is_scheduling_independent(self, tmp_path):
+        # The same plan faults the same task keys at every node count —
+        # selection is a pure (seed, class, key) draw, so a scaling sweep
+        # isolates placement against a fixed fault load.
+        tasks = make_tasks(n_data=6, per_data=3)
+        plan = chaos("crash:0.25,exception:0.2", tmpdir=str(tmp_path))
+        reports = scaling_sweep(
+            tasks, lambda t: CONST_COST, [1, 2, 4, 8], chaos=plan
+        )
+        counts = {n: r.injected_faults for n, r in reports.items()}
+        assert sum(counts[1].values()) > 0
+        assert all(c == counts[1] for c in counts.values())
+
+    def test_recovery_seconds_knob(self, tmp_path):
+        tasks = make_tasks(n_data=6, per_data=3)
+        plan = chaos("crash:0.3", tmpdir=str(tmp_path))
+        fast = SimulatedCluster(2).run(
+            list(tasks), lambda t: CONST_COST, chaos=plan, recovery_seconds=0.1
+        )
+        slow = SimulatedCluster(2).run(
+            list(tasks), lambda t: CONST_COST, chaos=plan, recovery_seconds=5.0
+        )
+        assert fast.injected_faults == slow.injected_faults
+        assert slow.makespan > fast.makespan
+        assert slow.recovery_seconds_total > fast.recovery_seconds_total

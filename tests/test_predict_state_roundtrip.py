@@ -1,0 +1,117 @@
+"""Satellite bugfix guard: every scheme's serialised predictor state
+round-trips exactly through the serve codec.
+
+A registry blob must reconstruct a predictor whose ``predict_many`` is
+element-identical to the trained one — "almost equal" models drift
+silently in production.  This parametrises over the whole scheme
+registry so a new scheme with unserialisable or incomplete state fails
+here (and at publish time) rather than at first query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import make_compressor
+from repro.predict.scheme import get_scheme, scheme_registry
+from repro.serve import decode_state, encode_state
+
+#: Base keys derived features are computed from (fxrz's derive_features).
+EXTRA_KEYS = ["sparsity:zero_ratio", "stat:value_range", "config:log_abs_bound"]
+
+SCHEME_KWARGS = {
+    "rahman2023": dict(n_estimators=4, max_depth=3, augment_factor=1.0),
+    "rahman2023_bandwidth": dict(n_estimators=4, max_depth=3, augment_factor=1.0),
+}
+
+ALL_SCHEMES = sorted(scheme_registry)
+TRAINABLE = [s for s in ALL_SCHEMES if get_scheme(s).needs_training]
+
+
+def make_rows(scheme, n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = sorted(set(scheme.feature_keys()) | set(EXTRA_KEYS))
+    rows = [
+        {k: float(v) for k, v in zip(keys, rng.random(len(keys)) + 0.1)}
+        for _ in range(n)
+    ]
+    targets = rng.random(n) * 20.0 + 1.0
+    return rows, targets
+
+
+def fit_fresh_pair(scheme_id):
+    scheme = get_scheme(scheme_id, **SCHEME_KWARGS.get(scheme_id, {}))
+    comp = make_compressor("sz3", pressio__abs=1e-4)
+    predictor = scheme.get_predictor(comp)
+    rows, y = make_rows(scheme)
+    predictor.fit(rows, y)
+    fresh = scheme.get_predictor(make_compressor("sz3", pressio__abs=1e-4))
+    return predictor, fresh, rows
+
+
+@pytest.mark.parametrize("scheme_id", TRAINABLE)
+def test_state_roundtrips_element_exact(scheme_id):
+    predictor, fresh, rows = fit_fresh_pair(scheme_id)
+    state = predictor.get_state()
+    assert state, f"{scheme_id}: fitted predictor returned empty state"
+    fresh.set_state(decode_state(encode_state(state)))
+    want = predictor.predict_many(rows)
+    got = fresh.predict_many(rows)
+    assert want.shape == got.shape
+    assert np.array_equal(want, got), (
+        f"{scheme_id}: restored predictions differ "
+        f"(max |delta| = {float(np.max(np.abs(want - got))):g})"
+    )
+
+
+@pytest.mark.parametrize("scheme_id", TRAINABLE)
+def test_state_survives_double_roundtrip(scheme_id):
+    # encode(decode(encode(s))) == encode(s): no drift on re-publish.
+    predictor, _, _ = fit_fresh_pair(scheme_id)
+    blob = encode_state(predictor.get_state())
+    assert encode_state(decode_state(blob)) == blob
+
+
+@pytest.mark.parametrize("scheme_id", [s for s in ALL_SCHEMES if not get_scheme(s).needs_training])
+def test_formula_schemes_have_empty_state(scheme_id):
+    scheme = get_scheme(scheme_id)
+    predictor = scheme.get_predictor(make_compressor("sz3", pressio__abs=1e-4))
+    assert predictor.get_state() == {}
+    assert predictor.is_fitted()
+
+
+def test_fxrz_state_carries_sparsity_correction():
+    predictor, fresh, rows = fit_fresh_pair("rahman2023")
+    state = predictor.get_state()
+    assert state["sparsity_correction"] is True
+    # flip the flag on the fresh instance; set_state must restore it —
+    # the forest was fit against density-adjusted targets, so a restored
+    # model without the flag is off by the density factor.
+    fresh.sparsity_correction = False
+    fresh.set_state(decode_state(encode_state(state)))
+    assert fresh.sparsity_correction is True
+    assert np.array_equal(predictor.predict_many(rows), fresh.predict_many(rows))
+
+
+def test_zperf_state_carries_active_order():
+    predictor, fresh, rows = fit_fresh_pair("wang2023")
+    predictor.set_active_order(2)
+    # refit under the now-active order so predictions are self-consistent
+    _, y = make_rows(get_scheme("wang2023"))
+    predictor.fit(rows, y)
+    state = predictor.get_state()
+    assert state["active_order"] == 2
+    assert state["orders"] == (0, 1, 2)
+    fresh.set_state(decode_state(encode_state(state)))
+    assert fresh._active_order == 2
+    assert np.array_equal(predictor.predict_many(rows), fresh.predict_many(rows))
+
+
+def test_bandwidth_variant_disables_correction():
+    predictor, fresh, rows = fit_fresh_pair("rahman2023_bandwidth")
+    state = predictor.get_state()
+    assert state["sparsity_correction"] is False
+    fresh.set_state(decode_state(encode_state(state)))
+    assert fresh.sparsity_correction is False
+    assert np.array_equal(predictor.predict_many(rows), fresh.predict_many(rows))

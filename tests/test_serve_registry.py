@@ -1,0 +1,238 @@
+"""Registry lifecycle: exact codec, versioned publish, latest pointer,
+corrupt-blob quarantine with fallback."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import make_compressor
+from repro.predict.scheme import get_scheme
+from repro.serve import (
+    ModelIntegrityError,
+    ModelNotFoundError,
+    ModelRegistry,
+    StateSerializationError,
+    decode_state,
+    encode_state,
+    registry_key,
+    scheme_params,
+    state_checksum,
+)
+from repro.serve.registry import LATEST_NAME, STATE_NAME
+
+RAHMAN_KWARGS = dict(n_estimators=4, max_depth=3, augment_factor=1.0)
+
+FEATURES = [
+    "stat:std",
+    "stat:value_range",
+    "stat:skewness",
+    "stat:kurtosis",
+    "sparsity:zero_ratio",
+    "spatial:correlation",
+    "spatial:smoothness",
+    "spatial:coding_gain",
+    "config:log_abs_bound",
+]
+
+
+def make_rows(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        row = {k: float(v) for k, v in zip(FEATURES, rng.random(len(FEATURES)) + 0.1)}
+        rows.append(row)
+    targets = rng.random(n) * 20.0 + 1.0
+    return rows, targets
+
+
+def fitted_predictor(scheme=None):
+    scheme = scheme or get_scheme("rahman2023", **RAHMAN_KWARGS)
+    comp = make_compressor("sz3", pressio__abs=1e-4)
+    predictor = scheme.get_predictor(comp)
+    rows, y = make_rows()
+    predictor.fit(rows, y)
+    return scheme, predictor, rows
+
+
+class TestCodec:
+    def test_array_roundtrip_preserves_dtype_shape_order(self):
+        cases = [
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4)),
+            np.array([1, 2, 3], dtype=np.int16),
+            np.zeros((0,), dtype=np.float32),
+        ]
+        out = decode_state(encode_state({"arrays": cases}))["arrays"]
+        for want, got in zip(cases, out):
+            assert got.dtype == want.dtype
+            assert got.shape == want.shape
+            assert np.array_equal(got, want)
+        # restored arrays are writable (frombuffer views are not)
+        out[0][0, 0] = 99.0
+
+    def test_scalar_tuple_bytes_roundtrip(self):
+        state = {
+            "f32": np.float32(1.5),
+            "i64": np.int64(-7),
+            "hidden": (32, 16),
+            "blob": b"\x00\x01\xff",
+            "nested": {"t": ((1.0, 2.0), "x")},
+            "plain": [1, 2.5, "s", None, True],
+        }
+        out = decode_state(encode_state(state))
+        assert out["f32"] == np.float32(1.5) and out["f32"].dtype == np.float32
+        assert out["i64"] == np.int64(-7) and out["i64"].dtype == np.int64
+        assert out["hidden"] == (32, 16) and isinstance(out["hidden"], tuple)
+        assert out["blob"] == b"\x00\x01\xff"
+        assert out["nested"]["t"] == ((1.0, 2.0), "x")
+        assert isinstance(out["nested"]["t"][0], tuple)
+        assert out["plain"] == [1, 2.5, "s", None, True]
+
+    def test_unserialisable_value_names_path(self):
+        with pytest.raises(StateSerializationError, match=r"state\.inner\.bad"):
+            encode_state({"inner": {"bad": lambda r: 1.0}})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(StateSerializationError, match="not str"):
+            encode_state({"outer": {3: "x"}})
+
+    def test_checksum_detects_tamper(self):
+        blob = encode_state({"a": np.arange(4.0)})
+        assert state_checksum(blob) != state_checksum(blob.replace("4", "5", 1))
+
+
+class TestRegistryPublish:
+    def test_publish_load_roundtrip_exact(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme, predictor, rows = fitted_predictor()
+        receipt = registry.publish(
+            scheme, "sz3", {"pressio:abs": 1e-4}, predictor, verify_rows=rows[:6]
+        )
+        assert receipt.version == "v0001"
+        loaded = registry.load(receipt.key)
+        assert loaded.version == "v0001"
+        want = predictor.predict_many(rows)
+        got = loaded.predictor.predict_many(rows)
+        assert np.array_equal(want, got)
+        assert loaded.target_key == scheme.target_key
+
+    def test_latest_pointer_flips_on_republish(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme, predictor, rows = fitted_predictor()
+        r1 = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        # retrain on different rows -> a genuinely different v0002
+        rows2, y2 = make_rows(seed=99)
+        predictor.fit(rows2, y2)
+        r2 = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        assert r1.key == r2.key
+        assert r2.version == "v0002"
+        assert registry.latest(r1.key) == "v0002"
+        assert registry.versions(r1.key) == ["v0001", "v0002"]
+        assert registry.load(r1.key).version == "v0002"
+        # pinned loads still reach the old version
+        assert registry.load(r1.key, "v0001").version == "v0001"
+
+    def test_key_is_reproducible_from_configuration(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme, predictor, _ = fitted_predictor()
+        receipt = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        derived = registry_key(
+            scheme.id, "sz3", {"pressio:abs": 1e-4}, scheme_params(scheme)
+        )
+        assert derived == receipt.key
+        # a different bound is a different model
+        assert derived != registry_key(
+            scheme.id, "sz3", {"pressio:abs": 1e-6}, scheme_params(scheme)
+        )
+
+    def test_unfitted_predictor_refused(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme = get_scheme("rahman2023", **RAHMAN_KWARGS)
+        predictor = scheme.get_predictor(make_compressor("sz3", pressio__abs=1e-4))
+        with pytest.raises(StateSerializationError, match="unfitted"):
+            registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+
+    def test_untrained_scheme_publishes_empty_state(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme = get_scheme("khan2023")
+        comp = make_compressor("sz3", pressio__abs=1e-4)
+        predictor = scheme.get_predictor(comp)
+        receipt = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        loaded = registry.load(receipt.key)
+        assert loaded.scheme.id == "khan2023"
+
+    def test_missing_key_raises_not_found(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        with pytest.raises(ModelNotFoundError):
+            registry.load("no-such-key")
+
+
+class TestQuarantine:
+    def _publish_two(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme, predictor, rows = fitted_predictor()
+        registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        good = predictor.predict_many(rows)
+        rows2, y2 = make_rows(seed=5)
+        predictor.fit(rows2, y2)
+        r2 = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        return registry, r2.key, rows, good
+
+    def test_corrupt_latest_falls_back_to_prior_version(self, tmp_path):
+        registry, key, rows, v1_preds = self._publish_two(tmp_path)
+        state_path = os.path.join(registry.root, key, "v0002", STATE_NAME)
+        with open(state_path, "r+") as fh:
+            blob = fh.read()
+            fh.seek(0)
+            fh.write(blob.replace("0", "1", 1))
+        loaded = registry.load(key)
+        assert loaded.version == "v0001"
+        assert np.array_equal(loaded.predictor.predict_many(rows), v1_preds)
+        # the corrupt version was moved aside and LATEST retargeted
+        assert registry.versions(key) == ["v0001"]
+        assert registry.latest(key) == "v0001"
+        names = os.listdir(os.path.join(registry.root, key))
+        assert any(n.startswith("v0002.quarantined") for n in names)
+
+    def test_pinned_corrupt_version_refuses_without_fallback(self, tmp_path):
+        registry, key, _, _ = self._publish_two(tmp_path)
+        state_path = os.path.join(registry.root, key, "v0002", STATE_NAME)
+        with open(state_path, "r+") as fh:
+            blob = fh.read()
+            fh.seek(0)
+            fh.write(blob.replace("0", "1", 1))
+        with pytest.raises(ModelIntegrityError, match="checksum"):
+            registry.load(key, "v0002")
+        # pinned probing must not quarantine: the blob stays for forensics
+        assert "v0002" in registry.versions(key)
+
+    def test_all_versions_corrupt_raises_integrity_error(self, tmp_path):
+        registry, key, _, _ = self._publish_two(tmp_path)
+        for version in registry.versions(key):
+            path = os.path.join(registry.root, key, version, STATE_NAME)
+            with open(path, "r+") as fh:
+                blob = fh.read()
+                fh.seek(0)
+                fh.write(blob.replace("0", "1", 1))
+        with pytest.raises(ModelIntegrityError, match="integrity"):
+            registry.load(key)
+
+    def test_torn_latest_pointer_ignored(self, tmp_path):
+        registry, key, _, _ = self._publish_two(tmp_path)
+        with open(os.path.join(registry.root, key, LATEST_NAME), "w") as fh:
+            fh.write("v9;garbage")
+        # invalid pointer -> newest intact version served
+        assert registry.load(key).version == "v0002"
+
+    def test_manifest_json_is_valid(self, tmp_path):
+        registry, key, _, _ = self._publish_two(tmp_path)
+        with open(os.path.join(registry.root, key, "v0002", "MANIFEST.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["scheme"] == "rahman2023"
+        assert manifest["compressor"] == "sz3"
+        assert manifest["version"] == "v0002"
+        assert registry.describe(key)["latest"] == "v0002"

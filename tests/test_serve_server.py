@@ -1,0 +1,264 @@
+"""End-to-end serving: campaign → publish → server → client predictions.
+
+The acceptance demo for the online service: a trained model queried over
+the wire returns exactly what the deserialized predictor returns when
+called directly; a burst of K concurrent requests coalesces into fewer
+than K vectorised predict calls; overload sheds with the documented
+status instead of hanging.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.dataset import HurricaneDataset
+from repro.predict.scheme import get_scheme
+from repro.serve import (
+    ModelRegistry,
+    PredictionClient,
+    PredictionServer,
+    ServerError,
+    ServerThread,
+    registry_key,
+    scheme_params,
+)
+
+BOUND = 1e-3
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One tiny collection campaign, published into a fresh registry."""
+    dataset = HurricaneDataset(
+        shape=(16, 16, 8), timesteps=[0, 24], fields=["P", "U", "QRAIN", "CLOUD"]
+    )
+    scheme = get_scheme("rahman2023", n_estimators=5, max_depth=4, augment_factor=1.0)
+    runner = ExperimentRunner(
+        dataset,
+        compressors=["sz3"],
+        bounds=[BOUND],
+        schemes=[scheme, "khan2023"],
+        n_folds=2,
+    )
+    observations = runner.collect().observations
+    registry = ModelRegistry(str(tmp_path_factory.mktemp("registry")))
+    receipts = runner.publish(registry, observations)
+    runner.close()
+    key = registry_key(
+        scheme.id,
+        "sz3",
+        {"pressio:abs": BOUND, "pressio:abs_is_relative": True},
+        scheme_params(scheme),
+    )
+    rows = [
+        dict(o)
+        for o in observations
+        if o.get("scheme:rahman2023:supported") and o.get("size:compression_ratio")
+    ]
+    return SimpleNamespace(
+        registry=registry, receipts=receipts, key=key, rows=rows, scheme=scheme
+    )
+
+
+def serve(campaign, **kwargs):
+    return ServerThread(PredictionServer(campaign.registry, **kwargs))
+
+
+def burst(address, key, rows, n):
+    """Fire *n* predicts from *n* connections released simultaneously."""
+    out: list = [None] * n
+    barrier = threading.Barrier(n)
+
+    def worker(i):
+        with PredictionClient(*address) as client:
+            barrier.wait()
+            try:
+                out[i] = client.predict(key, results=rows[i % len(rows)])
+            except ServerError as exc:
+                out[i] = exc
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert all(r is not None for r in out), "a request hung without a response"
+    return out
+
+
+class TestPublishHook:
+    def test_publish_covers_every_combination(self, campaign):
+        assert len(campaign.receipts) == 2  # (rahman2023 + khan2023) x sz3 x 1 bound
+        assert {r.manifest["scheme"] for r in campaign.receipts} == {
+            "rahman2023",
+            "khan2023",
+        }
+        assert campaign.key in {r.key for r in campaign.receipts}
+
+    def test_receipts_carry_campaign_meta(self, campaign):
+        for receipt in campaign.receipts:
+            assert receipt.manifest["meta"]["n_observations"] >= 2
+            assert receipt.manifest["meta"]["relative_bounds"] is True
+
+
+class TestEndToEnd:
+    def test_served_prediction_matches_direct_predictor(self, campaign):
+        row = campaign.rows[0]
+        direct = campaign.registry.load(campaign.key)
+        want = float(direct.predictor.predict(row))
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                response = client.predict(campaign.key, results=row)
+        assert response["status"] == "ok"
+        assert response["prediction"] == want
+        assert response["target"] == "size:compression_ratio"
+        assert response["version"] == direct.version
+        assert set(response["timings"]) == {
+            "queue_wait_ms",
+            "featurize_ms",
+            "predict_ms",
+        }
+
+    def test_raw_field_is_featurized_server_side(self, campaign):
+        # An unseen field: the server must run the same featurization the
+        # bench used offline, so its answer equals the direct pipeline's.
+        rng = np.random.default_rng(7)
+        arr = rng.standard_normal((16, 16, 8)).astype(np.float32)
+        from repro.core.data import as_data
+
+        model = campaign.registry.load(campaign.key)
+        row = dict(model.scheme.req_metrics_opts(model.compressor).evaluate(as_data(arr)))
+        for k, v in model.scheme.config_features(model.compressor).items():
+            row.setdefault(k, v)
+        want = float(model.predictor.predict(row))
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                response = client.predict(campaign.key, data=arr)
+        assert response["prediction"] == want
+
+    def test_ping_models_and_stats_ops(self, campaign):
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                assert client.ping()
+                models = client.models()
+                assert {m["manifest"]["scheme"] for m in models} == {
+                    "rahman2023",
+                    "khan2023",
+                }
+                client.predict(campaign.key, results=campaign.rows[0])
+                stats = client.stats()
+        assert stats["completed"] == 1
+        assert stats["predict_calls"] == 1
+        assert stats["model_loads"] == 1
+        assert stats["latency_p99_ms"] > 0
+        for stage in ("queue_wait_seconds", "featurize_seconds", "predict_seconds"):
+            assert stats[stage] >= 0
+
+    def test_shutdown_op_stops_server(self, campaign):
+        thread = serve(campaign).start()
+        with PredictionClient(*thread.address) as client:
+            client.shutdown()
+        thread._thread.join(5)
+        assert not thread._thread.is_alive()
+
+
+class TestMicroBatching:
+    def test_burst_coalesces_into_fewer_predict_calls(self, campaign):
+        k = 12
+        with serve(campaign, batch_window_ms=250, max_batch=64) as thread:
+            results = burst(thread.address, campaign.key, campaign.rows, k)
+            with PredictionClient(*thread.address) as client:
+                stats = client.stats()
+        assert all(isinstance(r, dict) and r["status"] == "ok" for r in results)
+        assert stats["completed"] == k
+        assert stats["predict_calls"] < k, "burst did not batch"
+        assert stats["mean_batch_size"] > 1.0
+        assert stats["batched_rows"] == k
+
+    def test_batch_answers_agree_with_direct(self, campaign):
+        direct = campaign.registry.load(campaign.key)
+        with serve(campaign, batch_window_ms=100, max_batch=64) as thread:
+            results = burst(thread.address, campaign.key, campaign.rows, 8)
+        for i, response in enumerate(results):
+            row = campaign.rows[i % len(campaign.rows)]
+            assert response["prediction"] == float(direct.predictor.predict(row))
+
+    def test_max_batch_flushes_before_window(self, campaign):
+        # window far beyond test patience: only the size trigger can
+        # flush, so a full batch completing proves it fires.
+        k = 4
+        with serve(campaign, batch_window_ms=60_000, max_batch=k) as thread:
+            results = burst(thread.address, campaign.key, campaign.rows, k)
+        assert all(r["status"] == "ok" for r in results)
+        assert {r["batch_size"] for r in results} == {k}
+
+    def test_cold_load_is_single_flight(self, campaign):
+        # window 0: every request flushes its own batch, so concurrent
+        # batches race the cold load — the blob must deserialise once.
+        k = 8
+        with serve(campaign, batch_window_ms=0) as thread:
+            results = burst(thread.address, campaign.key, campaign.rows, k)
+            with PredictionClient(*thread.address) as client:
+                stats = client.stats()
+        assert all(r["status"] == "ok" for r in results)
+        assert stats["model_loads"] == 1, "cold load was not single-flight"
+        assert stats["cache_misses"] == 1
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_documented_status(self, campaign):
+        k = 8
+        with serve(
+            campaign, batch_window_ms=300, max_in_flight=2, max_queue_depth=1
+        ) as thread:
+            results = burst(thread.address, campaign.key, campaign.rows, k)
+            with PredictionClient(*thread.address) as client:
+                stats = client.stats()
+        ok = [r for r in results if isinstance(r, dict)]
+        shed = [r for r in results if isinstance(r, ServerError)]
+        assert ok, "every request was shed"
+        assert shed, "admission limits admitted the whole burst"
+        for exc in shed:
+            assert exc.server_status == "overloaded"
+            assert "retry with backoff" in str(exc)
+        assert stats["shed"] == len(shed)
+        assert stats["completed"] == len(ok)
+
+    def test_unknown_key_is_not_found(self, campaign):
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                with pytest.raises(ServerError) as err:
+                    client.predict("f" * 16, results=campaign.rows[0])
+        assert err.value.server_status == "not_found"
+
+    def test_malformed_requests_are_bad_request(self, campaign):
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                no_key = client.request({"op": "predict", "results": {}})
+                assert no_key["status"] == "bad_request"
+                both = client.request(
+                    {
+                        "op": "predict",
+                        "key": campaign.key,
+                        "results": {},
+                        "data": {"x": 1},
+                    }
+                )
+                assert both["status"] == "bad_request"
+                unknown = client.request({"op": "frobnicate"})
+                assert unknown["status"] == "bad_request"
+                client._sock.sendall(b"this is not json\n")
+                garbage = json.loads(client._rfile.readline())
+                assert garbage["status"] == "bad_request"
+
+    def test_request_ids_echo_back(self, campaign):
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                response = client.request({"op": "ping", "id": "req-42"})
+        assert response["id"] == "req-42"
