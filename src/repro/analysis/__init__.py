@@ -1,0 +1,38 @@
+"""repro-lint: static enforcement of the harness's correctness contracts.
+
+The runtime layers (task queue, checkpoint store, shared-memory plane,
+serving stack) each rest on invariants that, until now, only failed
+under load or chaos: lock discipline around shared state, deterministic
+inputs to the stable option hash, codec-encodable predictor state, the
+fixed ``predictors:*`` invalidation vocabulary, and close/unlink
+lifecycles for OS-backed resources.  This package checks those
+contracts *statically* over the AST, so a violation fails in CI instead
+of in a 3 a.m. chaos run.
+
+Entry points:
+
+* ``python -m repro.analysis src/`` — CLI with text/JSON output and a
+  zero-findings exit code, also exposed as ``predict-bench lint``;
+* :func:`run_paths` — the same engine as a library call;
+* :class:`LockOrderWitness` — the runtime companion: wraps locks during
+  stress tests, records the acquisition graph, fails on cycles.
+
+Suppressions: ``# repro-lint: disable=RL101  # reason`` on (or directly
+above) the offending line, or ``# repro-lint: disable-file=RL102`` once
+anywhere in a file.  Every suppression should carry a justification.
+"""
+
+from .engine import AnalysisReport, run_paths
+from .findings import Finding, Rule, Severity, all_rules
+from .witness import LockOrderViolation, LockOrderWitness
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "LockOrderViolation",
+    "LockOrderWitness",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "run_paths",
+]

@@ -1,0 +1,273 @@
+"""Shared AST infrastructure for the checker suite.
+
+Checkers are deliberately *syntactic*: they parse, they never import the
+code under analysis (importing would execute module side effects and
+drag in optional dependencies).  The cost is heuristic name resolution —
+calls are matched by bare name across the scanned tree — which the
+checkers compensate for by flagging only patterns that are wrong under
+any plausible resolution, and by honouring suppressions for the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .findings import Finding, Suppressions, parse_suppressions
+
+#: Marks a function as a root of the hash-stability reachability walk
+#: even outside ``core/hashing.py`` (used by fixtures and downstream
+#: code that feeds the canonical encoder).
+HASH_CRITICAL_MARK = re.compile(r"#\s*(?:repro-lint:\s*)?hash-critical\b")
+
+#: ``self.attr = ...  # guarded-by: _lock`` declares that every later
+#: mutation of ``self.attr`` must hold ``self._lock``.
+GUARDED_BY_MARK = re.compile(r"#\s*guarded-by:\s*(?:self\.)?(?P<lock>\w+)")
+
+#: Method names so common on builtin containers/str/bytes that following
+#: a bare-name edge through them would connect the hashing roots to half
+#: the codebase (``h.update`` is hashlib, not ``SomeCache.update``).
+#: Only module-local definitions of these names are followed.
+UBIQUITOUS_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "decode", "digest",
+        "discard", "encode", "extend", "get", "hexdigest", "insert",
+        "items", "join", "keys", "pop", "read", "remove", "setdefault",
+        "sort", "split", "update", "values", "write",
+    }
+)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its comment-derived metadata."""
+
+    path: str
+    source: str
+    tree: ast.Module | None
+    lines: list[str]
+    suppressions: Suppressions
+    syntax_error: str | None = None
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleInfo":
+        lines = source.splitlines()
+        suppressions = parse_suppressions(lines)
+        try:
+            tree = ast.parse(source, filename=path)
+            error = None
+        except SyntaxError as exc:
+            tree = None
+            error = f"{exc.msg} (line {exc.lineno})"
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=suppressions,
+            syntax_error=error,
+        )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def normalized_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def iter_classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted text of a call's callee (best effort)."""
+    return expr_text(node.func)
+
+
+def expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we feed
+        return ""
+
+
+def base_names(cls: ast.ClassDef) -> list[str]:
+    """Bare names of a class's bases (``pkg.Base`` -> ``Base``)."""
+    out = []
+    for b in cls.bases:
+        if isinstance(b, ast.Name):
+            out.append(b.id)
+        elif isinstance(b, ast.Attribute):
+            out.append(b.attr)
+    return out
+
+
+def docstring_node(body: list[ast.stmt]) -> ast.Expr | None:
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        return body[0]
+    return None
+
+
+@dataclass
+class FunctionRecord:
+    """Index entry for one function/method definition."""
+
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    qualname: str
+    called_names: set[str] = field(default_factory=set)
+
+
+class ProjectIndex:
+    """Cross-module facts the checkers share.
+
+    * a bare-name function index and call graph (for hash-stability
+      reachability);
+    * the set of metric ids declared anywhere in the scanned tree (for
+      the unknown-metric-request rule).
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules = [m for m in modules]
+        self.functions: dict[str, list[FunctionRecord]] = {}
+        self.metric_ids: set[str] = set()
+        for module in self.modules:
+            if module.tree is None:
+                continue
+            self._index_module(module)
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        assert module.tree is not None
+        # Functions and the names they call (bare-name call graph).
+        stack: list[tuple[ast.AST, str]] = [(module.tree, module.path)]
+        while stack:
+            node, prefix = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}::{child.name}"
+                    record = FunctionRecord(module=module, node=child, qualname=qual)
+                    for sub in ast.walk(child):
+                        if isinstance(sub, ast.Call):
+                            callee = sub.func
+                            if isinstance(callee, ast.Name):
+                                record.called_names.add(callee.id)
+                            elif isinstance(callee, ast.Attribute):
+                                record.called_names.add(callee.attr)
+                    self.functions.setdefault(child.name, []).append(record)
+                    stack.append((child, qual))
+                elif isinstance(child, ast.ClassDef):
+                    stack.append((child, f"{prefix}::{child.name}"))
+        # Metric ids: classes that look like metrics plugins — they
+        # either subclass a *Metric* base or declare ``invalidations``.
+        for cls in iter_classes(module.tree):
+            is_metric = any("Metric" in b for b in base_names(cls))
+            declared_id: str | None = None
+            has_invalidations = False
+            for stmt in cls.body:
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        if (
+                            target.id == "id"
+                            and isinstance(stmt.value, ast.Constant)
+                            and isinstance(stmt.value.value, str)
+                        ):
+                            declared_id = stmt.value.value
+                        elif target.id == "invalidations":
+                            has_invalidations = True
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if (
+                        stmt.target.id == "id"
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)
+                    ):
+                        declared_id = stmt.value.value
+                    elif stmt.target.id == "invalidations":
+                        has_invalidations = True
+            if not (is_metric or has_invalidations):
+                continue
+            if declared_id:
+                self.metric_ids.add(declared_id)
+            # Variants re-id themselves at runtime (``self.id = "sz3probe_sampled"``).
+            for node in ast.walk(cls):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                    and node.targets[0].attr == "id"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    self.metric_ids.add(node.value.value)
+
+    # -- hash-stability reachability -------------------------------------------
+    def hash_critical_functions(self) -> set[int]:
+        """ids() of function nodes reachable from the hashing roots.
+
+        Roots are every function defined in a ``core/hashing.py`` module
+        plus any function marked ``# hash-critical`` on its ``def`` line
+        (or the line above).  Edges follow the bare-name call graph —
+        module-local definitions win; otherwise every same-named
+        function in the tree is considered reachable (over-approximate,
+        which for a determinism lint is the safe direction).
+        """
+        roots: list[FunctionRecord] = []
+        for records in self.functions.values():
+            for record in records:
+                norm = record.module.normalized_path()
+                if norm.endswith("core/hashing.py"):
+                    roots.append(record)
+                    continue
+                node = record.node
+                for lineno in (node.lineno, node.lineno - 1):
+                    if HASH_CRITICAL_MARK.search(record.module.line_text(lineno)):
+                        roots.append(record)
+                        break
+        reachable: set[int] = set()
+        queue = list(roots)
+        while queue:
+            record = queue.pop()
+            if id(record.node) in reachable:
+                continue
+            reachable.add(id(record.node))
+            for name in record.called_names:
+                candidates = self.functions.get(name, ())
+                local = [c for c in candidates if c.module is record.module]
+                if not local and name in UBIQUITOUS_METHOD_NAMES:
+                    continue
+                for target in local or candidates:
+                    if id(target.node) not in reachable:
+                        queue.append(target)
+        return reachable
+
+
+class Checker:
+    """Base class: one checker contributes findings for one module."""
+
+    #: Rules this checker can emit (documentation + ``--rules`` filter).
+    rules: tuple = ()
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterable[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,25 @@
+"""The five checker implementations behind repro-lint."""
+
+from .hashstab import HashStabilityChecker
+from .invalidation import InvalidationVocabularyChecker
+from .lifecycle import ResourceLifecycleChecker
+from .locks import LockDisciplineChecker
+from .statecodec import StateCodecChecker
+
+#: Instantiation order is also report-grouping order.
+ALL_CHECKERS = (
+    LockDisciplineChecker,
+    HashStabilityChecker,
+    StateCodecChecker,
+    InvalidationVocabularyChecker,
+    ResourceLifecycleChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "HashStabilityChecker",
+    "InvalidationVocabularyChecker",
+    "LockDisciplineChecker",
+    "ResourceLifecycleChecker",
+    "StateCodecChecker",
+]

@@ -1,0 +1,122 @@
+"""Hash stability: no nondeterminism feeding the stable option hash.
+
+Checkpoint resume and the model registry both key on
+``core/hashing.py:options_hash`` — two runs with the same option
+structure must produce the same digest on any machine, any process,
+any PYTHONHASHSEED.  This checker walks the bare-name call graph from
+every function in ``core/hashing.py`` (plus anything annotated
+``# hash-critical``) and flags sources of run-to-run variation inside
+the reachable set:
+
+* ``id()`` and builtin ``hash()`` (PYTHONHASHSEED / address dependent);
+* ``time.*`` / ``datetime.now`` / ``random.*`` / ``uuid.*`` /
+  ``os.urandom``;
+* iteration over an unsorted ``set`` (literal, comprehension, or
+  ``set(...)`` call) and ``dict.popitem`` — order feeds the payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, ModuleInfo, ProjectIndex, expr_text
+from ..findings import HASH_NONDETERMINISM, Finding
+
+NONDET_BARE = frozenset({"id", "hash"})
+NONDET_PREFIXES = ("time.", "random.", "uuid.", "secrets.")
+NONDET_DOTTED = frozenset(
+    {"datetime.now", "datetime.utcnow", "datetime.datetime.now", "os.urandom"}
+)
+NONDET_ATTRS = frozenset({"popitem"})
+
+
+def _nondet_call(node: ast.Call) -> str | None:
+    """Why this call is nondeterministic, or None if it is fine."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in NONDET_BARE:
+        return f"builtin {func.id}() is PYTHONHASHSEED/address dependent"
+    dotted = expr_text(func)
+    if dotted in NONDET_DOTTED or dotted.startswith(NONDET_PREFIXES):
+        return f"'{dotted}()' varies between runs"
+    if isinstance(func, ast.Attribute) and func.attr in NONDET_ATTRS:
+        return f"'.{func.attr}()' order is arbitrary"
+    return None
+
+
+def _unsorted_set_iter(node: ast.For) -> bool:
+    it = node.iter
+    if isinstance(it, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Name)
+        and it.func.id in {"set", "frozenset"}
+    ):
+        return True
+    return False
+
+
+class HashStabilityChecker(Checker):
+    rules = (HASH_NONDETERMINISM,)
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterable[Finding]:
+        if module.tree is None:
+            return []
+        critical = index.hash_critical_functions()
+        if not critical:
+            return []
+        findings: list[Finding] = []
+        for records in index.functions.values():
+            for record in records:
+                if record.module is not module or id(record.node) not in critical:
+                    continue
+                self._scan_function(module, record.node, findings)
+        return findings
+
+    def _scan_function(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        # Nested defs are indexed separately; don't double-scan them.
+        skip: set[int] = set()
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt is not fn:
+                for sub in ast.walk(stmt):
+                    skip.add(id(sub))
+        for node in ast.walk(fn):
+            if id(node) in skip:
+                continue
+            if isinstance(node, ast.Call):
+                reason = _nondet_call(node)
+                if reason is not None:
+                    findings.append(
+                        Finding(
+                            rule=HASH_NONDETERMINISM,
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"in hash-critical function '{fn.name}': {reason}"
+                            ),
+                            hint="derive the value from the option structure "
+                            "itself (sorted, canonicalised) — see "
+                            "canonical_bytes()",
+                        )
+                    )
+            elif isinstance(node, ast.For) and _unsorted_set_iter(node):
+                findings.append(
+                    Finding(
+                        rule=HASH_NONDETERMINISM,
+                        path=module.path,
+                        line=node.lineno,
+                        message=(
+                            f"in hash-critical function '{fn.name}': iterating "
+                            "an unsorted set feeds arbitrary order into the hash"
+                        ),
+                        hint="iterate sorted(...) instead",
+                    )
+                )

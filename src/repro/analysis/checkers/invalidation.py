@@ -1,0 +1,207 @@
+"""Invalidation vocabulary and scheme→metric wiring.
+
+Figure 4's caching contract only works because ``predictors:*`` keys
+are a closed vocabulary: the evaluator matches a metric's declared
+``invalidations`` against classified option keys, so a typo like
+``predictors:error_dependant`` silently disables recomputation.  RL401
+pins every ``predictors:*`` string literal in the tree to the fixed
+vocabulary, and holds class-level ``invalidations`` declarations to the
+four *declarable* keys (``predictors:training`` is request-only, per
+the paper's footnote).
+
+RL402 closes the other half of the wiring: a scheme's ``feature_keys``
+/ ``target_key`` entries are ``<metric-id>:<field>`` strings resolved
+at runtime against metric results — a key whose prefix names no
+registered metric id (and is not a ``config:``/``derived:`` synthetic)
+yields a silent missing feature.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, ModuleInfo, ProjectIndex, base_names, docstring_node
+from ..findings import INVALIDATION_VOCAB, UNKNOWN_METRIC, Finding
+
+#: Keys a metric may declare in ``invalidations``.
+DECLARABLE = frozenset(
+    {
+        "predictors:error_dependent",
+        "predictors:error_agnostic",
+        "predictors:runtime",
+        "predictors:nondeterministic",
+    }
+)
+
+#: Every legal ``predictors:*`` spelling anywhere in the tree.
+FULL_VOCAB = DECLARABLE | frozenset(
+    {
+        "predictors:training",
+        "predictors:state",
+        "predictors:invalidate",
+        "predictors:needs_training",
+        "predictors:target",
+        "predictors:supported_compressors",
+    }
+)
+
+#: Feature-key prefixes that are synthesised, not metric-provided.
+SYNTHETIC_PREFIXES = frozenset({"config", "derived"})
+
+
+def _docstring_ids(tree: ast.Module) -> set[int]:
+    """ids() of docstring Constant nodes (their text is prose, not keys)."""
+    out: set[int] = set()
+    doc = docstring_node(tree.body)
+    if doc is not None:
+        out.add(id(doc.value))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            doc = docstring_node(node.body)
+            if doc is not None:
+                out.add(id(doc.value))
+    return out
+
+
+class InvalidationVocabularyChecker(Checker):
+    rules = (INVALIDATION_VOCAB, UNKNOWN_METRIC)
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterable[Finding]:
+        if module.tree is None:
+            return []
+        findings: list[Finding] = []
+        self._check_vocab(module, findings)
+        self._check_scheme_keys(module, index, findings)
+        return findings
+
+    # -- RL401 ------------------------------------------------------------------
+    def _check_vocab(self, module: ModuleInfo, findings: list[Finding]) -> None:
+        assert module.tree is not None
+        docstrings = _docstring_ids(module.tree)
+        declaration_ids: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                if any(
+                    isinstance(t, ast.Name) and t.id == "invalidations"
+                    for t in targets
+                ) and node.value is not None:
+                    for sub in ast.walk(node.value):
+                        declaration_ids.add(id(sub))
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                # repro-lint: disable=RL401  # the detection prefix itself
+                and node.value.startswith("predictors:")
+            ):
+                continue
+            if id(node) in docstrings:
+                continue
+            key = node.value
+            if id(node) in declaration_ids:
+                if key not in DECLARABLE:
+                    extra = (
+                        " ('predictors:training' is request-only)"
+                        if key == "predictors:training"
+                        else ""
+                    )
+                    findings.append(
+                        Finding(
+                            rule=INVALIDATION_VOCAB,
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"invalidations declares {key!r}, which is not "
+                                f"a declarable invalidation key{extra}"
+                            ),
+                            hint="declare one of: "
+                            + ", ".join(sorted(DECLARABLE)),
+                        )
+                    )
+            elif key not in FULL_VOCAB:
+                findings.append(
+                    Finding(
+                        rule=INVALIDATION_VOCAB,
+                        path=module.path,
+                        line=node.lineno,
+                        message=(
+                            f"{key!r} is outside the fixed predictors:* "
+                            "vocabulary (typo?)"
+                        ),
+                        hint="known keys: " + ", ".join(sorted(FULL_VOCAB)),
+                    )
+                )
+
+    # -- RL402 ------------------------------------------------------------------
+    def _check_scheme_keys(
+        self, module: ModuleInfo, index: ProjectIndex, findings: list[Finding]
+    ) -> None:
+        assert module.tree is not None
+        if not index.metric_ids:
+            # Without a metric universe (partial scan) we cannot judge.
+            return
+        allowed = index.metric_ids | SYNTHETIC_PREFIXES
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            names = [cls.name, *base_names(cls)]
+            if not any("Scheme" in n for n in names):
+                continue
+            for stmt in cls.body:
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                    if any(
+                        isinstance(t, ast.Name) and t.id == "target_key"
+                        for t in targets
+                    ) and stmt.value is not None:
+                        self._check_keys(module, cls.name, stmt.value, allowed, findings)
+                elif (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == "feature_keys"
+                ):
+                    for node in ast.walk(stmt):
+                        if isinstance(node, ast.Return) and node.value is not None:
+                            self._check_keys(
+                                module, cls.name, node.value, allowed, findings
+                            )
+
+    def _check_keys(
+        self,
+        module: ModuleInfo,
+        cls_name: str,
+        expr: ast.expr,
+        allowed: set[str],
+        findings: list[Finding],
+    ) -> None:
+        for node in ast.walk(expr):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and ":" in node.value
+            ):
+                continue
+            prefix = node.value.split(":", 1)[0]
+            if prefix and prefix not in allowed:
+                findings.append(
+                    Finding(
+                        rule=UNKNOWN_METRIC,
+                        path=module.path,
+                        line=node.lineno,
+                        message=(
+                            f"{cls_name} requests {node.value!r} but no "
+                            f"registered metric has id {prefix!r}"
+                        ),
+                        hint="known metric ids: "
+                        + ", ".join(sorted(allowed)),
+                    )
+                )

@@ -1,0 +1,168 @@
+"""Resource lifecycle: OS-backed handles must reach close/unlink.
+
+PR 3's shared-memory ledger exists because a crashed publisher leaks
+named segments the OS never reclaims; the same failure shape applies to
+sqlite connections (WAL files held open) and memmaps.  This checker
+tracks function-local names bound to a resource constructor and flags
+those that provably never escape the function nor reach a release call.
+
+"Escapes" (ownership transfer, not a leak at this site): used as a
+with-context, returned or yielded, passed as a call argument, stored
+into an attribute/subscript/container, or re-aliased to another name.
+"Released": ``.close()`` / ``.unlink()`` / ``.shutdown()`` /
+``.terminate()`` / ``.stop()`` anywhere in the function — presence on
+*some* path keeps the rule quiet; the try/finally placement is the fix
+hint, not a second rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, ModuleInfo, ProjectIndex, expr_text
+from ..findings import RESOURCE_LEAK, Finding
+
+#: Final callee names that allocate an OS-backed resource.
+RESOURCE_FINAL_NAMES = frozenset(
+    {
+        "SharedMemory",
+        "memmap",
+        "CheckpointStore",
+        "PredictionClient",
+        "ServerThread",
+        "create_connection",
+    }
+)
+RESOURCE_DOTTED = frozenset({"sqlite3.connect"})
+
+RELEASE_METHODS = frozenset({"close", "unlink", "shutdown", "terminate", "stop"})
+
+
+def _final_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_resource_ctor(call: ast.Call) -> bool:
+    if expr_text(call.func) in RESOURCE_DOTTED:
+        return True
+    return _final_name(call.func) in RESOURCE_FINAL_NAMES
+
+
+def _contains_name(node: ast.AST | None, name: str) -> bool:
+    """True when *name* occurs as a value, not merely a method receiver.
+
+    ``registry[k] = conn`` transfers ownership; ``cur = conn.execute(q)``
+    only *uses* the handle — the receiver position must not count, or
+    every method call would launder the leak.
+    """
+    if node is None:
+        return False
+    receivers: set[int] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name):
+            receivers.add(id(sub.value))
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Name)
+            and sub.id == name
+            and id(sub) not in receivers
+        ):
+            return True
+    return False
+
+
+class ResourceLifecycleChecker(Checker):
+    rules = (RESOURCE_LEAK,)
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterable[Finding]:
+        if module.tree is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(module, node, findings)
+        return findings
+
+    def _scan_function(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        # name -> (line, constructor text, defining Assign node id)
+        tracked: dict[str, tuple[int, str, int]] = {}
+        for stmt in ast.walk(fn):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+                and _is_resource_ctor(stmt.value)
+            ):
+                name = stmt.targets[0].id
+                tracked[name] = (stmt.lineno, expr_text(stmt.value.func), id(stmt))
+        for name, (lineno, ctor, defining) in tracked.items():
+            if not self._leaks(fn, name, defining):
+                continue
+            findings.append(
+                Finding(
+                    rule=RESOURCE_LEAK,
+                    path=module.path,
+                    line=lineno,
+                    message=(
+                        f"'{name}' ({ctor}) is opened here but never reaches "
+                        "close/unlink and never leaves this function"
+                    ),
+                    hint="use a with-statement, or close in try/finally",
+                )
+            )
+
+    def _leaks(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        name: str,
+        defining: int,
+    ) -> bool:
+        for node in ast.walk(fn):
+            if id(node) == defining:
+                continue
+            # Released via a method call on the name.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in RELEASE_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return False
+            # With-context (including `with closing(x)`-style wrappers,
+            # which also match the call-argument case below).
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _contains_name(item.context_expr, name):
+                        return False
+            # Escapes the function.
+            if isinstance(node, ast.Return) and _contains_name(node.value, name):
+                return False
+            if isinstance(node, (ast.Yield, ast.YieldFrom)) and _contains_name(
+                getattr(node, "value", None), name
+            ):
+                return False
+            if isinstance(node, ast.Call):
+                args: list[ast.AST] = list(node.args)
+                args.extend(kw.value for kw in node.keywords)
+                if any(_contains_name(a, name) for a in args):
+                    return False
+            # Stored or re-aliased.
+            if isinstance(node, ast.Assign) and _contains_name(node.value, name):
+                return False
+            if isinstance(node, ast.AugAssign) and _contains_name(node.value, name):
+                return False
+        return True

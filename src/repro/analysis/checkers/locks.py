@@ -1,0 +1,294 @@
+"""Lock discipline: guarded attributes and blocking work under locks.
+
+Convention: annotate a shared attribute at its initialisation site ::
+
+    self._buffer: list[Row] = []  # guarded-by: _lock
+
+From then on every mutation of ``self._buffer`` outside ``with
+self._lock:`` (in any method of the class) is RL101.  ``__init__`` is
+exempt (the object is not yet shared), as are methods whose name ends
+in ``_locked`` — the repo's convention for "caller holds the lock".
+
+RL102 flags blocking calls made while any lock-like context is held:
+``time.sleep``, sqlite ``commit``, ``Future.result``, ``open`` and
+socket send/recv.  A context manager counts as lock-like when its
+expression names a lock (contains ``lock``, ``cond`` or ``mutex``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import GUARDED_BY_MARK, Checker, ModuleInfo, ProjectIndex, expr_text
+from ..findings import BLOCKING_UNDER_LOCK, GUARDED_ATTR_UNLOCKED, Finding
+
+#: Method calls that mutate a container in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+        "update",
+    }
+)
+
+#: Callee spellings that block the calling thread.
+BLOCKING_DOTTED = frozenset({"time.sleep"})
+BLOCKING_ATTRS = frozenset(
+    {"commit", "result", "sleep", "recv", "send", "sendall", "accept", "connect"}
+)
+BLOCKING_BARE = frozenset({"open", "sleep"})
+
+_LOCKY = ("lock", "cond", "mutex")
+
+
+def _final_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _final_name(node.func)
+    return ""
+
+
+def _lock_names(with_node: ast.With | ast.AsyncWith) -> set[str]:
+    """Names of lock-like objects entered by this ``with`` statement."""
+    names: set[str] = set()
+    for item in with_node.items:
+        name = _final_name(item.context_expr)
+        if any(tok in name.lower() for tok in _LOCKY):
+            names.add(name)
+    return names
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attrs(stmt: ast.stmt) -> Iterator[tuple[str, int]]:
+    """``self.X``-attribute names a statement mutates, with line numbers."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    for target in targets:
+        attr = _self_attr(target)
+        if attr is not None:
+            yield attr, target.lineno
+            continue
+        if isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is not None:
+                yield attr, target.lineno
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                attr = _self_attr(elt)
+                if attr is not None:
+                    yield attr, elt.lineno
+
+
+def _mutating_call(node: ast.Call) -> tuple[str, int] | None:
+    """``self.X.append(...)``-style in-place mutation -> (attr, line)."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+        attr = _self_attr(func.value)
+        if attr is not None:
+            return attr, node.lineno
+        # self.X[k].append(...) still mutates data reachable from X
+        if isinstance(func.value, ast.Subscript):
+            attr = _self_attr(func.value.value)
+            if attr is not None:
+                return attr, node.lineno
+    return None
+
+
+def _is_blocking(node: ast.Call, held: set[str]) -> bool:
+    func = node.func
+    dotted = expr_text(func)
+    if dotted in BLOCKING_DOTTED:
+        return True
+    if isinstance(func, ast.Name):
+        return func.id in BLOCKING_BARE
+    if isinstance(func, ast.Attribute):
+        # cond.wait()/notify() are the condvar protocol, not a hazard,
+        # and calls *on* the held lock object are never flagged.
+        if _final_name(func.value) in held:
+            return False
+        return func.attr in BLOCKING_ATTRS
+    return False
+
+
+class LockDisciplineChecker(Checker):
+    rules = (GUARDED_ATTR_UNLOCKED, BLOCKING_UNDER_LOCK)
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterable[Finding]:
+        if module.tree is None:
+            return []
+        findings: list[Finding] = []
+        self._walk_scope(module, module.tree.body, {}, findings)
+        return findings
+
+    # -- guarded-attribute registration ---------------------------------------
+    def _guarded_attrs(self, module: ModuleInfo, cls: ast.ClassDef) -> dict[str, str]:
+        guarded: dict[str, str] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                target = (
+                    node.targets[0]
+                    if isinstance(node, ast.Assign) and node.targets
+                    else getattr(node, "target", None)
+                )
+                attr = _self_attr(target) if target is not None else None
+                if attr is None:
+                    continue
+                m = GUARDED_BY_MARK.search(module.line_text(node.lineno))
+                if m:
+                    guarded[attr] = m.group("lock")
+        return guarded
+
+    # -- traversal -------------------------------------------------------------
+    def _walk_scope(
+        self,
+        module: ModuleInfo,
+        body: list[ast.stmt],
+        guarded: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                cls_guarded = self._guarded_attrs(module, stmt)
+                self._walk_scope(module, stmt.body, cls_guarded, findings)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                assume_locked = stmt.name.endswith("_locked")
+                check_guards = bool(guarded) and stmt.name != "__init__" and not assume_locked
+                self._walk_function(
+                    module,
+                    stmt.body,
+                    guarded if check_guards else {},
+                    held=set(),
+                    lock_held=assume_locked,
+                    findings=findings,
+                )
+
+    def _walk_function(
+        self,
+        module: ModuleInfo,
+        body: list[ast.stmt],
+        guarded: dict[str, str],
+        held: set[str],
+        lock_held: bool,
+        findings: list[Finding],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested def: inherits no held locks at *call* time.
+                self._walk_function(module, stmt.body, guarded, set(), False, findings)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._walk_scope(module, [stmt], {}, findings)
+                continue
+            self._check_statement(module, stmt, guarded, held, lock_held, findings)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locks = _lock_names(stmt)
+                self._walk_function(
+                    module,
+                    stmt.body,
+                    guarded,
+                    held | locks,
+                    lock_held or bool(locks),
+                    findings,
+                )
+            else:
+                for sub_body in self._sub_bodies(stmt):
+                    self._walk_function(
+                        module, sub_body, guarded, held, lock_held, findings
+                    )
+
+    @staticmethod
+    def _sub_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                bodies.append(sub)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _check_statement(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        guarded: dict[str, str],
+        held: set[str],
+        lock_held: bool,
+        findings: list[Finding],
+    ) -> None:
+        # RL101: mutations of guarded attributes outside their lock.
+        if guarded:
+            mutated = list(_mutated_attrs(stmt))
+            for node in self._own_calls(stmt):
+                hit = _mutating_call(node)
+                if hit is not None:
+                    mutated.append(hit)
+            for attr, lineno in mutated:
+                lock = guarded.get(attr)
+                if lock is not None and lock not in held:
+                    findings.append(
+                        Finding(
+                            rule=GUARDED_ATTR_UNLOCKED,
+                            path=module.path,
+                            line=lineno,
+                            message=(
+                                f"self.{attr} is declared '# guarded-by: {lock}' "
+                                f"but is mutated without holding self.{lock}"
+                            ),
+                            hint=f"wrap the mutation in 'with self.{lock}:' "
+                            "or rename the method with a _locked suffix",
+                        )
+                    )
+        # RL102: blocking calls while a lock is held.  Only inspect the
+        # statement's own expressions, not nested with-bodies (those are
+        # re-walked with the updated held set).
+        if lock_held:
+            for node in self._own_calls(stmt):
+                if _is_blocking(node, held):
+                    findings.append(
+                        Finding(
+                            rule=BLOCKING_UNDER_LOCK,
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"blocking call '{expr_text(node.func)}()' "
+                                "while a lock is held"
+                            ),
+                            hint="move the blocking work outside the critical "
+                            "section, or suppress with a justification if the "
+                            "design is single-writer",
+                        )
+                    )
+
+    @staticmethod
+    def _own_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Calls in *stmt*'s own expressions (not in nested statement bodies)."""
+        nested: set[int] = set()
+        for sub_body in LockDisciplineChecker._sub_bodies(stmt):
+            for sub in sub_body:
+                for node in ast.walk(sub):
+                    nested.add(id(node))
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and id(node) not in nested:
+                yield node

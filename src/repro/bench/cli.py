@@ -237,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--shape", nargs=3, type=int, default=[64, 64, 32])
     gen.add_argument("--timesteps", type=int, default=48)
     gen.add_argument("--fields", nargs="+", default=None)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run repro-lint (static invariant checks) over source paths",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--rules", default=None)
+    lint.add_argument("--show-suppressed", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -275,65 +285,67 @@ def cmd_run(args: argparse.Namespace) -> int:
         data_plane=args.data_plane,
         data_plane_dir=args.data_plane_dir,
     )
-    chaos = None
-    if args.chaos:
-        chaos = ChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
-    observations, stats, failures = runner.collect(chaos=chaos)
-    if chaos is not None:
-        # Prove recovery, not just survival: damage the checkpoint as
-        # planned, then re-collect — verify() quarantines corrupt rows
-        # and the queue recomputes whatever the chaotic pass lost.
-        corrupted = chaos.corrupt_checkpoint(runner.store)
-        observations, recovery_stats, failures = runner.collect()
-        fired = ",".join(
-            f"{kind}={n}" for kind, n in chaos.injected_counts().items() if n
-        )
-        print(
-            f"chaos[seed={args.chaos_seed}] injected {fired or 'nothing'} "
-            f"corrupted={len(corrupted)} "
-            f"recovery: completed={recovery_stats.completed} "
-            f"failed={recovery_stats.failed}",
-            file=sys.stderr,
-        )
-    if args.queue_stats:
-        stages = " ".join(
-            f"{name}={seconds:.3f}s" for name, seconds in stats.stage_summary().items()
-        )
-        engine = stats.engine or runner.queue.engine
-        requested = (
-            f" (requested {stats.requested_engine})"
-            if stats.requested_engine and stats.requested_engine != engine
-            else ""
-        )
-        print(
-            f"queue[{engine}{requested} x{runner.queue.n_workers}] "
-            f"{stages} locality={stats.locality_rate:.0%} "
-            f"retries={stats.retries} quarantined={stats.quarantined} "
-            f"timeouts={stats.timeouts} pool_rebuilds={stats.pool_rebuilds} "
-            f"commits={runner.store.commit_count} "
-            f"plane[{stats.data_plane or args.data_plane}] "
-            f"copied={stats.bytes_copied} mapped={stats.bytes_mapped} "
-            f"affinity={stats.affinity_hit_rate:.0%} steals={stats.affinity_steals}",
-            file=sys.stderr,
-        )
-    for failure in failures:
-        print(
-            f"failed[{failure.status}] {failure.task.key()} "
-            f"after {failure.attempts} attempt(s): {failure.error}",
-            file=sys.stderr,
-        )
-    rows = runner.table2(observations)
-    if args.json:
-        print(json.dumps(rows_to_records(rows), indent=2))
-    else:
-        print(
-            format_table2(
-                rows,
-                title="Hurricane performance results",
-                harness=stats,
+    try:
+        chaos = None
+        if args.chaos:
+            chaos = ChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
+        observations, stats, failures = runner.collect(chaos=chaos)
+        if chaos is not None:
+            # Prove recovery, not just survival: damage the checkpoint as
+            # planned, then re-collect — verify() quarantines corrupt rows
+            # and the queue recomputes whatever the chaotic pass lost.
+            corrupted = chaos.corrupt_checkpoint(runner.store)
+            observations, recovery_stats, failures = runner.collect()
+            fired = ",".join(
+                f"{kind}={n}" for kind, n in chaos.injected_counts().items() if n
             )
-        )
-    runner.close()
+            print(
+                f"chaos[seed={args.chaos_seed}] injected {fired or 'nothing'} "
+                f"corrupted={len(corrupted)} "
+                f"recovery: completed={recovery_stats.completed} "
+                f"failed={recovery_stats.failed}",
+                file=sys.stderr,
+            )
+        if args.queue_stats:
+            stages = " ".join(
+                f"{name}={seconds:.3f}s" for name, seconds in stats.stage_summary().items()
+            )
+            engine = stats.engine or runner.queue.engine
+            requested = (
+                f" (requested {stats.requested_engine})"
+                if stats.requested_engine and stats.requested_engine != engine
+                else ""
+            )
+            print(
+                f"queue[{engine}{requested} x{runner.queue.n_workers}] "
+                f"{stages} locality={stats.locality_rate:.0%} "
+                f"retries={stats.retries} quarantined={stats.quarantined} "
+                f"timeouts={stats.timeouts} pool_rebuilds={stats.pool_rebuilds} "
+                f"commits={runner.store.commit_count} "
+                f"plane[{stats.data_plane or args.data_plane}] "
+                f"copied={stats.bytes_copied} mapped={stats.bytes_mapped} "
+                f"affinity={stats.affinity_hit_rate:.0%} steals={stats.affinity_steals}",
+                file=sys.stderr,
+            )
+        for failure in failures:
+            print(
+                f"failed[{failure.status}] {failure.task.key()} "
+                f"after {failure.attempts} attempt(s): {failure.error}",
+                file=sys.stderr,
+            )
+        rows = runner.table2(observations)
+        if args.json:
+            print(json.dumps(rows_to_records(rows), indent=2))
+        else:
+            print(
+                format_table2(
+                    rows,
+                    title="Hurricane performance results",
+                    harness=stats,
+                )
+            )
+    finally:
+        runner.close()
     return 0
 
 
@@ -349,56 +361,59 @@ def cmd_report(args: argparse.Namespace) -> int:
     from ..dataset.synthetic import SyntheticDataset
 
     store = CheckpointStore(args.checkpoint)
-    if args.failures:
-        ledger = store.failures()
-        if not ledger:
-            print("no recorded failures", file=sys.stderr)
-        for entry in ledger:
+    try:
+        if args.failures:
+            ledger = store.failures()
+            if not ledger:
+                print("no recorded failures", file=sys.stderr)
+            for entry in ledger:
+                print(
+                    f"failed[{entry['status']}] {entry['key']} "
+                    f"after {entry['attempts']} attempt(s): {entry['error']}",
+                    file=sys.stderr,
+                )
+        observations = store.query()
+        if not observations:
+            print(f"checkpoint {args.checkpoint!r} holds no observations")
+            return 1
+        # The runner only needs a dataset for collection; evaluation works
+        # purely from the stored observations, so an empty stand-in suffices.
+        runner = ExperimentRunner(
+            SyntheticDataset([]),
+            compressors=args.compressors,
+            schemes=args.schemes,
+            store=store,
+            n_folds=args.folds,
+            protocol=args.protocol,
+        )
+        rows = runner.table2(observations)
+        # The collection pass persisted its harness statistics (stage
+        # timings, data-plane counters) with the campaign; surface them so a
+        # report from the checkpoint alone tells the whole story.
+        harness = None
+        raw_stats = store.get_meta("last_run_stats")
+        if raw_stats is not None:
+            try:
+                harness = json.loads(raw_stats)
+            except ValueError:
+                harness = None
+        if args.json:
             print(
-                f"failed[{entry['status']}] {entry['key']} "
-                f"after {entry['attempts']} attempt(s): {entry['error']}",
-                file=sys.stderr,
+                json.dumps(
+                    {"rows": rows_to_records(rows), "harness": harness}, indent=2
+                )
             )
-    observations = store.query()
-    if not observations:
-        print(f"checkpoint {args.checkpoint!r} holds no observations")
-        return 1
-    # The runner only needs a dataset for collection; evaluation works
-    # purely from the stored observations, so an empty stand-in suffices.
-    runner = ExperimentRunner(
-        SyntheticDataset([]),
-        compressors=args.compressors,
-        schemes=args.schemes,
-        store=store,
-        n_folds=args.folds,
-        protocol=args.protocol,
-    )
-    rows = runner.table2(observations)
-    # The collection pass persisted its harness statistics (stage
-    # timings, data-plane counters) with the campaign; surface them so a
-    # report from the checkpoint alone tells the whole story.
-    harness = None
-    raw_stats = store.get_meta("last_run_stats")
-    if raw_stats is not None:
-        try:
-            harness = json.loads(raw_stats)
-        except ValueError:
-            harness = None
-    if args.json:
-        print(
-            json.dumps(
-                {"rows": rows_to_records(rows), "harness": harness}, indent=2
+        else:
+            print(
+                format_table2(
+                    rows,
+                    title=f"Report from {args.checkpoint} ({len(observations)} observations)",
+                    harness=harness,
+                )
             )
-        )
-    else:
-        print(
-            format_table2(
-                rows,
-                title=f"Report from {args.checkpoint} ({len(observations)} observations)",
-                harness=harness,
-            )
-        )
-    return 0
+        return 0
+    finally:
+        store.close()
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -449,37 +464,40 @@ def cmd_publish(args: argparse.Namespace) -> int:
     from ..serve import ModelRegistry
 
     store = CheckpointStore(args.checkpoint)
-    observations = store.query()
-    if not observations:
-        print(f"checkpoint {args.checkpoint!r} holds no observations")
-        return 1
-    bounds = args.bounds
-    if bounds is None:
-        bounds = sorted(
-            {float(o["bound"]) for o in observations if o.get("bound") is not None}
+    try:
+        observations = store.query()
+        if not observations:
+            print(f"checkpoint {args.checkpoint!r} holds no observations")
+            return 1
+        bounds = args.bounds
+        if bounds is None:
+            bounds = sorted(
+                {float(o["bound"]) for o in observations if o.get("bound") is not None}
+            )
+        runner = ExperimentRunner(
+            SyntheticDataset([]),
+            compressors=args.compressors,
+            bounds=bounds,
+            schemes=args.schemes,
+            relative_bounds=not args.absolute_bounds,
+            store=store,
         )
-    runner = ExperimentRunner(
-        SyntheticDataset([]),
-        compressors=args.compressors,
-        bounds=bounds,
-        schemes=args.schemes,
-        relative_bounds=not args.absolute_bounds,
-        store=store,
-    )
-    registry = ModelRegistry(args.registry)
-    receipts = runner.publish(registry, observations, verify_n=args.verify_n)
-    for receipt in receipts:
-        m = receipt.manifest
-        print(
-            f"published {m['scheme']} / {m['compressor']} @ "
-            f"{m['compressor_options'].get('pressio:abs'):g} -> "
-            f"{receipt.key[:12]}…/{receipt.version} "
-            f"({m['meta'].get('n_observations')} obs)"
-        )
-    if not receipts:
-        print("nothing published (no usable observations)", file=sys.stderr)
-        return 1
-    return 0
+        registry = ModelRegistry(args.registry)
+        receipts = runner.publish(registry, observations, verify_n=args.verify_n)
+        for receipt in receipts:
+            m = receipt.manifest
+            print(
+                f"published {m['scheme']} / {m['compressor']} @ "
+                f"{m['compressor_options'].get('pressio:abs'):g} -> "
+                f"{receipt.key[:12]}…/{receipt.version} "
+                f"({m['meta'].get('n_observations')} obs)"
+            )
+        if not receipts:
+            print("nothing published (no usable observations)", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        store.close()
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -572,6 +590,21 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Delegate to repro-lint with the already-parsed options."""
+    from ..analysis.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -588,6 +621,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_query(args)
     if args.command == "generate":
         return cmd_generate(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "list-schemes":
         print("\n".join(available_schemes()))
         return 0

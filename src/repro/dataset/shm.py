@@ -78,10 +78,10 @@ class PlaneCounters:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.bytes_copied = 0
-        self.bytes_mapped = 0
-        self.segments_created = 0
-        self.segments_attached = 0
+        self.bytes_copied = 0  # guarded-by: _lock
+        self.bytes_mapped = 0  # guarded-by: _lock
+        self.segments_created = 0  # guarded-by: _lock
+        self.segments_attached = 0  # guarded-by: _lock
 
     def note_copied(self, nbytes: int) -> None:
         with self._lock:
@@ -216,7 +216,7 @@ class SharedSegmentRegistry:
         ).hexdigest()[:8]
         self._lock = threading.Lock()
         #: name -> (SharedMemory, SegmentInfo, refcount)
-        self._attached: dict[str, list[Any]] = {}
+        self._attached: dict[str, list[Any]] = {}  # guarded-by: _lock
 
     # -- naming & ledger paths -------------------------------------------------
     def segment_name(self, key: str) -> str:

@@ -95,6 +95,15 @@ class PredictionClient:
     def ping(self) -> bool:
         return bool(self._checked({"op": "ping"}).get("pong"))
 
+    def refresh(self, key: str | None = None) -> dict[str, str | None]:
+        """Push a registry invalidation: the server re-reads ``LATEST``
+        and evicts stale warm models, so a re-publish takes effect
+        without a restart.  Returns ``{key: live_version}``."""
+        payload: dict[str, Any] = {"op": "refresh"}
+        if key is not None:
+            payload["key"] = key
+        return self._checked(payload)["refreshed"]
+
     def shutdown(self) -> None:
         self._checked({"op": "shutdown"})
 

@@ -80,6 +80,8 @@ class ServeStats:
     load_waits: int = 0
     #: Actual blob deserialisations (cold loads).
     model_loads: int = 0
+    #: ``refresh`` ops served (registry invalidation pushes).
+    refreshes: int = 0
     queue_wait_seconds: float = 0.0
     featurize_seconds: float = 0.0
     predict_seconds: float = 0.0
@@ -115,6 +117,7 @@ class ServeStats:
             "cache_misses": self.cache_misses,
             "load_waits": self.load_waits,
             "model_loads": self.model_loads,
+            "refreshes": self.refreshes,
             "queue_wait_seconds": self.queue_wait_seconds,
             "featurize_seconds": self.featurize_seconds,
             "predict_seconds": self.predict_seconds,
@@ -175,6 +178,24 @@ class _ModelCache:
         """Drop every cached generation of *key* (after a re-publish)."""
         for cached in [ck for ck in self._models if ck[0] == key]:
             self._models.pop(cached, None)
+
+    def refresh(self, key: str, latest: str | None) -> int:
+        """Evict generations of *key* made stale by a new ``LATEST``.
+
+        The follow-latest entry (version pin ``None``) is dropped when
+        the model it holds is no longer the latest; explicitly pinned
+        versions stay valid regardless.  A vanished key (``latest`` is
+        None: quarantined or deleted) drops everything.  Returns the
+        number of evictions.
+        """
+        dropped = 0
+        for cached in [ck for ck in self._models if ck[0] == key]:
+            pin = cached[1]
+            model = self._models[cached]
+            if latest is None or (pin is None and model.version != latest):
+                self._models.pop(cached, None)
+                dropped += 1
+        return dropped
 
 
 @dataclass
@@ -288,6 +309,8 @@ class PredictionServer:
                 "status": STATUS_OK,
                 "models": [self.registry.describe(k) for k in self.registry.keys()],
             }
+        elif op == "refresh":
+            response = await self._handle_refresh(request)
         elif op == "shutdown":
             response = {"ok": True, "status": STATUS_OK, "op": "shutdown"}
         else:
@@ -299,6 +322,37 @@ class PredictionServer:
         if rid is not None:
             response["id"] = rid
         return response
+
+    # -- refresh path ------------------------------------------------------------
+    async def _handle_refresh(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Registry invalidation push: re-read ``LATEST``, evict stale models.
+
+        A re-publish on disk flips this live server without a restart:
+        the next predict after a refresh cold-loads the new version.
+        Scoped to ``request["key"]`` when given, else every key the
+        registry currently knows.
+        """
+        key = request.get("key")
+        if key is not None and (not isinstance(key, str) or not key):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "'key' must be a non-empty string when present",
+            }
+        keys = [key] if key is not None else await asyncio.to_thread(self.registry.keys)
+        refreshed: dict[str, str | None] = {}
+        evicted = 0
+        for k in keys:
+            latest = await asyncio.to_thread(self.registry.latest, k)
+            evicted += self.cache.refresh(k, latest)
+            refreshed[k] = latest
+        self.stats.refreshes += 1
+        return {
+            "ok": True,
+            "status": STATUS_OK,
+            "refreshed": refreshed,
+            "evicted": evicted,
+        }
 
     # -- predict path ------------------------------------------------------------
     async def _handle_predict(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -415,6 +469,9 @@ class PredictionServer:
         try:
             model = await self.cache.get(key, version)
             rows = await asyncio.to_thread(self._featurize_batch, model, batch)
+            # Stats mutate only on the loop thread; _featurize_batch ran
+            # on a worker, so fold its per-item timings in here.
+            self.stats.featurize_seconds += sum(i.featurize_s for i in batch)
             t_pred = time.perf_counter()
             preds = await asyncio.to_thread(model.predictor.predict_many, rows)
             predict_s = time.perf_counter() - t_pred
@@ -472,7 +529,6 @@ class PredictionServer:
             for ck, cv in config.items():
                 row.setdefault(ck, cv)
             item.featurize_s = time.perf_counter() - t0
-            self.stats.featurize_seconds += item.featurize_s
             rows.append(row)
         return rows
 

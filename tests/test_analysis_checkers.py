@@ -1,0 +1,501 @@
+"""Per-checker regression fixtures for repro-lint.
+
+Every rule gets one seeded-bad snippet (asserting rule id *and* line)
+and one known-good counterpart that must stay quiet, plus the
+suppression-comment contract and the runtime lock-order witness.
+"""
+
+from __future__ import annotations
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis import LockOrderViolation, LockOrderWitness
+from repro.analysis.base import ModuleInfo
+from repro.analysis.engine import run_modules
+
+
+def lint(*sources: str, paths: tuple[str, ...] | None = None):
+    modules = []
+    for i, source in enumerate(sources):
+        path = paths[i] if paths else f"fixture_{i}.py"
+        modules.append(ModuleInfo.parse(path, textwrap.dedent(source)))
+    return run_modules(modules)
+
+
+def bad_line(source: str, marker: str = "# BAD") -> int:
+    """1-based line of the seeded defect."""
+    for lineno, text in enumerate(textwrap.dedent(source).splitlines(), start=1):
+        if marker in text:
+            return lineno
+    raise AssertionError(f"fixture is missing a {marker} marker")
+
+
+def hits(report, rule_id: str) -> list[int]:
+    return [f.line for f in report.active() if f.rule.id == rule_id]
+
+
+# -- RL101 guarded-attr-unlocked -----------------------------------------------
+
+RL101_BAD = """\
+    import threading
+
+    class Ledger:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}  # guarded-by: _lock
+
+        def record(self, key):
+            self._entries[key] = 1  # BAD
+"""
+
+RL101_GOOD = """\
+    import threading
+
+    class Ledger:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}  # guarded-by: _lock
+
+        def record(self, key):
+            with self._lock:
+                self._entries[key] = 1
+
+        def drop_locked(self, key):
+            self._entries.pop(key, None)
+"""
+
+
+class TestLockDiscipline:
+    def test_unlocked_mutation_is_flagged(self):
+        report = lint(RL101_BAD)
+        assert hits(report, "RL101") == [bad_line(RL101_BAD)]
+
+    def test_locked_mutation_and_locked_suffix_pass(self):
+        assert lint(RL101_GOOD).clean
+
+    def test_mutator_method_call_counts_as_mutation(self):
+        src = """\
+            import threading
+
+            class Ledger:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # guarded-by: _lock
+
+                def evict(self, key):
+                    self._entries.pop(key, None)  # BAD
+        """
+        assert hits(lint(src), "RL101") == [bad_line(src)]
+
+    def test_unannotated_attributes_are_not_policed(self):
+        src = """\
+            class Plain:
+                def __init__(self):
+                    self._entries = {}
+
+                def record(self, key):
+                    self._entries[key] = 1
+        """
+        assert lint(src).clean
+
+
+# -- RL102 blocking-call-under-lock --------------------------------------------
+
+RL102_BAD = """\
+    import time
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def flush(self):
+            with self._lock:
+                time.sleep(0.1)  # BAD
+"""
+
+RL102_GOOD = """\
+    import time
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def flush(self):
+            with self._lock:
+                batch = [1, 2, 3]
+            time.sleep(0.1)
+"""
+
+
+class TestBlockingUnderLock:
+    def test_sleep_under_lock_is_flagged(self):
+        report = lint(RL102_BAD)
+        assert hits(report, "RL102") == [bad_line(RL102_BAD)]
+
+    def test_sleep_after_release_passes(self):
+        assert lint(RL102_GOOD).clean
+
+    def test_commit_under_lock_is_flagged(self):
+        src = """\
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self, db):
+                    with self._lock:
+                        db.commit()  # BAD
+        """
+        assert hits(lint(src), "RL102") == [bad_line(src)]
+
+    def test_condvar_protocol_calls_are_not_blocking(self):
+        src = """\
+            import threading
+
+            def drain(cond, jobs):
+                with cond:
+                    while not jobs:
+                        cond.wait()
+                    cond.notify_all()
+                    return jobs.pop()
+        """
+        assert lint(src).clean
+
+
+# -- RL201 hash-nondeterminism -------------------------------------------------
+
+RL201_BAD = """\
+    def options_digest(opts):  # hash-critical
+        return _encode(opts)
+
+    def _encode(opts):
+        return str(id(opts))  # BAD
+"""
+
+RL201_GOOD = """\
+    def options_digest(opts):  # hash-critical
+        return _encode(opts)
+
+    def _encode(opts):
+        return "|".join(f"{k}={opts[k]}" for k in sorted(opts))
+"""
+
+
+class TestHashStability:
+    def test_id_reachable_from_root_is_flagged(self):
+        report = lint(RL201_BAD)
+        assert hits(report, "RL201") == [bad_line(RL201_BAD)]
+
+    def test_sorted_encoding_passes(self):
+        assert lint(RL201_GOOD).clean
+
+    def test_unsorted_set_iteration_is_flagged(self):
+        src = """\
+            def options_digest(opts):  # hash-critical
+                out = []
+                for key in set(opts):  # BAD
+                    out.append(key)
+                return out
+        """
+        assert hits(lint(src), "RL201") == [bad_line(src)]
+
+    def test_nondeterminism_outside_critical_set_is_fine(self):
+        src = """\
+            def unrelated(opts):
+                import time
+                return time.time()
+        """
+        assert lint(src).clean
+
+
+# -- RL301/RL302 state-codec ---------------------------------------------------
+
+RL301_BAD = """\
+    class ForestPredictor:
+        def get_state(self):
+            return {"params": self.model.get_params()}  # BAD
+"""
+
+RL301_GOOD = """\
+    class ForestPredictor:
+        def get_state(self):
+            return {"params": self.model.get_plain_params()}
+"""
+
+
+class TestStateCodec:
+    def test_raw_get_params_in_get_state_is_flagged(self):
+        report = lint(RL301_BAD)
+        assert hits(report, "RL301") == [bad_line(RL301_BAD)]
+
+    def test_plain_params_pass(self):
+        assert lint(RL301_GOOD).clean
+
+    def test_set_valued_state_is_flagged(self):
+        src = """\
+            class ForestPredictor:
+                def get_state(self):
+                    return {"features": {"a", "b"}}  # BAD
+        """
+        assert hits(lint(src), "RL302") == [bad_line(src)]
+
+    def test_rules_only_apply_to_predictor_like_classes(self):
+        src = """\
+            class Inventory:
+                def get_state(self):
+                    return {"params": self.model.get_params()}
+        """
+        assert lint(src).clean
+
+
+# -- RL401/RL402 invalidation vocabulary ---------------------------------------
+
+RL401_BAD = """\
+    class SpectralMetric:
+        id = "spectral"
+        invalidations = ("predictors:error_dependant",)  # BAD
+"""
+
+RL401_GOOD = """\
+    class SpectralMetric:
+        id = "spectral"
+        invalidations = ("predictors:error_dependent",)
+"""
+
+
+class TestInvalidationVocabulary:
+    def test_typoed_declaration_is_flagged(self):
+        report = lint(RL401_BAD)
+        assert hits(report, "RL401") == [bad_line(RL401_BAD)]
+
+    def test_fixed_vocabulary_passes(self):
+        assert lint(RL401_GOOD).clean
+
+    def test_training_is_request_only(self):
+        src = """\
+            class SpectralMetric:
+                id = "spectral"
+                invalidations = ("predictors:training",)  # BAD
+        """
+        report = lint(src)
+        assert hits(report, "RL401") == [bad_line(src)]
+        [finding] = [f for f in report.active() if f.rule.id == "RL401"]
+        assert "request-only" in finding.message
+
+    def test_unknown_metric_request_is_flagged(self):
+        src = """\
+            class StatMetric:
+                id = "stat"
+                invalidations = ("predictors:error_agnostic",)
+
+            class FastScheme:
+                def feature_keys(self):
+                    return ["sttat:std"]  # BAD
+        """
+        assert hits(lint(src), "RL402") == [bad_line(src)]
+
+    def test_known_metric_and_synthetic_prefixes_pass(self):
+        src = """\
+            class StatMetric:
+                id = "stat"
+                invalidations = ("predictors:error_agnostic",)
+
+            class FastScheme:
+                target_key = "stat:mean"
+
+                def feature_keys(self):
+                    return ["stat:std", "config:log_bound", "derived:gain"]
+        """
+        assert lint(src).clean
+
+    def test_instance_level_metric_ids_join_the_universe(self):
+        src = """\
+            class ProbeMetric:
+                id = "probe"
+                invalidations = ("predictors:error_dependent",)
+
+                def __init__(self, sampled=False):
+                    if sampled:
+                        self.id = "probe_sampled"
+
+            class FastScheme:
+                def feature_keys(self):
+                    return ["probe_sampled:bits"]
+        """
+        assert lint(src).clean
+
+
+# -- RL501 resource-leak -------------------------------------------------------
+
+RL501_BAD = """\
+    import sqlite3
+
+    def count(path):
+        conn = sqlite3.connect(path)  # BAD
+        cur = conn.execute("SELECT COUNT(*) FROM results")
+        return cur.fetchone()[0]
+"""
+
+RL501_GOOD = """\
+    import sqlite3
+
+    def count(path):
+        conn = sqlite3.connect(path)
+        try:
+            cur = conn.execute("SELECT COUNT(*) FROM results")
+            return cur.fetchone()[0]
+        finally:
+            conn.close()
+"""
+
+
+class TestResourceLifecycle:
+    def test_unreleased_connection_is_flagged(self):
+        report = lint(RL501_BAD)
+        assert hits(report, "RL501") == [bad_line(RL501_BAD)]
+
+    def test_try_finally_close_passes(self):
+        assert lint(RL501_GOOD).clean
+
+    def test_ownership_transfers_are_not_leaks(self):
+        src = """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(self, name, registry):
+                seg = SharedMemory(name=name)
+                registry[name] = seg
+
+            def open_segment(name):
+                seg = SharedMemory(name=name)
+                return seg
+
+            def hand_off(name, ledger):
+                seg = SharedMemory(name=name)
+                ledger.adopt(seg)
+        """
+        assert lint(src).clean
+
+    def test_with_statement_passes(self):
+        src = """\
+            import sqlite3
+            from contextlib import closing
+
+            def count(path):
+                conn = sqlite3.connect(path)
+                with closing(conn):
+                    return conn.execute("SELECT 1").fetchone()
+        """
+        assert lint(src).clean
+
+
+# -- suppressions --------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_same_line_suppression_silences(self):
+        src = RL101_BAD.replace(
+            "# BAD", "# repro-lint: disable=RL101  # swept by owner thread"
+        )
+        report = lint(src)
+        assert not report.active()
+        assert [f.rule.id for f in report.suppressed()] == ["RL101"]
+
+    def test_standalone_comment_covers_next_line(self):
+        src = """\
+            import threading
+
+            class Ledger:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # guarded-by: _lock
+
+                def record(self, key):
+                    # repro-lint: disable=guarded-attr-unlocked
+                    self._entries[key] = 1
+        """
+        report = lint(src)
+        assert not report.active()
+        assert len(report.suppressed()) == 1
+
+    def test_file_wide_suppression(self):
+        src = "# repro-lint: disable-file=RL102\n" + textwrap.dedent(RL102_BAD)
+        report = run_modules([ModuleInfo.parse("fixture.py", src)])
+        assert not report.active()
+        assert len(report.suppressed()) == 1
+
+    def test_suppression_does_not_hide_other_rules(self):
+        src = RL101_BAD.replace("# BAD", "# repro-lint: disable=RL102")
+        report = lint(src)
+        assert hits(report, "RL101") == [bad_line(src, "disable=RL102")]
+
+    def test_unknown_rule_token_is_surfaced(self):
+        src = "x = 1  # repro-lint: disable=RL999\n"
+        report = lint(src)
+        assert report.unknown_suppressions == [("fixture_0.py", 1, "RL999")]
+
+
+# -- syntax errors -------------------------------------------------------------
+
+
+def test_syntax_error_yields_rl000():
+    report = lint("def broken(:\n")
+    assert [f.rule.id for f in report.active()] == ["RL000"]
+
+
+# -- lock-order witness --------------------------------------------------------
+
+
+class TestLockOrderWitness:
+    def _cross_acquire(self, first, second):
+        def worker():
+            with first:
+                with second:
+                    pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(10)
+
+    def test_cycle_is_detected(self):
+        witness = LockOrderWitness()
+        a = witness.wrap(name="ledger")
+        b = witness.wrap(name="stats")
+        self._cross_acquire(a, b)
+        self._cross_acquire(b, a)
+        with pytest.raises(LockOrderViolation) as exc:
+            witness.assert_acyclic()
+        assert set(exc.value.cycle) == {"ledger", "stats"}
+
+    def test_consistent_order_is_acyclic(self):
+        witness = LockOrderWitness()
+        a = witness.wrap(name="ledger")
+        b = witness.wrap(name="stats")
+        self._cross_acquire(a, b)
+        self._cross_acquire(a, b)
+        witness.assert_acyclic()
+        assert witness.edges() == {("ledger", "stats")}
+
+    def test_rlock_reentry_is_not_a_cycle(self):
+        witness = LockOrderWitness()
+        a = witness.wrap(threading.RLock(), name="ledger")
+        with a:
+            with a:
+                pass
+        witness.assert_acyclic()
+        assert witness.edges() == set()
+
+    def test_check_on_acquire_raises_at_the_closing_edge(self):
+        witness = LockOrderWitness(check_on_acquire=True)
+        a = witness.wrap(name="ledger")
+        b = witness.wrap(name="stats")
+        self._cross_acquire(a, b)
+        with b:
+            with pytest.raises(LockOrderViolation):
+                a.acquire()
+            a.release()  # acquire succeeded before the check fired

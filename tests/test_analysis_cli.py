@@ -1,0 +1,128 @@
+"""repro-lint CLI contract + the zero-findings gate over the live tree."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import all_rules, run_paths
+from repro.analysis.cli import main as lint_main
+from repro.bench.cli import main as bench_main
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+BAD_SNIPPET = (
+    "import sqlite3\n"
+    "\n"
+    "def count(path):\n"
+    "    conn = sqlite3.connect(path)\n"
+    "    return conn.execute('SELECT 1').fetchone()\n"
+)
+
+CLEAN_SNIPPET = "def add(a, b):\n    return a + b\n"
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "leaky.py"
+    path.write_text(BAD_SNIPPET)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN_SNIPPET)
+    return str(path)
+
+
+def test_src_tree_is_clean():
+    """The CI gate, enforced in tier-1: zero active findings over src/."""
+    report = run_paths([REPO_SRC])
+    assert report.clean, "\n" + report.render_text()
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert lint_main([clean_file]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_location(bad_file, capsys):
+    assert lint_main([bad_file]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad_file}:4: RL501" in out
+    assert "resource-leak" in out
+
+
+def test_json_format_is_machine_readable(bad_file, capsys):
+    assert lint_main([bad_file, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files"] == 1
+    assert payload["counts"]["active"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "RL501"
+    assert finding["line"] == 4
+    assert finding["hint"]
+
+
+def test_rules_filter_by_name_and_id(bad_file):
+    assert lint_main([bad_file, "--rules", "RL101"]) == 0
+    assert lint_main([bad_file, "--rules", "resource-leak"]) == 1
+
+
+def test_unknown_rule_is_a_usage_error(bad_file, capsys):
+    assert lint_main([bad_file, "--rules", "RL999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_names_all_nine(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert len(all_rules()) == 9
+    for rule in all_rules():
+        assert rule.id in out
+        assert rule.name in out
+
+
+def test_show_suppressed_includes_silenced_findings(tmp_path, capsys):
+    path = tmp_path / "hushed.py"
+    path.write_text(
+        BAD_SNIPPET.replace(
+            "conn = sqlite3.connect(path)",
+            "conn = sqlite3.connect(path)  # repro-lint: disable=RL501  # demo",
+        )
+    )
+    assert lint_main([str(path)]) == 0
+    assert lint_main([str(path), "--show-suppressed"]) == 0
+    assert "[suppressed]" in capsys.readouterr().out
+
+
+def test_bench_cli_lint_subcommand_delegates(bad_file, clean_file, capsys):
+    assert bench_main(["lint", clean_file]) == 0
+    capsys.readouterr()
+    assert bench_main(["lint", bad_file, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["active"] == 1
+
+
+def test_module_entry_point_runs(bad_file):
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", bad_file],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 1
+    assert "RL501" in proc.stdout

@@ -262,3 +262,63 @@ class TestAdmissionControl:
             with PredictionClient(*thread.address) as client:
                 response = client.request({"op": "ping", "id": "req-42"})
         assert response["id"] == "req-42"
+
+
+class TestRefreshOp:
+    """Registry invalidation push: a re-publish flips live servers."""
+
+    def _copied_registry(self, campaign, tmp_path):
+        import shutil
+
+        root = tmp_path / "registry-copy"
+        shutil.copytree(campaign.registry.root, root)
+        return ModelRegistry(str(root))
+
+    def test_refresh_flips_live_server_to_republished_version(
+        self, campaign, tmp_path
+    ):
+        registry = self._copied_registry(campaign, tmp_path)
+        model = registry.load(campaign.key)
+        row = campaign.rows[0]
+        with ServerThread(PredictionServer(registry)) as thread:
+            with PredictionClient(*thread.address) as client:
+                first = client.predict(campaign.key, results=row)
+                assert first["version"] == model.version
+                receipt = registry.publish(
+                    model.scheme,
+                    model.manifest["compressor"],
+                    model.manifest["compressor_options"],
+                    model.predictor,
+                )
+                assert receipt.key == campaign.key
+                assert receipt.version != model.version
+                # The warm cache still serves the old generation...
+                stale = client.predict(campaign.key, results=row)
+                assert stale["version"] == model.version
+                # ...until a refresh re-reads LATEST and evicts it.
+                refreshed = client.refresh()
+                assert refreshed[campaign.key] == receipt.version
+                fresh = client.predict(campaign.key, results=row)
+                assert fresh["version"] == receipt.version
+                assert client.stats()["refreshes"] == 1
+
+    def test_refresh_without_republish_keeps_warm_model(self, campaign):
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                before = client.predict(campaign.key, results=campaign.rows[0])
+                response = client.request({"op": "refresh", "key": campaign.key})
+                assert response["status"] == "ok"
+                assert response["evicted"] == 0
+                assert response["refreshed"] == {campaign.key: before["version"]}
+                # Still a cache hit: the valid warm model survived.
+                after = client.predict(campaign.key, results=campaign.rows[0])
+                assert after["version"] == before["version"]
+                stats = client.stats()
+                assert stats["cache_misses"] == 1
+
+    def test_refresh_rejects_empty_key(self, campaign):
+        with serve(campaign) as thread:
+            with PredictionClient(*thread.address) as client:
+                with pytest.raises(ServerError) as err:
+                    client.refresh(key="")
+        assert err.value.server_status == "bad_request"
