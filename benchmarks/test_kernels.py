@@ -1,0 +1,180 @@
+"""Kernel benchmark: the vectorized LZ77/Huffman hot path vs the
+interpreted reference loops, plus per-stage compressor timings.
+
+The collection wall-clock path of every campaign runs through the
+encoding kernels, so their speed is tracked like the data-plane and
+serve benchmarks.  Three sections land in ``BENCH_kernels.json``:
+
+* ``lz77`` — the hash-chain encoder and list-ranking decoder against
+  the byte-at-a-time reference implementations on a 1 MiB payload of
+  production content (a Huffman-coded quantizer-residual stream — the
+  exact bytes the final lossless pass sees inside sz3/sperr).  The
+  acceptance bar is a >= 5x combined encode+decode wall-clock win, with
+  byte-identical streams.  Two shape-contrast payloads (periodic,
+  motif-tiled) are reported alongside for decode-side visibility.
+* ``huffman_tables`` — the two-``np.repeat`` canonical-table build
+  against the per-symbol scatter loop it replaced.
+* ``stage_times`` — per-kernel wall-clock (quantize / predict /
+  huffman / lossless, etc.) for each compressor via the
+  ``stage_times`` introspection hooks, so a regression in any single
+  kernel is visible in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.encoding import huffman
+from repro.encoding.lz import (
+    _lz77_compress,
+    _lz77_compress_ref,
+    _lz77_decompress,
+    _lz77_decompress_ref,
+)
+
+ARTIFACT = "BENCH_kernels.json"
+PAYLOAD_SIZE = 1 << 20
+SPEEDUP_BAR = 5.0
+
+
+def _best(fn, *args, reps: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _production_payload(size: int = PAYLOAD_SIZE) -> bytes:
+    """Huffman-coded Gaussian quantizer residuals, truncated to *size*.
+
+    This is the content the lz77 stage compresses in production: sz3 and
+    sperr hand their Huffman stream to ``lossless_compress``, so the
+    kernel benchmark measures the encoder on exactly that byte
+    distribution (high entropy, sparse 4-byte repeats).
+    """
+    rng = np.random.default_rng(21)
+    sym = np.clip(np.round(rng.standard_normal(2_500_000) * 3.0), -60, 60).astype(
+        np.int64
+    )
+    stream = huffman.encode(sym)
+    assert len(stream) >= size
+    return stream[:size]
+
+
+def _contrast_payloads() -> dict[str, bytes]:
+    rng = np.random.default_rng(22)
+    motif = rng.integers(0, 40, 2048, dtype=np.int64).astype(np.uint8).tobytes()
+    return {
+        "periodic": b"abcdab" * (PAYLOAD_SIZE // 6),
+        "motif_tiled": motif * (PAYLOAD_SIZE // len(motif)),
+    }
+
+
+def _bench_lz77(payload: bytes, reps: int = 3) -> dict:
+    t_enc_ref, stream_ref = _best(_lz77_compress_ref, payload, reps=reps)
+    t_enc_new, stream_new = _best(_lz77_compress, payload, reps=reps)
+    assert stream_ref == stream_new, "vectorized encoder is not bit-exact"
+    t_dec_ref, out_ref = _best(_lz77_decompress_ref, stream_new, len(payload), reps=reps)
+    t_dec_new, out_new = _best(_lz77_decompress, stream_new, len(payload), reps=reps)
+    assert out_ref == out_new == payload, "decode round-trip failed"
+    return {
+        "payload_bytes": len(payload),
+        "stream_bytes": len(stream_new),
+        "encode_ref_s": round(t_enc_ref, 4),
+        "encode_vec_s": round(t_enc_new, 4),
+        "encode_speedup": round(t_enc_ref / t_enc_new, 2),
+        "decode_ref_s": round(t_dec_ref, 4),
+        "decode_vec_s": round(t_dec_new, 4),
+        "decode_speedup": round(t_dec_ref / t_dec_new, 2),
+        "combined_speedup": round((t_enc_ref + t_dec_ref) / (t_enc_new + t_dec_new), 2),
+    }
+
+
+def _reference_table_build(code: huffman.HuffmanCode) -> tuple[np.ndarray, np.ndarray]:
+    """The retired per-symbol scatter loop (baseline for the bench)."""
+    width = max(code.max_length, 1)
+    size = 1 << width
+    sym_table = np.zeros(size, dtype=np.int64)
+    len_table = np.zeros(size, dtype=np.int64)
+    for i in range(code.symbols.size):
+        l = int(code.lengths[i])
+        if l == 0:
+            continue
+        b = int(code.codes[i]) << (width - l)
+        s = 1 << (width - l)
+        sym_table[b : b + s] = i
+        len_table[b : b + s] = l
+    return sym_table, len_table
+
+
+class TestKernelSpeed:
+    def test_kernels_meet_speed_bar(self, record_property):
+        report: dict = {}
+
+        # -- lz77: production payload carries the acceptance bar --------
+        lz = {"production_hstream": _bench_lz77(_production_payload())}
+        for name, payload in _contrast_payloads().items():
+            lz[name] = _bench_lz77(payload)
+        report["lz77"] = lz
+        record_property("lz77", lz)
+
+        # -- canonical table build --------------------------------------
+        rng = np.random.default_rng(7)
+        sym = np.clip(rng.zipf(1.3, 200_000), 1, 5000).astype(np.int64)
+        code = huffman.build_code(sym)
+        t_ref, tables_ref = _best(_reference_table_build, code)
+        t_vec, tables_vec = _best(code.decode_tables)
+        assert np.array_equal(tables_ref[0], tables_vec[0])
+        assert np.array_equal(tables_ref[1], tables_vec[1])
+        report["huffman_tables"] = {
+            "symbols": int(code.symbols.size),
+            "table_width_bits": code.max_length,
+            "build_ref_s": round(t_ref, 5),
+            "build_vec_s": round(t_vec, 5),
+            "build_speedup": round(t_ref / t_vec, 2),
+        }
+        record_property("huffman_tables", report["huffman_tables"])
+
+        # -- per-stage compressor timings -------------------------------
+        from repro.core.compressor import compressor_registry
+        import repro.compressors  # noqa: F401
+
+        axes = [np.linspace(0.0, 2.0 * np.pi, s) for s in (64, 64, 32)]
+        zz, yy, xx = np.meshgrid(*axes, indexing="ij")
+        field = np.sin(3.0 * xx) * np.cos(2.0 * yy) + 0.5 * np.sin(zz)
+        field += 0.02 * rng.standard_normal(field.shape)
+        stage_rows = {}
+        for comp_id, options in (
+            ("sz3", {"pressio:abs": 1e-3}),
+            ("sz3", {"pressio:abs": 1e-3, "sz3:predictor": "interp"}),
+            ("zfp", {"pressio:abs": 1e-3}),
+            ("szx", {"pressio:abs": 1e-3}),
+            ("sperr", {"pressio:abs": 1e-3}),
+        ):
+            comp = compressor_registry.create(comp_id)
+            comp.set_options(options)
+            label = comp_id + ("_interp" if options.get("sz3:predictor") else "")
+            stage_rows[label] = {
+                k: round(v, 5) for k, v in comp.stage_times(field).items()
+            }
+        report["stage_times"] = stage_rows
+        record_property("stage_times", stage_rows)
+
+        with open(ARTIFACT, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        record_property("artifact", os.path.abspath(ARTIFACT))
+
+        # Acceptance bar: >= 5x combined encode+decode wall-clock on the
+        # 1 MiB production payload, and the table build must not regress.
+        assert lz["production_hstream"]["combined_speedup"] >= SPEEDUP_BAR
+        assert lz["production_hstream"]["encode_speedup"] >= SPEEDUP_BAR
+        assert report["huffman_tables"]["build_speedup"] >= 1.0
+        for label, row in stage_rows.items():
+            assert row["total"] > 0.0, label

@@ -162,6 +162,56 @@ class SZ3Compressor(CompressorPlugin):
             "header": len(payload) - int(hsize) - int(esc_size),
         }
 
+    def stage_times(self, array: np.ndarray) -> dict[str, float]:
+        """Wall-clock seconds per pipeline stage (``stage_sizes``-style
+        introspection, but for time): quantize, predict (Lorenzo or
+        interpolation), Huffman, and the final lossless pass.  The
+        kernel benchmark tracks these in ``BENCH_kernels.json`` so a
+        regression in any single kernel is visible in isolation.
+        """
+        from time import perf_counter
+
+        order = self.predictor_order()
+        eb = self.abs_bound
+        timings: dict[str, float] = {}
+        if order == self.INTERP_TAG:
+            from .interp import interp_encode
+
+            t0 = perf_counter()
+            resid = interp_encode(
+                np.asarray(array, dtype=np.float64),
+                eb,
+                int(self._options.get("sz3:interp_max_stride", 16)),
+            )
+            t1 = perf_counter()
+            # Interpolation quantizes inside the stage loop, so the
+            # quantize bucket is folded into predict.
+            timings["quantize"] = 0.0
+            timings["predict"] = t1 - t0
+        else:
+            t0 = perf_counter()
+            codes = quantize(array, eb)
+            t1 = perf_counter()
+            resid = lorenzo_forward(codes, order)
+            t2 = perf_counter()
+            timings["quantize"] = t1 - t0
+            timings["predict"] = t2 - t1
+        t0 = perf_counter()
+        symbols, escaped = split_escapes(resid)
+        hstream = huffman.encode(
+            symbols, max_length=int(self._options.get("sz3:huffman_max_length", 16))
+        )
+        t1 = perf_counter()
+        backend = self._options.get("sz3:lossless", "zlib")
+        if backend != "none":
+            lossless_compress(hstream, backend=backend)
+        lossless_compress(escaped.astype("<i8").tobytes(), backend="zlib")
+        t2 = perf_counter()
+        timings["huffman"] = t1 - t0
+        timings["lossless"] = t2 - t1
+        timings["total"] = sum(timings.values())
+        return timings
+
     # -- codec ---------------------------------------------------------------
     def compress_impl(self, array: np.ndarray) -> bytes:
         order = self.predictor_order()

@@ -24,7 +24,7 @@ import numpy as np
 from ..core.compressor import CompressorPlugin, compressor_registry
 from ..core.errors import CorruptStreamError, OptionError
 from ..core.options import PressioOptions
-from ..encoding.bitio import read_uint_array, write_uint_array
+from ..encoding.bitio import read_uint_array, uint_bit_length, write_uint_array
 from ..encoding.lz import lossless_compress, lossless_decompress
 
 DEFAULT_BLOCK = 128
@@ -86,8 +86,9 @@ class SZXCompressor(CompressorPlugin):
             ncmat = mat[nc]
             q = np.round((ncmat - lo[nc][:, None]) / (2.0 * eb)).astype(np.uint64)
             qmax = q.max(axis=1)
-            w = np.ceil(np.log2(qmax.astype(np.float64) + 1.0)).astype(np.int64)
-            w = np.maximum(w, 1)
+            # Integer bit length, not float log2: the float idiom rounds
+            # qmax >= 2**53 down a bit and silently truncates codes.
+            w = np.maximum(uint_bit_length(qmax), 1)
             widths[nc] = w.astype(np.uint8)
             # Group blocks by width so each group packs in one vector op.
             parts: list[bytes] = []
@@ -123,7 +124,6 @@ class SZXCompressor(CompressorPlugin):
         if nc.any():
             w = widths[nc].astype(np.int64)
             # Codes were grouped by width at encode time; regroup the same way.
-            offset_bits = 0
             ncmat = np.zeros((int(nc.sum()), block), dtype=np.float64)
             body_arr = body
             cursor = 0
@@ -136,6 +136,46 @@ class SZXCompressor(CompressorPlugin):
                 cursor += nbytes
             out[nc] = reps[nc][:, None] + 2.0 * eb * ncmat
         return out.reshape(-1)[:n].reshape(shape).astype(dtype)
+
+    def stage_times(self, array: np.ndarray) -> dict[str, float]:
+        """Wall-clock seconds per kernel stage (``stage_sizes``-style
+        introspection for the kernel benchmark): block classification,
+        quantize+pack of the non-constant blocks, and the lossless pass.
+        """
+        from time import perf_counter
+
+        eb = self.abs_bound
+        if eb <= 0:
+            raise OptionError("pressio:abs must be positive")
+        block = int(self._options.get("szx:block_size", DEFAULT_BLOCK))
+        flat = np.asarray(array, dtype=np.float64).reshape(-1)
+        timings = {"classify": 0.0, "pack": 0.0, "lossless": 0.0}
+        if flat.size == 0:
+            timings["total"] = 0.0
+            return timings
+        t0 = perf_counter()
+        padded, lo, const = classify_blocks(flat, block, eb)
+        t1 = perf_counter()
+        mat = padded.reshape(-1, block)
+        nc = ~const
+        codes_payload = b""
+        if nc.any():
+            ncmat = mat[nc]
+            q = np.round((ncmat - lo[nc][:, None]) / (2.0 * eb)).astype(np.uint64)
+            w = np.maximum(uint_bit_length(q.max(axis=1)), 1)
+            parts = [
+                write_uint_array(q[w == width].reshape(-1), int(width))
+                for width in np.unique(w)
+            ]
+            codes_payload = b"".join(parts)
+        t2 = perf_counter()
+        lossless_compress(codes_payload, backend=self._options.get("szx:lossless", "zlib"))
+        t3 = perf_counter()
+        timings["classify"] = t1 - t0
+        timings["pack"] = t2 - t1
+        timings["lossless"] = t3 - t2
+        timings["total"] = t3 - t0
+        return timings
 
     # -- introspection for SECRE-style estimators ---------------------------
     def constant_block_fraction(self, array: np.ndarray) -> float:

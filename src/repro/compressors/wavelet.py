@@ -155,6 +155,37 @@ class SperrCompressor(CompressorPlugin):
         """Quantize + transform only (exposed for prediction probes)."""
         return wavelet_forward(quantize(array, self.abs_bound), self.levels())
 
+    def stage_times(self, array: np.ndarray) -> dict[str, float]:
+        """Wall-clock seconds per kernel stage: quantize, the CDF 5/3
+        lifting transform, Huffman, and the final lossless pass."""
+        from time import perf_counter
+
+        eb = self.abs_bound
+        if eb <= 0:
+            raise OptionError("pressio:abs must be positive")
+        t0 = perf_counter()
+        codes = quantize(np.asarray(array), eb)
+        t1 = perf_counter()
+        coeffs = wavelet_forward(codes, self.levels())
+        t2 = perf_counter()
+        symbols, escaped = split_escapes(coeffs.reshape(-1))
+        hstream = huffman.encode(
+            symbols, max_length=int(self._options.get("sperr:huffman_max_length", 16))
+        )
+        t3 = perf_counter()
+        backend = self._options.get("sperr:lossless", "zlib")
+        if backend != "none":
+            lossless_compress(hstream, backend=backend)
+        lossless_compress(escaped.astype("<i8").tobytes(), backend="zlib")
+        t4 = perf_counter()
+        return {
+            "quantize": t1 - t0,
+            "transform": t2 - t1,
+            "huffman": t3 - t2,
+            "lossless": t4 - t3,
+            "total": t4 - t0,
+        }
+
     def compress_impl(self, array: np.ndarray) -> bytes:
         eb = self.abs_bound
         if eb <= 0:

@@ -39,7 +39,7 @@ import numpy as np
 from ..core.compressor import CompressorPlugin, compressor_registry
 from ..core.errors import CorruptStreamError, OptionError
 from ..core.options import PressioOptions
-from ..encoding.bitio import read_uint_array, write_uint_array
+from ..encoding.bitio import read_uint_array, uint_bit_length, write_uint_array
 from ..encoding.lz import lossless_compress, lossless_decompress
 
 BLOCK = 4
@@ -161,17 +161,20 @@ def unzigzag(values: np.ndarray) -> np.ndarray:
 def pack_width_groups(codes: np.ndarray) -> tuple[bytes, np.ndarray]:
     """Bit-pack rows of unsigned *codes* at each row's minimal width.
 
-    Rows are grouped by width so each group packs in one vectorised call;
-    returns the concatenated payload (groups in ascending width order)
-    and the per-row widths.  Width-0 rows (all zero) emit nothing.
+    Rows are grouped by width so each group packs in one vectorised call
+    (the loop below runs at most 64 times — once per distinct width —
+    regardless of the number of rows); returns the concatenated payload
+    (groups in ascending width order) and the per-row widths.  Width-0
+    rows (all zero) emit nothing.  Widths come from the exact integer
+    bit length: the float-``log2`` idiom this replaced merely
+    over-allocated here (unlike szx, where it truncated), but it is the
+    same >= 2**53 rounding trap.
     """
     codes = np.asarray(codes, dtype=np.uint64)
     if codes.size == 0:
         return b"", np.zeros(codes.shape[0] if codes.ndim else 0, dtype=np.uint8)
     rowmax = codes.max(axis=1)
-    widths = np.zeros(codes.shape[0], dtype=np.uint8)
-    nz = rowmax > 0
-    widths[nz] = np.floor(np.log2(rowmax[nz].astype(np.float64))).astype(np.int64) + 1
+    widths = uint_bit_length(rowmax).astype(np.uint8)
     parts: list[bytes] = []
     for width in np.unique(widths):
         if width == 0:
@@ -289,12 +292,7 @@ class ZFPCompressor(CompressorPlugin):
             rate = float(self._options.get("zfp:rate", 8.0))
             target_width = max(int(round(rate)), 1)
             zz0 = zigzag(coeffs[:, 1:])
-            rowmax = zz0.max(axis=1)
-            width0 = np.zeros(nblocks, dtype=np.int64)
-            wnz = rowmax > 0
-            width0[wnz] = (
-                np.floor(np.log2(rowmax[wnz].astype(np.float64))).astype(np.int64) + 1
-            )
+            width0 = uint_bit_length(zz0.max(axis=1))
             shift = np.maximum(width0 - target_width, 0)
         elif mode == "accuracy":
             tol_fixed = eb * scale
@@ -320,6 +318,53 @@ class ZFPCompressor(CompressorPlugin):
         )
         head = struct.pack("<dQQQQ", eb, nblocks, len(body), len(side), 0)
         return head + body + side
+
+    def stage_times(self, array: np.ndarray) -> dict[str, float]:
+        """Wall-clock seconds per kernel stage (``stage_sizes``-style
+        introspection): blocking + fixed point, the lifting transform,
+        quantize + width-group packing, and the lossless pass.
+        """
+        from time import perf_counter
+
+        eb = self.abs_bound
+        if eb <= 0:
+            raise OptionError("pressio:abs must be positive")
+        data = np.asarray(array, dtype=np.float64)
+        if data.ndim == 0:
+            data = data.reshape(1)
+        timings = {"fixed_point": 0.0, "transform": 0.0, "pack": 0.0, "lossless": 0.0}
+        if data.size == 0:
+            timings["total"] = 0.0
+            return timings
+        t0 = perf_counter()
+        padded, _ = pad_to_blocks(data)
+        blocks = split_blocks(padded)
+        nblocks = blocks.shape[0]
+        d = blocks.ndim - 1
+        flat = blocks.reshape(nblocks, -1)
+        maxabs = np.abs(flat).max(axis=1)
+        exps = np.zeros(nblocks, dtype=np.int64)
+        nz = maxabs > 0
+        exps[nz] = np.ceil(np.log2(maxabs[nz])).astype(np.int64)
+        scale = np.ldexp(1.0, (FRAC_BITS - exps).astype(np.int64))
+        fixed = np.round(flat * scale[:, None]).astype(np.int64)
+        t1 = perf_counter()
+        coeffs = block_transform_forward(fixed.reshape(blocks.shape)).reshape(nblocks, -1)
+        t2 = perf_counter()
+        tol_fixed = eb * scale
+        shift = np.floor(np.log2(np.maximum(tol_fixed / inverse_gain(d), 1.0))).astype(np.int64)
+        half = np.where(shift > 0, np.int64(1) << np.maximum(shift - 1, 0), 0)
+        q = (coeffs + half[:, None]) >> shift[:, None]
+        ac_payload, _widths = pack_width_groups(zigzag(q[:, 1:]))
+        t3 = perf_counter()
+        lossless_compress(ac_payload, backend=self._options.get("zfp:lossless", "zlib"))
+        t4 = perf_counter()
+        timings["fixed_point"] = t1 - t0
+        timings["transform"] = t2 - t1
+        timings["pack"] = t3 - t2
+        timings["lossless"] = t4 - t3
+        timings["total"] = t4 - t0
+        return timings
 
     def decompress_impl(self, payload: bytes, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
         hdr = struct.calcsize("<dQQQQ")

@@ -1,6 +1,13 @@
 """Lossless coding substrate: bit I/O, Huffman, RLE, LZ, entropy math."""
 
-from .bitio import pack_codes, read_uint_array, unpack_bits, windows_at_every_position, write_uint_array
+from .bitio import (
+    pack_codes,
+    read_uint_array,
+    uint_bit_length,
+    unpack_bits,
+    windows_at_every_position,
+    write_uint_array,
+)
 from .entropy import (
     coding_gain,
     cross_entropy_bits,
@@ -34,6 +41,7 @@ __all__ = [
     "rle_decode",
     "rle_encode",
     "shannon_entropy",
+    "uint_bit_length",
     "unpack_bits",
     "windows_at_every_position",
     "write_uint_array",

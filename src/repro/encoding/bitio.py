@@ -89,6 +89,25 @@ def windows_at_every_position(bits: np.ndarray, width: int) -> np.ndarray:
     return view @ weights
 
 
+def uint_bit_length(values: np.ndarray) -> np.ndarray:
+    """Exact bit length of unsigned integers, vectorised (0 maps to 0).
+
+    Float ``log2`` width math silently breaks past 2**53: the implicit
+    float64 conversion rounds ``q + 1`` back down to ``q``, so e.g.
+    ``ceil(log2(2**53 + 1))`` evaluates to 53 while 2**53 needs 54 bits —
+    one bit short, and the packed codes truncate.  This is the integer
+    replacement: a branchless binary search over the value's high bits,
+    six whole-array passes for the full uint64 range.
+    """
+    v = np.asarray(values, dtype=np.uint64).copy()
+    out = np.zeros(v.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = v >= (np.uint64(1) << np.uint64(shift))
+        out[mask] += shift
+        v[mask] >>= np.uint64(shift)
+    return out + (v > 0)
+
+
 def write_uint_array(values: np.ndarray, bit_width: int) -> bytes:
     """Pack fixed-width unsigned integers (used for escape values)."""
     values = np.asarray(values, dtype=np.uint64)

@@ -4,10 +4,15 @@ SZ3 finishes with a general-purpose lossless pass (zstd upstream).  We
 provide two interchangeable backends behind one two-byte-tagged format:
 
 * ``"lz77"`` — a from-scratch hash-chain LZ77 with greedy matching and a
-  simple literal/match token stream.  This is the reference
-  implementation used to validate the format and exercised by the test
-  suite on bounded inputs (its inner loop is interpreted Python, so we
-  do not put it on the hot path for large arrays).
+  simple literal/match token stream.  The encoder is a NumPy hash-chain
+  matcher (rolling 4-byte keys from strided views, previous-occurrence
+  chains from one stable argsort, match extension as chunked whole-slice
+  compares); the decoder resolves the token list and the overlapping
+  match copies with the same list-ranking/binary-lifting trick the
+  Huffman decoder uses.  Both are bit-exact with the original
+  interpreted loops — kept here as ``_lz77_compress_ref`` /
+  ``_lz77_decompress_ref`` — which the golden-stream tests and the
+  kernel benchmark hold them to.
 * ``"zlib"`` — the C-speed DEFLATE from the Python standard library,
   the default production backend.  DEFLATE is itself LZ77 + Huffman,
   i.e. the same algorithm family as zstd's literal path, so the residual
@@ -15,6 +20,11 @@ provide two interchangeable backends behind one two-byte-tagged format:
 
 Both produce streams decodable by :func:`lossless_decompress` regardless
 of which backend encoded them.
+
+Token format (unchanged since the first release, so old checkpoints
+still decode): a control byte per token; ``0x00`` prefixes a literal run
+(length byte + literals), ``0x01`` prefixes a match (2-byte
+little-endian distance, 1-byte ``length - 4``).
 """
 
 from __future__ import annotations
@@ -33,14 +43,28 @@ _TAG_LZ77 = 2
 _MIN_MATCH = 4
 _MAX_MATCH = 255 + _MIN_MATCH
 _WINDOW = 1 << 16
+#: chunk size for the C-speed slice compares in match extension.
+_EXTEND_CHUNK = 32
 
 
-def _lz77_compress(data: bytes) -> bytes:
-    """Greedy hash-chain LZ77.
+def _flush_literals(out: bytearray, literals: bytearray) -> None:
+    """Emit pending literals as 255-byte-max literal-run tokens."""
+    j = 0
+    while j < len(literals):
+        chunk = literals[j : j + 255]
+        out.append(0x00)
+        out.append(len(chunk))
+        out.extend(chunk)
+        j += 255
+    literals.clear()
 
-    Token format: a control byte per token; 0x00 prefixes a literal run
-    (length byte + literals), 0x01 prefixes a match (2-byte distance,
-    1-byte length-_MIN_MATCH).
+
+def _lz77_compress_ref(data: bytes) -> bytes:
+    """Reference greedy hash-chain LZ77 (interpreted, byte at a time).
+
+    This is the original implementation the vectorized encoder must
+    match byte for byte; it is exercised only by the golden-stream tests
+    and as the kernel benchmark baseline.
     """
     n = len(data)
     out = bytearray()
@@ -48,23 +72,16 @@ def _lz77_compress(data: bytes) -> bytes:
     head: dict[bytes, int] = {}
     i = 0
 
-    def flush_literals() -> None:
-        j = 0
-        while j < len(literals):
-            chunk = literals[j : j + 255]
-            out.append(0x00)
-            out.append(len(chunk))
-            out.extend(chunk)
-            j += 255
-        literals.clear()
-
     while i < n:
         match_len = 0
         match_dist = 0
         if i + _MIN_MATCH <= n:
             key = data[i : i + _MIN_MATCH]
             cand = head.get(key)
-            if cand is not None and i - cand <= _WINDOW:
+            # NB: strictly less than _WINDOW — the distance field is a
+            # 16-bit integer, so a match at distance exactly 2^16 would
+            # overflow struct.pack (a crash the original `<=` had).
+            if cand is not None and i - cand < _WINDOW:
                 # Extend the candidate match as far as it goes.
                 length = _MIN_MATCH
                 limit = min(_MAX_MATCH, n - i)
@@ -74,7 +91,7 @@ def _lz77_compress(data: bytes) -> bytes:
                 match_dist = i - cand
             head[key] = i
         if match_len >= _MIN_MATCH:
-            flush_literals()
+            _flush_literals(out, literals)
             out.append(0x01)
             out.extend(struct.pack("<HB", match_dist, match_len - _MIN_MATCH))
             # Insert hash entries sparsely inside the match to bound cost.
@@ -85,11 +102,12 @@ def _lz77_compress(data: bytes) -> bytes:
         else:
             literals.append(data[i])
             i += 1
-    flush_literals()
+    _flush_literals(out, literals)
     return bytes(out)
 
 
-def _lz77_decompress(stream: bytes, expected_size: int) -> bytes:
+def _lz77_decompress_ref(stream: bytes, expected_size: int) -> bytes:
+    """Reference token-at-a-time decoder (see :func:`_lz77_compress_ref`)."""
     out = bytearray()
     i = 0
     n = len(stream)
@@ -112,7 +130,7 @@ def _lz77_decompress(stream: bytes, expected_size: int) -> bytes:
             i += 3
             length = extra + _MIN_MATCH
             start = len(out) - dist
-            if start < 0:
+            if start < 0 or dist == 0:
                 raise CorruptStreamError("lz77 match reaches before stream start")
             for _ in range(length):  # overlapping copies are legal in LZ77
                 out.append(out[start])
@@ -124,15 +142,307 @@ def _lz77_decompress(stream: bytes, expected_size: int) -> bytes:
     return bytes(out)
 
 
+def _lz77_compress(data: bytes) -> bytes:
+    """Vectorized greedy hash-chain LZ77, bit-exact with the reference.
+
+    The sequential dictionary of the reference encoder is replaced by
+    three precomputed whole-array structures:
+
+    * ``keys[i]`` — the 4-byte rolling key at every position (strided
+      uint32 arithmetic, no per-position slicing);
+    * ``chain[i]`` — the previous position with the same key, for every
+      position at once, from one stable argsort of the keys;
+    * ``next_cand[i]`` — the next position at or after ``i`` whose key
+      has occurred before (a reversed cumulative minimum), so runs of
+      first-occurrence positions become one literal-run skip instead of
+      one Python iteration per byte.
+
+    The reference dictionary maps each key to its most recent *inserted*
+    position (parse positions plus a sparse grid inside matches).  That
+    is recovered exactly by walking ``chain`` until an inserted position
+    is found: occurrences are visited newest-first, and because the
+    parse only moves forward, the inserted/skipped status of every
+    position behind the cursor is final — which also makes the walk's
+    path compression safe.  Match extension compares
+    ``_EXTEND_CHUNK``-byte slices at C speed instead of byte pairs.
+
+    Positions whose key never occurred before cannot match, so the parse
+    only has to stop at *repeat* positions.  When repeats are sparse
+    (high-entropy input — the production case, since this stage runs on
+    Huffman-coded streams) the sorted repeat list drives the skips; when
+    they are dense, a reversed cumulative minimum (``next_cand``) gives
+    the next repeat at or after every position in O(1).
+    """
+    n = len(data)
+    out = bytearray()
+    literals = bytearray()
+    if n < _MIN_MATCH:
+        literals.extend(data)
+        _flush_literals(out, literals)
+        return bytes(out)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    m = n - (_MIN_MATCH - 1)  # number of positions with a full 4-byte key
+    keys = arr[:m].astype(np.uint32)
+    keys <<= 8
+    keys |= arr[1 : m + 1]
+    keys <<= 8
+    keys |= arr[2 : m + 2]
+    keys <<= 8
+    keys |= arr[3 : m + 3]
+    # Stable sort by key via one unstable sort of (key << 32 | position):
+    # equal keys tie-break on position, which is exactly stability, and
+    # a direct np.sort of the composite is ~4x faster than a stable
+    # argsort (no indirection, introsort instead of mergesort).  The
+    # packing bounds payloads at 2^32 bytes, far above the 2^16 window.
+    comp = keys.astype(np.uint64) << np.uint64(32)
+    comp |= np.arange(m, dtype=np.uint64)
+    comp.sort()
+    if np.little_endian:
+        halves = comp.view(np.uint32)
+        order = halves[0::2].astype(np.int64)
+        sorted_keys = halves[1::2]
+    else:
+        order = (comp & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        sorted_keys = (comp >> np.uint64(32)).astype(np.uint32)
+    prev = np.full(m, -1, dtype=np.int64)
+    repeats: list[int] = []
+    if m > 1:
+        same = sorted_keys[1:] == sorted_keys[:-1]
+        repeat_pos = order[1:][same]
+        prev[repeat_pos] = order[:-1][same]
+        repeats = np.sort(repeat_pos).tolist()
+    nrepeats = len(repeats)
+    sparse = nrepeats * 16 < m
+    if sparse:
+        # Few repeat positions: drive the skips straight off the sorted
+        # repeat list and index `prev` without materialising a list.
+        chain = prev
+        next_cand: list[int] = []
+    else:
+        candidate_at = np.where(prev >= 0, np.arange(m, dtype=np.int64), m)
+        next_cand = np.minimum.accumulate(candidate_at[::-1])[::-1].tolist()
+        chain = prev.tolist()
+    inserted = bytearray(m)
+    i = 0
+    ptr = 0
+    while i < n:
+        if i >= m:
+            # No full key fits: everything left is literal (and never
+            # enters the dictionary, matching the reference bound).
+            literals.extend(data[i:])
+            break
+        if sparse:
+            while ptr < nrepeats and repeats[ptr] < i:
+                ptr += 1
+            j = repeats[ptr] if ptr < nrepeats else m
+        else:
+            j = next_cand[i]
+        if j > i:
+            # Keys in [i, j) occur for the first time — no candidate is
+            # possible, so the whole run is literal.  Every position
+            # still enters the dictionary.
+            inserted[i:j] = b"\x01" * (j - i)
+            literals.extend(data[i:j])
+            i = j
+            continue
+        # Resolve the most recent *inserted* occurrence (the dict value)
+        # by walking the occurrence chain, compressing the path.
+        j = chain[i]
+        if j >= 0 and not inserted[j]:
+            path = []
+            while j >= 0 and not inserted[j]:
+                path.append(j)
+                j = chain[j]
+            for x in path:
+                chain[x] = j
+        cand = j
+        inserted[i] = 1
+        if cand < 0 or i - cand >= _WINDOW:
+            literals.append(data[i])
+            i += 1
+            continue
+        # Extend the match with chunked slice compares (both sides read
+        # the original data, so overlapping matches behave identically).
+        limit = min(_MAX_MATCH, n - i)
+        length = _MIN_MATCH
+        while length < limit:
+            chunk = min(_EXTEND_CHUNK, limit - length)
+            if data[cand + length : cand + length + chunk] == data[i + length : i + length + chunk]:
+                length += chunk
+                continue
+            a = data[cand + length : cand + length + chunk]
+            b = data[i + length : i + length + chunk]
+            off = 0
+            while a[off] == b[off]:
+                off += 1
+            length += off
+            break
+        _flush_literals(out, literals)
+        dist = i - cand
+        out.append(0x01)
+        out.append(dist & 0xFF)
+        out.append(dist >> 8)
+        out.append(length - _MIN_MATCH)
+        stop = min(i + length, n - _MIN_MATCH)
+        step = max(1, length // 8)
+        for k in range(i + 1, stop, step):
+            inserted[k] = 1
+        i += length
+    _flush_literals(out, literals)
+    return bytes(out)
+
+
+def _range_mask(starts: np.ndarray, ends: np.ndarray, size: int) -> np.ndarray:
+    """Boolean mask of ``size`` selecting the union of ``[start, end)``.
+
+    The ranges come from non-overlapping token regions, so a +1/-1
+    difference array followed by one cumulative sum marks every covered
+    index.  A range's end may coincide with the next range's start
+    (adjacent tokens); the start writes happen first, so the decrement
+    lands on top and the running sum stays in {0, 1}.  Zero-length
+    ranges must be filtered by the caller.
+    """
+    diff = np.zeros(size + 1, dtype=np.int8)
+    diff[starts] = 1
+    diff[ends] -= 1
+    return np.cumsum(diff[:size], dtype=np.int8).astype(bool)
+
+
+def _lz77_decompress(stream: bytes, expected_size: int) -> bytes:
+    """Vectorized LZ77 decoder (list-ranking over tokens and matches).
+
+    Token starts are found without a sequential walk: a per-byte jump
+    array ``J[p] = p + size-of-token-at-p`` is evaluated everywhere at
+    once, and the token-start list is grown by binary lifting, exactly
+    like the Huffman decoder's code-boundary ranking — each round
+    composes ``J`` with itself and doubles the number of known starts,
+    so a stream of T tokens needs ``log2(T)`` whole-array rounds.
+    Literal runs become one masked copy from stream to output;
+    overlapping match copies are resolved by pointer doubling on the
+    ``output-position → source-position`` reference array (every chain
+    strictly decreases until it hits a literal byte, so ``log2`` rounds
+    of ``ref = ref[ref]`` reach the fixpoint).
+    """
+    n = len(stream)
+    if n == 0:
+        if expected_size:
+            raise CorruptStreamError("lz77 output size mismatch")
+        return b""
+    s = np.frombuffer(stream, dtype=np.uint8)
+    lit_mask = s == 0
+    match_mask = s == 1
+    next_byte = np.empty(n, dtype=np.int64)
+    next_byte[:-1] = s[1:]
+    next_byte[-1] = 0
+    size_at = np.ones(n, dtype=np.int64)
+    size_at[lit_mask] = next_byte[lit_mask] + 2
+    size_at[match_mask] = 4
+    jump = np.arange(n + 1, dtype=np.int64)
+    jump[:n] += size_at
+    np.minimum(jump, n, out=jump)  # clamp into the sink (n maps to n)
+    # Binary lifting: after round j the first 2^j token starts are known
+    # and `step` equals jump^(2^j); appending step[tok] doubles the list.
+    # Tokens found past the first sink hit are clipped, so the loop runs
+    # ceil(log2(T)) rounds for a T-token stream.
+    tok = np.zeros(1, dtype=np.int64)
+    step = jump
+    while True:
+        nxt = step[tok]
+        alive = nxt < n
+        if not alive.all():
+            tok = np.concatenate([tok, nxt[alive]])
+            break
+        tok = np.concatenate([tok, nxt])
+        step = step[step]
+    # Classify per-token corruption and honour the reference decoder's
+    # first-error-in-stream-order semantics.
+    tok_tags = s[tok]
+    bad_tag = tok_tags > 1
+    lit_tok = tok_tags == 0
+    match_tok = tok_tags == 1
+    lit_trunc = lit_tok & (tok == n - 1)
+    counts = np.where(lit_tok & ~lit_trunc, next_byte[tok], 0)
+    lit_overrun = lit_tok & ~lit_trunc & (tok + 2 + counts > n)
+    match_trunc = match_tok & (tok + 4 > n)
+    # Decode headers for the non-truncated matches (the only ones whose
+    # bytes are all in range) so underflow checks can join the ordered
+    # failure resolution: offsets are exact for every token before the
+    # earliest failure, which is the only one the reference reports.
+    valid_match = match_tok & ~match_trunc
+    mpos = tok[valid_match]
+    dists = s[mpos + 1].astype(np.int64) + (s[mpos + 2].astype(np.int64) << 8)
+    mlens = s[mpos + 3].astype(np.int64) + _MIN_MATCH
+    out_sizes = np.where(lit_tok, counts, 0)
+    out_sizes[valid_match] = mlens
+    out_offsets = np.concatenate(([0], np.cumsum(out_sizes)[:-1]))
+    total = int(out_sizes.sum())
+    match_out = out_offsets[valid_match]
+    match_bad = (dists == 0) | (match_out < dists)
+    failures = [
+        (int(tok[mask][0]), message)
+        for mask, message in (
+            (bad_tag, None),
+            (lit_trunc, "lz77 literal header truncated"),
+            (lit_overrun, "lz77 literal run truncated"),
+            (match_trunc, "lz77 match token truncated"),
+        )
+        if mask.any()
+    ]
+    if match_bad.any():
+        failures.append(
+            (int(mpos[match_bad][0]), "lz77 match reaches before stream start")
+        )
+    if failures:
+        first, message = min(failures)
+        if message is None:
+            raise CorruptStreamError(f"unknown lz77 token {int(s[first])}")
+        raise CorruptStreamError(message)
+    if total != expected_size:
+        raise CorruptStreamError("lz77 output size mismatch")
+    if total == 0:
+        return b""
+    out = np.empty(total, dtype=np.uint8)
+    lp = tok[lit_tok]
+    lc = counts[lit_tok]
+    nz = lc > 0
+    if nz.any():
+        # The k-th literal byte in stream order is the k-th literal byte
+        # in output order, so two range masks give one aligned copy.
+        lit_out = out_offsets[lit_tok][nz]
+        src_starts = lp[nz] + 2
+        out[_range_mask(lit_out, lit_out + lc[nz], total)] = s[
+            _range_mask(src_starts, src_starts + lc[nz], n)
+        ]
+    if mpos.size:
+        ref = np.arange(total, dtype=np.int64)
+        dst_mask = _range_mask(match_out, match_out + mlens, total)
+        ref[dst_mask] -= np.repeat(dists, mlens)
+        # Pointer doubling: every chain strictly decreases through match
+        # bytes until it lands on a literal byte (a fixpoint).
+        while True:
+            hop = ref[ref]
+            if np.array_equal(hop, ref):
+                break
+            ref = hop
+        out = out[ref]
+    return out.tobytes()
+
+
 def lossless_compress(data: bytes | np.ndarray, backend: str = "zlib", level: int = 6) -> bytes:
     """Compress a byte payload with the chosen backend.
 
-    If the backend expands the data (incompressible input), the stream is
-    stored raw — the decoder handles all three tags transparently.
+    ``level`` is the zlib compression level (``-1`` for the zlib default,
+    else 0–9); the ``lz77`` backend has a single effort setting and
+    ignores it.  If the backend expands the data (incompressible input),
+    the stream is stored raw — the decoder handles all three tags
+    transparently.
     """
     if isinstance(data, np.ndarray):
         data = np.ascontiguousarray(data).tobytes()
     if backend == "zlib":
+        level = int(level)
+        if not -1 <= level <= 9:
+            raise OptionError(f"zlib level must be -1..9, got {level}")
         body = zlib.compress(data, level)
         tag = _TAG_ZLIB
     elif backend == "lz77":
@@ -156,7 +466,13 @@ def lossless_decompress(stream: bytes) -> bytes:
             raise CorruptStreamError("raw stream size mismatch")
         return body
     if tag == _TAG_ZLIB:
-        out = zlib.decompress(body)
+        try:
+            out = zlib.decompress(body)
+        except zlib.error as exc:
+            # Keep corrupt payloads inside the harness's error taxonomy
+            # (Status mapping, checkpoint quarantine) instead of leaking
+            # a raw zlib.error.
+            raise CorruptStreamError(f"zlib body corrupt: {exc}") from exc
     elif tag == _TAG_LZ77:
         out = _lz77_decompress(body, size)
     else:
