@@ -132,6 +132,10 @@ class CheckpointStore:
         ``flush_every``, slow trickle of results) still bounds its
         maximum data loss to one interval.  A daemon timer drives the
         periodic flush, so the bound holds even while no ``put`` arrives.
+    lock_witness:
+        Optional :class:`~repro.analysis.witness.LockOrderWitness`;
+        when given, the store lock is wrapped for lock-order recording
+        (test-only instrumentation, zero overhead when ``None``).
 
     Writes use ``INSERT OR REPLACE`` inside explicit batch transactions,
     so a crash mid-write never leaves a partial row; readers see either
@@ -144,6 +148,7 @@ class CheckpointStore:
         *,
         flush_every: int = 1,
         flush_interval: float | None = None,
+        lock_witness=None,
     ) -> None:
         self.path = path
         self.flush_every = max(1, int(flush_every))
@@ -162,7 +167,12 @@ class CheckpointStore:
         # default to thread affinity, so share one connection guarded by
         # our own lock instead.
         self._db = sqlite3.connect(path, check_same_thread=False)
-        self._lock = threading.Lock()
+        # Test-only: a LockOrderWitness wraps the store lock so stress
+        # suites can prove the queue→checkpoint lock order is acyclic.
+        if lock_witness is not None:
+            self._lock = lock_witness.wrap(name="checkpoint.lock")
+        else:
+            self._lock = threading.Lock()
         #: key → encoded row awaiting flush (dict gives replace semantics).
         self._buffer: dict[str, tuple] = {}  # guarded-by: _lock
         if path != ":memory:":

@@ -29,6 +29,36 @@ from .runner import ExperimentRunner
 from .taskqueue import TaskQueue
 
 
+def _add_drift_flags(sub: argparse.ArgumentParser) -> None:
+    """Drift-detection thresholds, shared by ``serve`` and ``loop``."""
+    sub.add_argument("--drift-window", type=int, default=64,
+                     help="sliding residual window per model")
+    sub.add_argument("--drift-min-observations", type=int, default=16,
+                     help="windowed residuals required before evaluating drift")
+    sub.add_argument("--drift-calibration", type=int, default=32,
+                     help="residuals used to calibrate the conformal radius")
+    sub.add_argument("--drift-medape", type=float, default=25.0,
+                     help="windowed MedAPE (%%) above which drift breaches")
+    sub.add_argument("--drift-alpha", type=float, default=0.1,
+                     help="conformal miscoverage level the radius targets")
+    sub.add_argument("--drift-slack", type=float, default=5.0,
+                     help="fire when the miss rate exceeds alpha x slack")
+    sub.add_argument("--drift-hysteresis", type=int, default=3,
+                     help="consecutive breaching evaluations before firing")
+
+
+def _drift_config_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "window": args.drift_window,
+        "min_observations": args.drift_min_observations,
+        "calibration": args.drift_calibration,
+        "medape_threshold": args.drift_medape,
+        "coverage_alpha": args.drift_alpha,
+        "coverage_slack": args.drift_slack,
+        "hysteresis": args.drift_hysteresis,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="predict-bench",
@@ -207,6 +237,67 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: total queued rows before shedding")
     serve.add_argument("--cache-capacity", type=int, default=8,
                        help="warm-model LRU capacity")
+    _add_drift_flags(serve)
+
+    loop = sub.add_parser(
+        "loop",
+        help="continuous learning: drift-triggered recollect → republish → "
+        "refresh rollovers against live servers",
+    )
+    loop.add_argument("checkpoint", help="shared checkpoint database; each "
+                      "round's re-collect resumes from it")
+    loop.add_argument("--registry", required=True, help="registry root directory")
+    loop.add_argument(
+        "--servers", nargs="*", default=[], metavar="HOST:PORT",
+        help="live prediction servers to poll for drift and refresh after "
+        "each publish; with none given, --rounds rollovers run unconditionally",
+    )
+    loop.add_argument("--rounds", type=int, default=1,
+                      help="rollovers to perform before exiting")
+    loop.add_argument("--schemes", nargs="+", default=["rahman2023"])
+    loop.add_argument("--compressors", nargs="+", default=["sz3"])
+    loop.add_argument("--bounds", nargs="+", type=float, default=[1e-4])
+    loop.add_argument("--absolute-bounds", action="store_true")
+    loop.add_argument("--shape", nargs=3, type=int, default=[16, 16, 8])
+    loop.add_argument("--fields", nargs="+", default=None)
+    loop.add_argument(
+        "--base-timesteps", type=int, default=4,
+        help="timesteps in the round-1 campaign",
+    )
+    loop.add_argument(
+        "--timesteps-per-round", type=int, default=1,
+        help="extra timesteps each later round adds (the incremental "
+        "re-collect; already-checkpointed tasks are not re-run)",
+    )
+    loop.add_argument("--workers", type=int, default=1)
+    loop.add_argument("--engine", choices=["serial", "thread", "process"],
+                      default="serial")
+    loop.add_argument("--verify-n", type=int, default=4,
+                      help="rows for the publish-time round-trip proof")
+    loop.add_argument(
+        "--max-stage-attempts", type=int, default=12,
+        help="crash-loop cap: supervised attempts per rollover",
+    )
+    loop.add_argument(
+        "--retry-base-delay", type=float, default=0.05,
+        help="first-retry backoff between rollover stage attempts",
+    )
+    loop.add_argument(
+        "--poll-interval", type=float, default=1.0,
+        help="seconds between drift polls while nothing has fired",
+    )
+    loop.add_argument(
+        "--max-polls", type=int, default=10_000,
+        help="give up after this many idle polls",
+    )
+    loop.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject seeded loop faults, e.g. "
+        "'trainer_kill:0.5,publish_corrupt:0.3,refresh_drop:0.2' "
+        "(collection classes like crash/hang compose in the same spec)",
+    )
+    loop.add_argument("--chaos-seed", type=int, default=0)
+    _add_drift_flags(loop)
 
     query = sub.add_parser(
         "query", help="query a running prediction server"
@@ -504,7 +595,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the prediction server in the foreground until interrupted."""
     import asyncio
 
-    from ..serve import ModelRegistry, PredictionServer
+    from ..serve import DriftConfig, ModelRegistry, PredictionServer
 
     server = PredictionServer(
         ModelRegistry(args.registry),
@@ -515,6 +606,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.max_queue_depth,
         cache_capacity=args.cache_capacity,
+        drift_config=DriftConfig(**_drift_config_kwargs(args)),
     )
 
     async def _serve() -> None:
@@ -527,6 +619,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_loop(args: argparse.Namespace) -> int:
+    """Run the continuous-learning loop: drift → retrain → refresh."""
+    from ..serve import ContinuousLearner, ModelRegistry, RolloverFailedError
+
+    servers = []
+    for spec in args.servers:
+        host, _, port = spec.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--servers wants HOST:PORT, got {spec!r}", file=sys.stderr)
+            return 2
+        servers.append((host, int(port)))
+    chaos = None
+    if args.chaos:
+        chaos = ChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
+    store = CheckpointStore(args.checkpoint)
+
+    def runner_factory(round_no: int) -> ExperimentRunner:
+        dataset = HurricaneDataset(
+            shape=tuple(args.shape),
+            timesteps=args.base_timesteps
+            + max(round_no - 1, 0) * args.timesteps_per_round,
+            fields=args.fields,
+        )
+        return ExperimentRunner(
+            dataset,
+            compressors=args.compressors,
+            bounds=args.bounds,
+            schemes=args.schemes,
+            relative_bounds=not args.absolute_bounds,
+            store=store,
+            queue=TaskQueue(args.workers, args.engine),
+        )
+
+    learner = ContinuousLearner(
+        ModelRegistry(args.registry),
+        runner_factory,
+        servers=servers,
+        retry_policy=RetryPolicy(
+            max_retries=args.max_stage_attempts,
+            base_delay=args.retry_base_delay,
+            seed=args.chaos_seed,
+        ),
+        max_stage_attempts=args.max_stage_attempts,
+        chaos=chaos,
+        verify_n=args.verify_n,
+        drift_config=_drift_config_kwargs(args),
+    )
+    try:
+        if servers:
+            reports = learner.run(
+                args.rounds,
+                poll_interval=args.poll_interval,
+                max_polls=args.max_polls,
+            )
+        else:
+            reports = [
+                learner.rollover(round_no)
+                for round_no in range(1, args.rounds + 1)
+            ]
+    except RolloverFailedError as exc:
+        print(f"rollover failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    for report in reports:
+        print(report.summary())
+    if chaos is not None:
+        fired = ",".join(
+            f"{kind}={n}" for kind, n in chaos.injected_counts().items() if n
+        )
+        print(f"chaos[seed={args.chaos_seed}] injected {fired or 'nothing'}",
+              file=sys.stderr)
+    return 0 if len(reports) == args.rounds else 1
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -617,6 +784,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_publish(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "loop":
+        return cmd_loop(args)
     if args.command == "query":
         return cmd_query(args)
     if args.command == "generate":

@@ -157,8 +157,21 @@ class FaultInjector:
         return self.task_fn(task, worker)
 
 
-#: Fault classes a :class:`ChaosPlan` can inject.
-CHAOS_CLASSES = ("crash", "hang", "exception", "corrupt", "sink")
+#: Fault classes a :class:`ChaosPlan` can inject.  The first five hit
+#: the collection harness (task execution, checkpoint, result sink);
+#: the last three hit the continuous-learning loop (trainer killed at a
+#: publish fault point, at-rest corruption of a freshly published blob,
+#: a dropped server refresh).
+CHAOS_CLASSES = (
+    "crash",
+    "hang",
+    "exception",
+    "corrupt",
+    "sink",
+    "trainer_kill",
+    "publish_corrupt",
+    "refresh_drop",
+)
 
 
 class ChaosPlan:
@@ -188,6 +201,9 @@ class ChaosPlan:
         exception_rate: float = 0.0,
         corrupt_rate: float = 0.0,
         sink_rate: float = 0.0,
+        trainer_kill_rate: float = 0.0,
+        publish_corrupt_rate: float = 0.0,
+        refresh_drop_rate: float = 0.0,
         hang_seconds: float = 5.0,
         state_dir: str | None = None,
     ) -> None:
@@ -199,6 +215,9 @@ class ChaosPlan:
             "exception": float(exception_rate),
             "corrupt": float(corrupt_rate),
             "sink": float(sink_rate),
+            "trainer_kill": float(trainer_kill_rate),
+            "publish_corrupt": float(publish_corrupt_rate),
+            "refresh_drop": float(refresh_drop_rate),
         }
         self.hang_seconds = float(hang_seconds)
         if state_dir is None:
@@ -219,7 +238,8 @@ class ChaosPlan:
         """Parse ``"crash:0.1,hang:0.05"`` into a plan.
 
         Classes: ``crash``, ``hang``, ``exception``, ``corrupt``,
-        ``sink``.  A bare class name means rate 1.0.
+        ``sink``, ``trainer_kill``, ``publish_corrupt``,
+        ``refresh_drop``.  A bare class name means rate 1.0.
         """
         rates: dict[str, float] = {}
         for part in spec.split(","):
@@ -308,6 +328,21 @@ class ChaosPlan:
         if self._fire_once("exception", key):
             raise TaskFailedError("chaos: injected exception", task_key=key)
         return self.task_fn(task, worker)
+
+    # -- loop-stage faults -------------------------------------------------------
+    def loop_fault(self, kind: str, key: str) -> bool:
+        """Fire a continuous-learning-loop fault exactly once per *key*.
+
+        ``kind`` is one of ``trainer_kill``/``publish_corrupt``/
+        ``refresh_drop``; *key* names the loop stage instance (round,
+        registry key, publish fault point…).  Same once-only marker
+        discipline as the collection classes, so a retried stage does
+        not re-fault on the same site and the supervisor provably makes
+        progress through the chaos.
+        """
+        if kind not in self.rates:
+            raise ValueError(f"unknown chaos class {kind!r}")
+        return self._fire_once(kind, key)
 
     # -- sink wrapping -----------------------------------------------------------
     def wrap_sink(self, on_result: Callable[[Any], None]) -> Callable[[Any], None]:

@@ -442,6 +442,7 @@ class ExperimentRunner:
         verify_n: int = 8,
         min_observations: int = 2,
         meta: Mapping[str, Any] | None = None,
+        fault_hook=None,
     ):
         """Fit and publish one model per (scheme, compressor, bound).
 
@@ -459,6 +460,11 @@ class ExperimentRunner:
         receipts.  A (scheme, compressor, bound) with fewer than
         ``min_observations`` usable rows is skipped with a warning, not
         an error — a partial campaign publishes what it can.
+
+        ``fault_hook`` is forwarded to every
+        :meth:`~repro.serve.registry.ModelRegistry.publish` call — the
+        chaos entry point the continuous-learning loop uses to kill the
+        trainer at precise points of the publish journal.
         """
         if observations is None:
             observations = self.collect().observations
@@ -505,6 +511,7 @@ class ExperimentRunner:
                             "relative_bounds": self.relative_bounds,
                             **dict(meta or {}),
                         },
+                        fault_hook=fault_hook,
                     )
                     published.append(receipt)
         return published

@@ -399,6 +399,7 @@ class TaskQueue:
         max_pool_rebuilds: int = 5,
         chunk_size: int | None = None,
         data_plane: str = "pickle",
+        lock_witness=None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
@@ -420,6 +421,12 @@ class TaskQueue:
             raise ValueError("chunk_size must be >= 1 (or None for whole groups)")
         self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.data_plane = data_plane
+        #: Optional :class:`~repro.analysis.witness.LockOrderWitness`.
+        #: Test-only instrumentation: when set, the threaded engine's
+        #: condition lock is wrapped so stress suites can assert the
+        #: queue↔checkpoint lock graph stays acyclic.  ``None`` (the
+        #: default) adds zero overhead on the hot path.
+        self.lock_witness = lock_witness
 
     def run(
         self,
@@ -480,7 +487,12 @@ class TaskQueue:
         in_flight = 0
         results: list[TaskResult] = []
         stats = QueueStats(engine=self.engine, requested_engine=self.requested_engine)
-        cond = threading.Condition()
+        if self.lock_witness is not None:
+            cond = threading.Condition(
+                self.lock_witness.wrap(name="taskqueue.cond")
+            )
+        else:
+            cond = threading.Condition()
         n_workers = self.n_workers if self.engine == "thread" else 1
         # Hang supervision state (watchdog mode): live executions by a
         # unique id, plus ids the watchdog gave up on — a late result

@@ -15,6 +15,25 @@ import numpy as np
 from .base import BaseEstimator, check_X, check_X_y
 
 
+def conformal_radius(residuals: np.ndarray, alpha: float) -> float:
+    """Split-conformal interval radius from calibration residuals.
+
+    The ⌈(n+1)(1−α)⌉-th smallest absolute residual — the quantile that
+    gives distribution-free marginal coverage ≥ 1−α under
+    exchangeability.  Shared by :class:`ConformalRegressor` (offline
+    calibration at fit time) and the serving tier's drift monitor
+    (online re-calibration from the residual ledger), so both sides
+    agree on what "covered" means.
+    """
+    resid = np.abs(np.asarray(residuals, dtype=np.float64))
+    n = int(resid.size)
+    if n == 0:
+        raise ValueError("conformal_radius needs at least one residual")
+    k = int(np.ceil((n + 1) * (1.0 - float(alpha))))
+    k = min(max(k, 1), n)
+    return float(np.sort(resid)[k - 1])
+
+
 class ConformalRegressor(BaseEstimator):
     """Wrap any point regressor with split-conformal intervals.
 
@@ -53,10 +72,7 @@ class ConformalRegressor(BaseEstimator):
         if self.normalized and hasattr(self.model_, "predict_std"):
             scale = np.maximum(self.model_.predict_std(X[cal]), 1e-12)
             resid = resid / scale
-        # Conformal quantile: ceil((n_cal + 1)(1 - alpha)) / n_cal.
-        k = int(np.ceil((n_cal + 1) * (1 - self.alpha)))
-        k = min(max(k, 1), n_cal)
-        self.radius_ = float(np.sort(resid)[k - 1])
+        self.radius_ = conformal_radius(resid, self.alpha)
         self.n_calibration_ = n_cal
         return self
 

@@ -2,9 +2,13 @@
 
 The bridge from an offline training campaign to live queries: the
 runner publishes fitted predictors into a :class:`ModelRegistry`
-(versioned, checksummed, atomically pointed), and a
-:class:`PredictionServer` answers "what will this compressor at this
-bound do to this field?" with micro-batched vectorised inference.
+(versioned, checksummed, atomically pointed, with a journaled
+two-phase-commit publish), and a :class:`PredictionServer` answers
+"what will this compressor at this bound do to this field?" with
+micro-batched vectorised inference.  On top of both, the
+continuous-learning loop (:class:`ContinuousLearner`) closes the
+circle: drift detection (:class:`DriftMonitor`) → incremental
+re-collect → republish → zero-restart refresh of every live server.
 """
 
 from .codec import (
@@ -16,8 +20,18 @@ from .codec import (
     encode_state,
     state_checksum,
 )
-from .client import PredictionClient, ServerError
+from .client import PredictionClient, ServerError, overload_backoff
+from .drift import DriftConfig, DriftMonitor, ResidualLedger
+from .loop import (
+    ContinuousLearner,
+    LoopStageError,
+    RolloverFailedError,
+    RolloverReport,
+    TrainerKilledError,
+)
 from .registry import (
+    INTENT_NAME,
+    PUBLISH_FAULT_POINTS,
     LoadedModel,
     ModelIntegrityError,
     ModelNotFoundError,
@@ -39,13 +53,22 @@ from .server import (
 
 __all__ = [
     "CODEC_VERSION",
+    "ContinuousLearner",
+    "DriftConfig",
+    "DriftMonitor",
+    "INTENT_NAME",
     "LoadedModel",
+    "LoopStageError",
     "ModelIntegrityError",
     "ModelNotFoundError",
     "ModelRegistry",
+    "PUBLISH_FAULT_POINTS",
     "PredictionClient",
     "PredictionServer",
     "PublishedModel",
+    "ResidualLedger",
+    "RolloverFailedError",
+    "RolloverReport",
     "STATUS_BAD_REQUEST",
     "STATUS_ERROR",
     "STATUS_NOT_FOUND",
@@ -55,10 +78,12 @@ __all__ = [
     "ServerError",
     "ServerThread",
     "StateSerializationError",
+    "TrainerKilledError",
     "decode_array",
     "decode_state",
     "encode_array",
     "encode_state",
+    "overload_backoff",
     "registry_key",
     "scheme_params",
     "state_checksum",

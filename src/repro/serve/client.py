@@ -11,7 +11,9 @@ drive the server's micro-batcher.
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Mapping
 
 import numpy as np
@@ -31,12 +33,58 @@ class ServerError(PressioError):
         self.server_status = self.response.get("status", "error")
 
 
-class PredictionClient:
-    """Blocking client; usable as a context manager."""
+def overload_backoff(
+    attempt: int,
+    *,
+    base_delay: float,
+    max_delay: float,
+    jitter: float,
+    rng: random.Random,
+) -> float:
+    """Jittered exponential delay before overload retry *attempt* (1-based).
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+    A separate function so the schedule is testable without a socket;
+    the jitter draw comes from the caller's (seedable) ``rng``, making
+    a test's backoff sequence fully deterministic.
+    """
+    raw = min(base_delay * 2.0 ** max(attempt - 1, 0), max_delay)
+    if jitter <= 0.0:
+        return raw
+    return raw * (1.0 - jitter + 2.0 * jitter * rng.random())
+
+
+class PredictionClient:
+    """Blocking client; usable as a context manager.
+
+    The documented ``"overloaded"`` status is the server telling the
+    client to back off — so the client does: sheds are retried up to
+    ``overload_retries`` times with jittered exponential backoff before
+    the error surfaces.  ``retry_seed`` pins the jitter sequence for
+    deterministic tests; ``overload_retries=0`` restores the raw
+    surface-the-shed behaviour (the admission-control tests use it).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        overload_retries: int = 4,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 2.0,
+        retry_jitter: float = 0.5,
+        retry_seed: int | None = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        self.overload_retries = max(0, int(overload_retries))
+        self.retry_base_delay = float(retry_base_delay)
+        self.retry_max_delay = float(retry_max_delay)
+        self.retry_jitter = float(retry_jitter)
+        self._retry_rng = random.Random(retry_seed)
+        #: Overload retries this client has performed (observability).
+        self.overload_retries_used = 0
         self._sock = socket.create_connection((host, self.port), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
 
@@ -51,14 +99,32 @@ class PredictionClient:
         return json.loads(raw)
 
     def _checked(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        response = self.request(payload)
-        if not response.get("ok"):
+        attempt = 0
+        while True:
+            response = self.request(payload)
+            if response.get("ok"):
+                return response
+            if (
+                response.get("status") == "overloaded"
+                and attempt < self.overload_retries
+            ):
+                attempt += 1
+                self.overload_retries_used += 1
+                time.sleep(
+                    overload_backoff(
+                        attempt,
+                        base_delay=self.retry_base_delay,
+                        max_delay=self.retry_max_delay,
+                        jitter=self.retry_jitter,
+                        rng=self._retry_rng,
+                    )
+                )
+                continue
             raise ServerError(
                 f"server returned {response.get('status')!r}: "
                 f"{response.get('error', 'no detail')}",
                 response,
             )
-        return response
 
     # -- operations ------------------------------------------------------------
     def predict(
@@ -94,6 +160,44 @@ class PredictionClient:
 
     def ping(self) -> bool:
         return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def observe(
+        self,
+        key: str,
+        prediction: float,
+        truth: float,
+        *,
+        version: str | None = None,
+    ) -> dict[str, Any]:
+        """Report ground truth for an earlier prediction (drift ledger).
+
+        ``version`` should echo the ``version`` from the predict
+        response, so residuals re-arm the monitor across rollovers.
+        Returns the monitor's drift snapshot.
+        """
+        payload: dict[str, Any] = {
+            "op": "observe",
+            "key": key,
+            "prediction": float(prediction),
+            "truth": float(truth),
+        }
+        if version is not None:
+            payload["version"] = version
+        return self._checked(payload)["drift"]
+
+    def drift(
+        self, *, configure: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Per-key drift snapshots (and optionally push a new config).
+
+        Returns the full response body: ``monitors`` maps key →
+        snapshot (with a ``stale`` flag), ``stale_keys`` lists keys
+        serving a known-drifted generation.
+        """
+        payload: dict[str, Any] = {"op": "drift"}
+        if configure is not None:
+            payload["configure"] = dict(configure)
+        return self._checked(payload)
 
     def refresh(self, key: str | None = None) -> dict[str, str | None]:
         """Push a registry invalidation: the server re-reads ``LATEST``

@@ -1,0 +1,221 @@
+"""Online drift detection for served models.
+
+The serving tier answers queries from a frozen predictor; the paper's
+premise is that predictors are cheap enough to keep *current*.  This
+module closes the observability half of that loop: queries that later
+receive ground truth (the server's ``observe`` op) feed a bounded
+per-model :class:`ResidualLedger`, and a :class:`DriftMonitor` decides
+when accuracy has decayed enough to justify a retrain campaign.
+
+Two complementary detectors, both configurable via
+:class:`DriftConfig`:
+
+* **conformal-coverage breach** — the first ``calibration``
+  observations after each (re)arm calibrate a split-conformal radius
+  (:func:`repro.mlkit.conformal.conformal_radius`, the same quantile
+  the offline :class:`~repro.mlkit.conformal.ConformalRegressor`
+  uses).  If the windowed miss rate — residuals exceeding the radius —
+  climbs past ``coverage_alpha * coverage_slack``, coverage has broken
+  down: the distribution shifted under the model.
+* **windowed MedAPE drift** — the bench's own Table-2 accuracy metric,
+  computed over the sliding window; a breach of
+  ``medape_threshold`` percent means the model is now *wrong*, not
+  just uncalibrated.
+
+Either detector breaching counts; the monitor only **fires** after
+``hysteresis`` *consecutive* breached evaluations, so a single
+pathological field cannot flap the retrain loop.  Once fired, the
+monitor latches until :meth:`DriftMonitor.reset` — which the server
+calls automatically when a new model version starts serving, re-arming
+calibration for the fresh model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..mlkit.conformal import conformal_radius
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds and window sizes for one :class:`DriftMonitor`."""
+
+    #: Sliding evaluation window (observations) for MedAPE + coverage.
+    window: int = 64
+    #: Observations required in the window before any evaluation.
+    min_observations: int = 16
+    #: Post-arm observations used to calibrate the conformal radius.
+    calibration: int = 32
+    #: Fire when windowed MedAPE exceeds this many percent.
+    medape_threshold: float = 25.0
+    #: Nominal miscoverage of the calibrated conformal interval.
+    coverage_alpha: float = 0.1
+    #: Fire when the windowed miss rate exceeds ``alpha * slack``.  The
+    #: default 5x makes this a gross-breakdown detector: the realized
+    #: miss probability of a 32-sample conformal radius can sit well
+    #: above the nominal alpha by chance alone, and the window is
+    #: re-evaluated on every observation, so a tight budget false-fires
+    #: on stationary traffic.  Graded accuracy drift is the MedAPE
+    #: detector's job.
+    coverage_slack: float = 5.0
+    #: Consecutive breached evaluations required before firing.
+    hysteresis: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.calibration < 1:
+            raise ValueError("calibration must be >= 1")
+        if not 0.0 < self.coverage_alpha < 1.0:
+            raise ValueError("coverage_alpha must be in (0, 1)")
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+
+    @classmethod
+    def from_mapping(cls, raw: Any) -> "DriftConfig":
+        """Build from a request payload, rejecting unknown fields."""
+        if not isinstance(raw, dict):
+            raise ValueError("drift configuration must be an object")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown drift config field(s): {sorted(unknown)}")
+        return cls(**raw)
+
+
+class ResidualLedger:
+    """Bounded (prediction, truth) history for one served model.
+
+    Two regions: a fill-once calibration buffer (the conformal radius
+    is computed when it fills) and a sliding evaluation window.  Both
+    are bounded, so a server observing forever holds O(window) state
+    per model, never an unbounded log.
+    """
+
+    def __init__(self, config: DriftConfig) -> None:
+        self.config = config
+        self.calibration: list[float] = []  # absolute residuals
+        self.window: deque[tuple[float, float]] = deque(maxlen=config.window)
+        self.total = 0
+
+    def add(self, prediction: float, truth: float) -> bool:
+        """Record one observation; True once it lands in the window."""
+        self.total += 1
+        if len(self.calibration) < self.config.calibration:
+            self.calibration.append(abs(float(prediction) - float(truth)))
+            return False
+        self.window.append((float(prediction), float(truth)))
+        return True
+
+    @property
+    def calibrated(self) -> bool:
+        return len(self.calibration) >= self.config.calibration
+
+    def medape(self) -> float:
+        """Median absolute percentage error over the window, percent."""
+        if not self.window:
+            return 0.0
+        preds = np.asarray([p for p, _ in self.window], dtype=np.float64)
+        truths = np.asarray([t for _, t in self.window], dtype=np.float64)
+        denom = np.maximum(np.abs(truths), 1e-12)
+        return float(np.median(np.abs(preds - truths) / denom) * 100.0)
+
+    def miss_rate(self, radius: float) -> float:
+        """Fraction of window residuals outside the conformal radius."""
+        if not self.window:
+            return 0.0
+        misses = sum(1 for p, t in self.window if abs(p - t) > radius)
+        return misses / len(self.window)
+
+
+class DriftMonitor:
+    """Decide when one served model has drifted beyond its thresholds.
+
+    Feed it every (prediction, ground-truth) pair via :meth:`observe`;
+    it fires — and latches — when either detector breaches for
+    ``hysteresis`` consecutive evaluations.  ``version`` tracks which
+    model generation the residuals belong to; the server resets the
+    monitor when observations start arriving for a different version.
+    """
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self.version: str | None = None
+        self.fired = False
+        self.fired_version: str | None = None
+        self.fires = 0
+        self.ledger = ResidualLedger(self.config)
+        self.radius: float | None = None
+        self.breach_streak = 0
+        self.last_reason: str | None = None
+
+    def reset(self, version: str | None = None) -> None:
+        """Re-arm for a fresh model generation (new calibration)."""
+        self.version = version
+        self.fired = False
+        self.fired_version = None
+        self.ledger = ResidualLedger(self.config)
+        self.radius = None
+        self.breach_streak = 0
+        self.last_reason = None
+
+    def observe(self, prediction: float, truth: float) -> bool:
+        """Record one ground-truthed prediction; returns ``fired``."""
+        windowed = self.ledger.add(prediction, truth)
+        if self.radius is None and self.ledger.calibrated:
+            self.radius = conformal_radius(
+                self.ledger.calibration, self.config.coverage_alpha
+            )
+        if not windowed or len(self.ledger.window) < self.config.min_observations:
+            return self.fired
+        self._evaluate()
+        return self.fired
+
+    def _evaluate(self) -> None:
+        reasons: list[str] = []
+        medape = self.ledger.medape()
+        if medape > self.config.medape_threshold:
+            reasons.append(f"medape {medape:.1f}% > {self.config.medape_threshold:g}%")
+        if self.radius is not None:
+            budget = self.config.coverage_alpha * self.config.coverage_slack
+            miss = self.ledger.miss_rate(self.radius)
+            if miss > budget:
+                reasons.append(f"coverage miss {miss:.2f} > {budget:.2f}")
+        if reasons:
+            self.breach_streak += 1
+            self.last_reason = "; ".join(reasons)
+            if self.breach_streak >= self.config.hysteresis and not self.fired:
+                self.fired = True
+                self.fired_version = self.version
+                self.fires += 1
+        else:
+            self.breach_streak = 0
+            if not self.fired:
+                self.last_reason = None
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe state for the server's ``drift`` op."""
+        return {
+            "version": self.version,
+            "fired": self.fired,
+            "fired_version": self.fired_version,
+            "fires": self.fires,
+            "observations": self.ledger.total,
+            "windowed": len(self.ledger.window),
+            "calibrated": self.ledger.calibrated,
+            "radius": self.radius,
+            "medape_pct": self.ledger.medape(),
+            "miss_rate": (
+                self.ledger.miss_rate(self.radius) if self.radius is not None else None
+            ),
+            "breach_streak": self.breach_streak,
+            "reason": self.last_reason,
+        }
+
+
+__all__ = ["DriftConfig", "DriftMonitor", "ResidualLedger"]

@@ -1,0 +1,336 @@
+"""The continuous-learning loop: drift → re-collect → retrain → republish → refresh.
+
+The operational story the versioned registry was built for, closed
+into a supervised, chaos-proofed pipeline.  A :class:`ContinuousLearner`
+watches live servers' drift monitors (the ``drift`` op); when a model
+fires, it drives one **rollover**:
+
+1. **recover** — :meth:`ModelRegistry.recover` heals anything a
+   previously killed trainer left behind (rolls an intact committed
+   version forward, garbage-collects orphaned stages, quarantines
+   corrupt blobs, clears the publish journal);
+2. **collect** — an incremental re-collect through the caller's
+   ``runner_factory``: the runner shares the campaign's
+   :class:`~repro.bench.checkpoint.CheckpointStore`, so only tasks the
+   checkpoint does not already hold actually run (resume, not restart);
+3. **publish** — retrain and publish vN+1 through the registry's
+   journaled two-phase commit, with round-trip proof;
+4. **verify** — reload every published key; a blob corrupted between
+   publish and refresh is quarantined by the load and triggers a
+   republish (as vN+2) instead of ever being served;
+5. **refresh** — push a ``refresh`` to every connected server, flipping
+   them to the new version with zero restarts, and confirm the flip.
+
+Every stage runs under a :class:`~repro.bench.faults.RetryPolicy`-style
+supervisor: stage failures (including injected trainer kills) back off
+and retry with per-stage memoisation — observations collected once,
+receipts kept across refresh retries — up to a crash-loop cap
+(:class:`RolloverFailedError` beyond it).  Servers keep answering from
+vN the whole time; the only externally visible degradation is the
+``stale`` flag in their stats.
+
+Chaos integration (the PR-2 :class:`~repro.bench.faults.ChaosPlan`,
+extended): ``trainer_kill`` kills the trainer at collect or at a
+precise publish fault point, ``publish_corrupt`` damages the freshly
+committed blob at rest, ``refresh_drop`` loses a server refresh.  All
+seeded, all once-per-site, so a chaos rollover provably converges.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.errors import PressioError, Status
+from .client import PredictionClient, ServerError
+from .registry import (
+    PUBLISH_FAULT_POINTS,
+    ModelRegistry,
+    PublishedModel,
+    _parse_version,
+)
+
+
+class LoopStageError(PressioError):
+    """A loop stage failed transiently; the supervisor retries it."""
+
+    status = Status.TASK_FAILED
+
+
+class TrainerKilledError(LoopStageError):
+    """Chaos: the trainer process was killed mid-stage."""
+
+
+class RolloverFailedError(PressioError):
+    """A rollover exhausted its crash-loop cap without converging."""
+
+    status = Status.TASK_FAILED
+
+
+def _vnum(version: str | None) -> int:
+    return _parse_version(version) or 0 if version else 0
+
+
+@dataclass
+class RolloverReport:
+    """What one completed rollover did, for logs and benchmarks."""
+
+    round: int
+    attempts: int = 0
+    stage_attempts: dict[str, int] = field(default_factory=dict)
+    published: dict[str, str] = field(default_factory=dict)  # key -> version
+    refreshed: dict[str, dict[str, str | None]] = field(default_factory=dict)
+    recovered: dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    def summary(self) -> str:
+        versions = ", ".join(
+            f"{k[:12]}…/{v}" for k, v in sorted(self.published.items())
+        )
+        return (
+            f"round {self.round}: published {versions or 'nothing'} in "
+            f"{self.attempts} attempt(s), {self.duration_s:.2f}s"
+        )
+
+
+class ContinuousLearner:
+    """Supervise drift-triggered rollovers against live servers.
+
+    Parameters
+    ----------
+    registry:
+        The registry servers load from; rollovers publish into it.
+    runner_factory:
+        ``runner_factory(round_no)`` returns a fresh
+        :class:`~repro.bench.runner.ExperimentRunner` for that round's
+        (incremental) campaign.  Sharing one checkpoint store across
+        rounds is what makes re-collection incremental.  The learner
+        closes each runner when it is done with it.
+    servers:
+        ``(host, port)`` pairs of live :class:`PredictionServer`\\ s to
+        refresh after each publish.
+    retry_policy:
+        Backoff schedule between stage retries (defaults to immediate
+        retries, matching the queue's default).
+    max_stage_attempts:
+        Crash-loop cap: a rollover that cannot converge within this
+        many supervised attempts raises :class:`RolloverFailedError`
+        instead of spinning forever.
+    chaos:
+        Optional :class:`~repro.bench.faults.ChaosPlan` with
+        ``trainer_kill``/``publish_corrupt``/``refresh_drop`` rates.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        runner_factory: Callable[[int], Any],
+        *,
+        servers: Sequence[tuple[str, int]] = (),
+        retry_policy: Any | None = None,
+        max_stage_attempts: int = 12,
+        chaos: Any | None = None,
+        verify_n: int = 4,
+        drift_config: Mapping[str, Any] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        from ..bench.faults import RetryPolicy  # serve must not hard-couple bench
+
+        self.registry = registry
+        self.runner_factory = runner_factory
+        self.servers = [(h, int(p)) for h, p in servers]
+        self.retry_policy = retry_policy or RetryPolicy(max_retries=0)
+        self.max_stage_attempts = max(1, int(max_stage_attempts))
+        self.chaos = chaos
+        self.verify_n = int(verify_n)
+        self.drift_config = dict(drift_config) if drift_config else None
+        self.sleep = sleep
+        self.reports: list[RolloverReport] = []
+
+    # -- chaos hooks -------------------------------------------------------------
+    def _kill(self, site: str) -> None:
+        if self.chaos is not None and self.chaos.loop_fault("trainer_kill", site):
+            raise TrainerKilledError(f"chaos: trainer killed at {site}")
+
+    def _publish_fault_hook(self, round_no: int):
+        if self.chaos is None:
+            return None
+
+        def hook(point: str, key: str, version: str) -> None:
+            # Site excludes the version: a retried publish allocates a
+            # fresh vN+2, and a site keyed on it would re-fault forever.
+            assert point in PUBLISH_FAULT_POINTS
+            self._kill(f"round{round_no}:publish:{key}:{point}")
+
+        return hook
+
+    # -- drift polling -----------------------------------------------------------
+    def configure_servers(self) -> None:
+        """Push the learner's drift thresholds to every server."""
+        if self.drift_config is None:
+            return
+        for host, port in self.servers:
+            with PredictionClient(host, port) as client:
+                client.drift(configure=self.drift_config)
+
+    def fired_keys(self) -> dict[str, dict[str, Any]]:
+        """Keys whose drift monitor has fired and is still stale."""
+        fired: dict[str, dict[str, Any]] = {}
+        for host, port in self.servers:
+            with PredictionClient(host, port) as client:
+                body = client.drift()
+            for key, snap in body.get("monitors", {}).items():
+                if snap.get("fired") and snap.get("stale"):
+                    fired[key] = snap
+        return fired
+
+    # -- the rollover pipeline ---------------------------------------------------
+    def rollover(self, round_no: int) -> RolloverReport:
+        """Drive one full recover→collect→publish→verify→refresh pass.
+
+        Supervised: every stage may fail (or be chaos-killed) and is
+        retried with backoff, memoising completed stages, up to the
+        crash-loop cap.  Returns the report; raises
+        :class:`RolloverFailedError` past the cap.
+        """
+        t0 = time.monotonic()
+        report = RolloverReport(round=round_no)
+        stage_attempts: Counter[str] = Counter()
+        recovered: Counter[str] = Counter()
+        runner = None
+        observations = None
+        receipts: list[PublishedModel] | None = None
+        last_error: BaseException | None = None
+        try:
+            for attempt in range(1, self.max_stage_attempts + 1):
+                report.attempts = attempt
+                try:
+                    stage_attempts["recover"] += 1
+                    actions = self.registry.recover()
+                    for action, items in actions.items():
+                        recovered[action] += len(items)
+                    if observations is None:
+                        stage_attempts["collect"] += 1
+                        self._kill(f"round{round_no}:collect")
+                        if runner is None:
+                            runner = self.runner_factory(round_no)
+                        observations = runner.collect().observations
+                    if receipts is None:
+                        stage_attempts["publish"] += 1
+                        receipts = runner.publish(
+                            self.registry,
+                            observations,
+                            verify_n=self.verify_n,
+                            meta={"loop_round": round_no},
+                            fault_hook=self._publish_fault_hook(round_no),
+                        )
+                        if not receipts:
+                            raise RolloverFailedError(
+                                f"round {round_no}: campaign published nothing"
+                            )
+                        if self.chaos is not None:
+                            for receipt in receipts:
+                                if self.chaos.loop_fault(
+                                    "publish_corrupt",
+                                    f"round{round_no}:{receipt.key}",
+                                ):
+                                    self.registry.damage_version(
+                                        receipt.key, receipt.version
+                                    )
+                    stage_attempts["verify"] += 1
+                    for receipt in receipts:
+                        # load() heals: a blob corrupted after commit is
+                        # quarantined here, never served.
+                        loaded = self.registry.load(receipt.key)
+                        if _vnum(loaded.version) < _vnum(receipt.version):
+                            receipts = None
+                            raise LoopStageError(
+                                f"round {round_no}: {receipt.version} of "
+                                f"{receipt.key[:12]}… did not survive "
+                                "verification; republishing"
+                            )
+                    stage_attempts["refresh"] += 1
+                    report.refreshed = self._refresh_servers(round_no, receipts)
+                    report.published = {r.key: r.version for r in receipts}
+                    report.stage_attempts = dict(stage_attempts)
+                    report.recovered = {
+                        k: n for k, n in recovered.items() if n
+                    }
+                    report.duration_s = time.monotonic() - t0
+                    self.reports.append(report)
+                    return report
+                except (LoopStageError, ServerError, OSError) as exc:
+                    last_error = exc
+                    delay = self.retry_policy.delay(f"round{round_no}", attempt)
+                    if delay > 0:
+                        self.sleep(delay)
+        finally:
+            if runner is not None:
+                runner.close()
+        raise RolloverFailedError(
+            f"round {round_no}: rollover did not converge within "
+            f"{self.max_stage_attempts} attempts (crash-loop cap); "
+            f"last error: {last_error}"
+        ) from last_error
+
+    def _refresh_servers(
+        self, round_no: int, receipts: list[PublishedModel]
+    ) -> dict[str, dict[str, str | None]]:
+        """Flip every live server to the new versions and confirm it."""
+        out: dict[str, dict[str, str | None]] = {}
+        expected = {r.key: self.registry.latest(r.key) for r in receipts}
+        for host, port in self.servers:
+            addr = f"{host}:{port}"
+            if self.chaos is not None and self.chaos.loop_fault(
+                "refresh_drop", f"round{round_no}:refresh:{addr}"
+            ):
+                raise LoopStageError(
+                    f"chaos: refresh to {addr} dropped (round {round_no})"
+                )
+            with PredictionClient(host, port) as client:
+                refreshed = client.refresh()
+            for key, want in expected.items():
+                if refreshed.get(key) != want:
+                    raise LoopStageError(
+                        f"server {addr} refreshed {key[:12]}… to "
+                        f"{refreshed.get(key)!r}, expected {want!r}"
+                    )
+            out[addr] = {k: refreshed.get(k) for k in expected}
+        return out
+
+    # -- the outer loop ----------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        poll_interval: float = 1.0,
+        max_polls: int = 10_000,
+    ) -> list[RolloverReport]:
+        """Poll servers for fired drift monitors; roll over on each fire.
+
+        Completes after *max_rounds* rollovers or *max_polls* idle polls
+        (whichever first) and returns the rollover reports.  With no
+        servers attached there is nothing to poll — the caller drives
+        :meth:`rollover` directly instead.
+        """
+        self.configure_servers()
+        reports: list[RolloverReport] = []
+        polls = 0
+        while len(reports) < int(max_rounds) and polls < int(max_polls):
+            if not self.fired_keys():
+                polls += 1
+                self.sleep(poll_interval)
+                continue
+            reports.append(self.rollover(len(self.reports) + 1))
+        return reports
+
+
+__all__ = [
+    "ContinuousLearner",
+    "LoopStageError",
+    "RolloverFailedError",
+    "RolloverReport",
+    "TrainerKilledError",
+]

@@ -18,12 +18,20 @@ Layout::
         v0002/...
         v0001.quarantined-<n>/   # corrupt blobs moved aside by load()
         LATEST            # text file naming the live version
+        INTENT.json       # publish journal; present only mid-publish
 
 Guarantees:
 
 * **versioned publish** — versions are append-only; a publish never
   mutates an existing version directory (it is staged under a dot-prefix
-  temp name and atomically renamed into place);
+  temp name and atomically renamed into place), and version numbers are
+  never reused even after quarantine;
+* **journaled two-phase commit** — each publish first journals its
+  intent (``INTENT.json``: version, stage name, blob checksum), then
+  stages, renames, flips ``LATEST``, and clears the intent.  A trainer
+  killed at any point leaves no torn state: :meth:`ModelRegistry.recover`
+  rolls an intact committed version forward (flips ``LATEST`` to it) or
+  garbage-collects the orphaned stage, then clears the journal;
 * **atomic latest pointer** — ``LATEST`` is replaced via write-temp +
   ``os.replace``, so readers see the old version or the new one, never a
   torn pointer;
@@ -43,9 +51,10 @@ from __future__ import annotations
 import inspect
 import json
 import os
+import shutil
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -65,6 +74,13 @@ from .codec import (
 MANIFEST_NAME = "MANIFEST.json"
 STATE_NAME = "state.json"
 LATEST_NAME = "LATEST"
+INTENT_NAME = "INTENT.json"
+STAGE_PREFIX = ".stage-"
+
+#: Publish fault points, in commit order, for chaos hooks: after the
+#: intent is journaled, after the stage directory is fully written,
+#: after the rename commits the version, after ``LATEST`` flips.
+PUBLISH_FAULT_POINTS = ("intent", "staged", "renamed", "latest")
 
 #: Bump when the registry layout changes.
 REGISTRY_VERSION = 1
@@ -228,6 +244,69 @@ class ModelRegistry:
             os.fsync(fh.fileno())
         os.replace(tmp, target)
 
+    def _next_version_number(self, key: str) -> int:
+        """Smallest unused version number for *key*.
+
+        Counts quarantined directories (``vNNNN.quarantined-k``) and
+        in-flight stages alongside intact versions, so a number is never
+        reused — a quarantined ``v0002`` must not be silently replaced
+        by a fresh blob claiming the same identity.
+        """
+        try:
+            names = os.listdir(self._key_dir(key))
+        except FileNotFoundError:
+            return 1
+        top = 0
+        for name in names:
+            if name.startswith(STAGE_PREFIX):
+                parts = name[len(STAGE_PREFIX):].split("-")
+                n = _parse_version(parts[0]) if parts else None
+            else:
+                n = _parse_version(name.split(".", 1)[0])
+            if n is not None:
+                top = max(top, n)
+        return top + 1
+
+    # -- publish journal ---------------------------------------------------------
+    def _intent_path(self, key: str) -> str:
+        return os.path.join(self._key_dir(key), INTENT_NAME)
+
+    def _write_intent(self, key: str, intent: Mapping[str, Any]) -> None:
+        target = self._intent_path(key)
+        tmp = target + f".tmp-{os.getpid()}-{time.monotonic_ns()}"
+        with open(tmp, "w") as fh:
+            json.dump(dict(intent), fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+
+    def _read_intent(self, key: str) -> dict[str, Any] | None:
+        try:
+            with open(self._intent_path(key)) as fh:
+                intent = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except ValueError:
+            return {}  # torn journal: recover() clears it, nothing to roll
+        return intent if isinstance(intent, dict) else {}
+
+    def _clear_intent(self, key: str) -> None:
+        try:
+            os.remove(self._intent_path(key))
+        except FileNotFoundError:
+            pass
+
+    @staticmethod
+    def _fault(
+        hook: Callable[[str, str, str], None] | None,
+        point: str,
+        key: str,
+        version: str,
+    ) -> None:
+        """Invoke a publish fault hook (chaos: kill the trainer here)."""
+        if hook is not None:
+            hook(point, key, version)
+
     def publish(
         self,
         scheme: SchemePlugin,
@@ -237,6 +316,7 @@ class ModelRegistry:
         *,
         verify_rows: Sequence[Mapping[str, Any]] | None = None,
         meta: Mapping[str, Any] | None = None,
+        fault_hook: Callable[[str, str, str], None] | None = None,
     ) -> PublishedModel:
         """Publish *predictor* as the new latest version for its key.
 
@@ -245,6 +325,14 @@ class ModelRegistry:
         given — the restored predictor's outputs are compared
         element-exactly against the live one.  Any mismatch (or any
         unserialisable state member) raises here, at publish time.
+
+        The commit itself is a journaled two-phase sequence: intent →
+        stage → rename → ``LATEST`` flip → intent clear.  A process
+        killed anywhere in that sequence leaves state
+        :meth:`recover` rolls forward or garbage-collects; it never
+        leaves a torn version.  ``fault_hook(point, key, version)`` is
+        called at each :data:`PUBLISH_FAULT_POINTS` boundary so chaos
+        tests can kill the trainer at a precise phase.
         """
         if predictor.needs_training and not predictor.is_fitted():
             raise StateSerializationError(
@@ -281,41 +369,185 @@ class ModelRegistry:
         )
         key_dir = self._key_dir(key)
         os.makedirs(key_dir, exist_ok=True)
-        existing = self.versions(key)
-        n = (_parse_version(existing[-1]) or 0) + 1 if existing else 1
-        version = _version_name(n)
-        manifest = {
-            "registry_version": REGISTRY_VERSION,
-            "codec_version": CODEC_VERSION,
-            "key": key,
-            "version": version,
-            "scheme": scheme.id,
-            "scheme_params": _plain(scheme_params(scheme)),
-            "compressor": compressor_id,
-            "compressor_options": _plain(dict(compressor_options)),
-            "target_key": scheme.target_key,
-            "needs_training": bool(scheme.needs_training),
-            "feature_keys": list(scheme.feature_keys()),
-            "state_checksum": state_checksum(blob),
-            "created_at": time.time(),
-            "meta": _plain(dict(meta or {})),
+        checksum = state_checksum(blob)
+        for _ in range(16):  # version-allocation races are finite
+            version = _version_name(self._next_version_number(key))
+            manifest = {
+                "registry_version": REGISTRY_VERSION,
+                "codec_version": CODEC_VERSION,
+                "key": key,
+                "version": version,
+                "scheme": scheme.id,
+                "scheme_params": _plain(scheme_params(scheme)),
+                "compressor": compressor_id,
+                "compressor_options": _plain(dict(compressor_options)),
+                "target_key": scheme.target_key,
+                "needs_training": bool(scheme.needs_training),
+                "feature_keys": list(scheme.feature_keys()),
+                "state_checksum": checksum,
+                "created_at": time.time(),
+                "meta": _plain(dict(meta or {})),
+            }
+            stage = os.path.join(
+                key_dir,
+                f"{STAGE_PREFIX}{version}-{os.getpid()}-{time.monotonic_ns()}",
+            )
+            # Phase 1 — journal the intent before touching anything else:
+            # after a kill, recover() knows exactly what was in flight.
+            self._write_intent(
+                key,
+                {"version": version, "stage": os.path.basename(stage),
+                 "state_checksum": checksum},
+            )
+            self._fault(fault_hook, "intent", key, version)
+            # Phase 2 — stage the whole version under a dot-name, then one
+            # rename publishes it: a crash mid-stage leaves only a temp
+            # the journal names.
+            os.makedirs(stage, exist_ok=True)
+            with open(os.path.join(stage, STATE_NAME), "w") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            with open(os.path.join(stage, MANIFEST_NAME), "w") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fault(fault_hook, "staged", key, version)
+            final = self._version_dir(key, version)
+            try:
+                os.rename(stage, final)
+            except OSError:
+                # A concurrent publisher committed this version number
+                # first; drop our stage and re-allocate.  LATEST stays
+                # last-writer-wins — both blobs survive intact.
+                shutil.rmtree(stage, ignore_errors=True)
+                continue
+            self._fault(fault_hook, "renamed", key, version)
+            self._set_latest(key, version)
+            self._fault(fault_hook, "latest", key, version)
+            self._clear_intent(key)
+            return PublishedModel(
+                key=key, version=version, path=final, manifest=manifest
+            )
+        raise ModelIntegrityError(
+            f"publish for key {key[:12]}… lost the version-allocation race "
+            "16 times; giving up"
+        )
+
+    # -- recovery ----------------------------------------------------------------
+    def _blob_intact(self, key: str, version: str) -> bool:
+        """Whether a version directory is complete and checksum-clean."""
+        try:
+            manifest = self._read_manifest(key, version)
+            with open(os.path.join(self._version_dir(key, version), STATE_NAME)) as fh:
+                blob = fh.read()
+        except (OSError, ValueError):
+            return False
+        return state_checksum(blob) == manifest.get("state_checksum")
+
+    def _disk_keys(self) -> list[str]:
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return []
+        return [n for n in names if os.path.isdir(os.path.join(self.root, n))]
+
+    def recover(self, key: str | None = None) -> dict[str, list[str]]:
+        """Heal the registry after a trainer died mid-publish.
+
+        For every key (or just *key*): a journaled intent whose version
+        directory committed intact **rolls forward** — ``LATEST`` flips
+        to it if it is newer than the current pointer (never backwards)
+        — while an intent whose version never committed is rolled back;
+        either way the journal clears and orphaned stage directories are
+        removed.  Committed versions that fail their checksum are
+        quarantined (with ``LATEST`` retargeted) so :meth:`verify` comes
+        back clean.  Idempotent; safe to call at every loop iteration.
+        Returns the actions taken, for tests and operator logs.
+        """
+        actions: dict[str, list[str]] = {
+            "rolled_forward": [],
+            "cleared_intents": [],
+            "removed_stages": [],
+            "quarantined": [],
         }
-        # Stage the whole version under a dot-name, then one rename
-        # publishes it: a crash mid-stage leaves only an ignorable temp.
-        stage = os.path.join(key_dir, f".stage-{version}-{os.getpid()}")
-        os.makedirs(stage, exist_ok=True)
-        with open(os.path.join(stage, STATE_NAME), "w") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        with open(os.path.join(stage, MANIFEST_NAME), "w") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-            fh.flush()
-            os.fsync(fh.fileno())
-        final = self._version_dir(key, version)
-        os.rename(stage, final)
-        self._set_latest(key, version)
-        return PublishedModel(key=key, version=version, path=final, manifest=manifest)
+        for k in [key] if key is not None else self._disk_keys():
+            key_dir = self._key_dir(k)
+            intent = self._read_intent(k)
+            if intent is not None:
+                version = intent.get("version")
+                if (
+                    isinstance(version, str)
+                    and _parse_version(version) is not None
+                    and self._blob_intact(k, version)
+                ):
+                    current = self.latest(k)
+                    cur_n = _parse_version(current) if current else None
+                    new_n = _parse_version(version)
+                    if cur_n is None or new_n > cur_n:
+                        self._set_latest(k, version)
+                        actions["rolled_forward"].append(f"{k}:{version}")
+                self._clear_intent(k)
+                actions["cleared_intents"].append(k)
+            # Quarantine corrupt committed versions (at-rest damage the
+            # loop must not leave for verify() to keep flagging).
+            for version in self.versions(k):
+                if not self._blob_intact(k, version):
+                    self._quarantine(k, version)
+                    actions["quarantined"].append(f"{k}:{version}")
+            survivors = self.versions(k)
+            if survivors and self.latest(k) is None:
+                self._set_latest(k, survivors[-1])
+            try:
+                names = os.listdir(key_dir)
+            except FileNotFoundError:
+                continue
+            for name in names:
+                if name.startswith(STAGE_PREFIX):
+                    shutil.rmtree(os.path.join(key_dir, name), ignore_errors=True)
+                    actions["removed_stages"].append(f"{k}:{name}")
+        return actions
+
+    def verify(self, key: str | None = None) -> list[str]:
+        """Audit registry state; returns human-readable issues (empty =
+        clean).  The chaos rollover acceptance check: after any number
+        of killed trainers and corrupt publishes, ``recover()`` +
+        ``load()`` must leave zero issues — no torn versions, no
+        dangling journals, no leftover stages, no corrupt blobs."""
+        issues: list[str] = []
+        for k in [key] if key is not None else self._disk_keys():
+            key_dir = self._key_dir(k)
+            try:
+                names = os.listdir(key_dir)
+            except FileNotFoundError:
+                continue
+            if INTENT_NAME in names:
+                issues.append(f"{k}: dangling publish intent")
+            for name in names:
+                if name.startswith(STAGE_PREFIX):
+                    issues.append(f"{k}: leftover stage {name}")
+            versions = self.versions(k)
+            for version in versions:
+                if not self._blob_intact(k, version):
+                    issues.append(f"{k}: version {version} fails integrity")
+            if versions:
+                latest = self.latest(k)
+                if latest is None:
+                    issues.append(f"{k}: LATEST missing or invalid")
+                elif latest not in versions:
+                    issues.append(f"{k}: LATEST points at missing {latest}")
+        return issues
+
+    def damage_version(self, key: str, version: str) -> str:
+        """Chaos hook: garble a committed state blob at rest, leaving
+        the manifest checksum stale — integrity checking must catch it.
+        Returns the damaged path."""
+        path = os.path.join(self._version_dir(key, version), STATE_NAME)
+        with open(path, "r+") as fh:
+            blob = fh.read()
+            fh.seek(0)
+            fh.write(blob.replace("0", "1", 1) if "0" in blob else "X" + blob[1:])
+        return path
 
     # -- load ------------------------------------------------------------------
     def _read_manifest(self, key: str, version: str) -> dict[str, Any]:

@@ -29,12 +29,23 @@ Wire protocol: newline-delimited JSON over TCP.  Request::
      "results": {...}}                  # precomputed metric features
     {"op": "predict", "key": "...",
      "data": {"__ndarray__": ...}}      # raw field; server featurizes
+    {"op": "observe", "key": "...",     # ground truth arrived for an
+     "prediction": 3.1, "truth": 2.9,   # earlier prediction: feed the
+     "version": "v0001"}                # drift monitor's ledger
+    {"op": "drift"}                     # per-key drift snapshots
+    {"op": "drift", "configure": {...}} # push a DriftConfig (loop CLI)
     {"op": "stats" | "ping" | "models" | "shutdown"}
 
 Response statuses (documented contract): ``"ok"``, ``"overloaded"``
 (shed by admission control — retry after backoff), ``"not_found"``
 (unknown/unpublished key), ``"bad_request"`` (malformed request),
 ``"error"`` (internal failure; request was admitted but not served).
+
+Degradation contract: when a model's drift monitor has fired but no
+new version has started serving (the continuous-learning loop is down
+or still retraining), the key is **stale** — it keeps answering from
+vN, and ``stats``/``drift`` responses carry the ``stale`` flag so
+operators see the degradation instead of silent decay.
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from typing import Any, Mapping
 
 from ..core.data import as_data
 from .codec import decode_array
+from .drift import DriftConfig, DriftMonitor
 from .registry import LoadedModel, ModelNotFoundError, ModelRegistry
 
 #: Documented response statuses (see module docstring / DESIGN.md §8).
@@ -82,6 +94,10 @@ class ServeStats:
     model_loads: int = 0
     #: ``refresh`` ops served (registry invalidation pushes).
     refreshes: int = 0
+    #: Ground-truthed residuals fed through the ``observe`` op.
+    observations: int = 0
+    #: Drift-monitor fire transitions (per key, per armed generation).
+    drift_fires: int = 0
     queue_wait_seconds: float = 0.0
     featurize_seconds: float = 0.0
     predict_seconds: float = 0.0
@@ -118,6 +134,8 @@ class ServeStats:
             "load_waits": self.load_waits,
             "model_loads": self.model_loads,
             "refreshes": self.refreshes,
+            "observations": self.observations,
+            "drift_fires": self.drift_fires,
             "queue_wait_seconds": self.queue_wait_seconds,
             "featurize_seconds": self.featurize_seconds,
             "predict_seconds": self.predict_seconds,
@@ -179,20 +197,30 @@ class _ModelCache:
         for cached in [ck for ck in self._models if ck[0] == key]:
             self._models.pop(cached, None)
 
-    def refresh(self, key: str, latest: str | None) -> int:
+    def refresh(
+        self, key: str, latest: str | None, intact: list[str] | None = None
+    ) -> int:
         """Evict generations of *key* made stale by a new ``LATEST``.
 
         The follow-latest entry (version pin ``None``) is dropped when
-        the model it holds is no longer the latest; explicitly pinned
-        versions stay valid regardless.  A vanished key (``latest`` is
-        None: quarantined or deleted) drops everything.  Returns the
+        the model it holds is no longer the latest; a pinned version
+        survives only while it is still *intact* on disk (``intact`` is
+        the registry's current non-quarantined version list) — a
+        quarantined blob must never keep serving from the warm cache
+        after the registry moved it aside.  A vanished key (``latest``
+        is None: quarantined or deleted) drops everything.  Returns the
         number of evictions.
         """
         dropped = 0
         for cached in [ck for ck in self._models if ck[0] == key]:
             pin = cached[1]
             model = self._models[cached]
-            if latest is None or (pin is None and model.version != latest):
+            stale = (
+                latest is None
+                or (pin is None and model.version != latest)
+                or (intact is not None and model.version not in intact)
+            )
+            if stale:
                 self._models.pop(cached, None)
                 dropped += 1
         return dropped
@@ -224,6 +252,7 @@ class PredictionServer:
         max_in_flight: int = 64,
         max_queue_depth: int = 256,
         cache_capacity: int = 8,
+        drift_config: DriftConfig | None = None,
     ) -> None:
         self.registry = registry
         self.host = host
@@ -234,6 +263,11 @@ class PredictionServer:
         self.max_queue_depth = max(1, int(max_queue_depth))
         self.stats = ServeStats()
         self.cache = _ModelCache(registry, cache_capacity, self.stats)
+        self.drift_config = drift_config or DriftConfig()
+        #: key → drift monitor over the ``observe`` residual stream.
+        self._monitors: dict[str, DriftMonitor] = {}
+        #: key → version most recently served (predict) or known (refresh).
+        self._served_versions: dict[str, str] = {}
         self._queues: dict[tuple[str, str | None], list[_Pending]] = {}
         self._flush_tasks: dict[tuple[str, str | None], asyncio.Task] = {}
         self._in_flight = 0
@@ -300,7 +334,13 @@ class PredictionServer:
         if op == "predict":
             response = await self._handle_predict(request)
         elif op == "stats":
-            response = {"ok": True, "status": STATUS_OK, "stats": self.stats.snapshot()}
+            snapshot = self.stats.snapshot()
+            snapshot["stale_keys"] = self.stale_keys()
+            response = {"ok": True, "status": STATUS_OK, "stats": snapshot}
+        elif op == "observe":
+            response = self._handle_observe(request)
+        elif op == "drift":
+            response = self._handle_drift(request)
         elif op == "ping":
             response = {"ok": True, "status": STATUS_OK, "pong": True}
         elif op == "models":
@@ -344,14 +384,126 @@ class PredictionServer:
         evicted = 0
         for k in keys:
             latest = await asyncio.to_thread(self.registry.latest, k)
-            evicted += self.cache.refresh(k, latest)
+            intact = await asyncio.to_thread(self.registry.versions, k)
+            evicted += self.cache.refresh(k, latest, intact)
             refreshed[k] = latest
+            if latest is not None:
+                self._served_versions[k] = latest
+                monitor = self._monitors.get(k)
+                # The rollover completed: a fired monitor watching an
+                # older generation re-arms (fresh calibration for vN+1)
+                # and the key stops being stale.
+                if monitor is not None and monitor.version not in (None, latest):
+                    monitor.reset(latest)
         self.stats.refreshes += 1
         return {
             "ok": True,
             "status": STATUS_OK,
             "refreshed": refreshed,
             "evicted": evicted,
+        }
+
+    # -- drift path --------------------------------------------------------------
+    def stale_keys(self) -> list[str]:
+        """Keys whose monitor fired while their generation still serves.
+
+        The degradation contract: the loop is down (or retraining), so
+        the server keeps answering from the drifted vN — correct but
+        known-decayed, flagged instead of silent.
+        """
+        out = []
+        for key, monitor in self._monitors.items():
+            if not monitor.fired:
+                continue
+            serving = self._served_versions.get(key)
+            if serving is None or monitor.fired_version in (None, serving):
+                out.append(key)
+        return sorted(out)
+
+    def _handle_observe(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Ground truth arrived for an earlier prediction: ledger it.
+
+        ``version`` names the model generation the prediction came from
+        (echoed by the predict response); residuals from a superseded
+        generation re-arm the monitor rather than polluting the new
+        model's window.
+        """
+        key = request.get("key")
+        if not isinstance(key, str) or not key:
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "observe requires a registry 'key'",
+            }
+        try:
+            prediction = float(request["prediction"])
+            truth = float(request["truth"])
+        except (KeyError, TypeError, ValueError):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "observe requires numeric 'prediction' and 'truth'",
+            }
+        version = request.get("version")
+        if version is not None and not isinstance(version, str):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "'version' must be a string when present",
+            }
+        monitor = self._monitors.get(key)
+        if monitor is None:
+            monitor = self._monitors[key] = DriftMonitor(self.drift_config)
+            monitor.version = version
+        elif version is not None and monitor.version not in (None, version):
+            monitor.reset(version)
+        if monitor.version is None:
+            monitor.version = version
+        if version is not None:
+            self._served_versions.setdefault(key, version)
+        was_fired = monitor.fired
+        fired = monitor.observe(prediction, truth)
+        self.stats.observations += 1
+        if fired and not was_fired:
+            self.stats.drift_fires += 1
+        return {
+            "ok": True,
+            "status": STATUS_OK,
+            "key": key,
+            "drift": monitor.snapshot(),
+        }
+
+    def _handle_drift(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Drift snapshots per key; optionally reconfigure thresholds.
+
+        ``configure`` replaces the server's :class:`DriftConfig` (the
+        loop CLI pushes its ``--drift-*`` flags here at startup) and
+        re-arms every monitor under the new thresholds.  Re-sending the
+        config the server already runs is a no-op — the learner
+        configures on every :meth:`ContinuousLearner.run`, and an
+        idempotent re-push must not wipe a fired monitor.
+        """
+        configure = request.get("configure")
+        if configure is not None:
+            try:
+                new_config = DriftConfig.from_mapping(configure)
+            except (TypeError, ValueError) as exc:
+                return {"ok": False, "status": STATUS_BAD_REQUEST, "error": str(exc)}
+            if new_config != self.drift_config:
+                self.drift_config = new_config
+                for monitor in self._monitors.values():
+                    monitor.config = self.drift_config
+                    monitor.reset(monitor.version)
+        stale = set(self.stale_keys())
+        monitors = {
+            key: {**monitor.snapshot(), "stale": key in stale}
+            for key, monitor in self._monitors.items()
+        }
+        return {
+            "ok": True,
+            "status": STATUS_OK,
+            "monitors": monitors,
+            "stale_keys": sorted(stale),
         }
 
     # -- predict path ------------------------------------------------------------
@@ -478,6 +630,10 @@ class PredictionServer:
             self.stats.predict_calls += 1
             self.stats.batched_rows += len(batch)
             self.stats.predict_seconds += predict_s
+            if version is None:
+                # Follow-latest traffic defines what "currently serving"
+                # means for the stale flag; pinned queries don't.
+                self._served_versions[key] = model.version
         except Exception as exc:  # noqa: BLE001 - fail the whole batch
             for item in batch:
                 if not item.future.done():

@@ -217,4 +217,33 @@ class TestChaosPlan:
         assert clone.state_dir == plan.state_dir
 
     def test_all_classes_enumerated(self):
-        assert set(CHAOS_CLASSES) == {"crash", "hang", "exception", "corrupt", "sink"}
+        assert set(CHAOS_CLASSES) == {
+            "crash",
+            "hang",
+            "exception",
+            "corrupt",
+            "sink",
+            "trainer_kill",
+            "publish_corrupt",
+            "refresh_drop",
+        }
+
+    def test_loop_faults_fire_once_per_site_and_count(self, tmp_path):
+        plan = ChaosPlan(
+            trainer_kill_rate=1.0,
+            publish_corrupt_rate=1.0,
+            refresh_drop_rate=0.0,
+            seed=3,
+            state_dir=str(tmp_path),
+        )
+        assert plan.loop_fault("trainer_kill", "round1:collect") is True
+        # once-only: the same site never fires twice
+        assert plan.loop_fault("trainer_kill", "round1:collect") is False
+        assert plan.loop_fault("publish_corrupt", "round1:key") is True
+        assert plan.loop_fault("refresh_drop", "round1:addr") is False
+        counts = plan.injected_counts()
+        assert counts["trainer_kill"] == 1
+        assert counts["publish_corrupt"] == 1
+        assert counts["refresh_drop"] == 0
+        with pytest.raises(ValueError):
+            plan.loop_fault("frobnicate", "x")

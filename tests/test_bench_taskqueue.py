@@ -121,6 +121,9 @@ class TestQueueStress:
 
     @pytest.mark.parametrize("workers", [2, 4, 8])
     def test_transient_faults_complete_exactly_once(self, workers):
+        from repro.analysis import LockOrderWitness
+
+        witness = LockOrderWitness()
         tasks = make_tasks(n_data=6, per_data=4)
         attempt_log: list[tuple[str, int]] = []
         log_lock = threading.Lock()
@@ -131,13 +134,48 @@ class TestQueueStress:
             return {"ok": 1}
 
         fn = FaultInjector(traced, fail_first_attempt_every=3)
-        results, stats = TaskQueue(workers, "thread", max_retries=3).run(tasks, fn)
+        results, stats = TaskQueue(
+            workers, "thread", max_retries=3, lock_witness=witness
+        ).run(tasks, fn)
         assert stats.failed == 0
         assert stats.completed == len(tasks)
         keys = [r.task.key() for r in results]
         assert sorted(keys) == sorted(t.key() for t in tasks)  # exactly once
         assert len(set(keys)) == len(tasks)
         assert stats.retries == fn.injected > 0
+        witness.assert_acyclic()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_queue_checkpoint_lock_order_is_acyclic(self, workers, tmp_path):
+        """Witness the real dispatcher↔store interaction: the result
+        sink runs under the queue's condvar and takes the checkpoint
+        lock, so the only edge must be queue → checkpoint, never back."""
+        from repro.analysis import LockOrderWitness
+        from repro.bench import CheckpointStore
+
+        witness = LockOrderWitness()
+        store = CheckpointStore(
+            str(tmp_path / "ck.db"), flush_every=4, lock_witness=witness
+        )
+        try:
+            tasks = make_tasks(n_data=4, per_data=3)
+            fn = FaultInjector(lambda t, w: {"ok": 1}, fail_first_attempt_every=4)
+
+            def sink(result):
+                if result.ok:
+                    store.put(result.task.key(), result.payload)
+
+            results, stats = TaskQueue(
+                workers, "thread", max_retries=3, lock_witness=witness
+            ).run(tasks, fn, on_result=sink)
+            store.flush()
+            assert stats.failed == 0
+            assert len(store.query()) == len(tasks)
+            witness.assert_acyclic()
+            assert ("taskqueue.cond", "checkpoint.lock") in witness.edges()
+            assert ("checkpoint.lock", "taskqueue.cond") not in witness.edges()
+        finally:
+            store.close()
 
     @pytest.mark.parametrize("workers", [2, 4])
     def test_exclusion_honored_while_alternatives_exist(self, workers):

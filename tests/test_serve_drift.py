@@ -1,0 +1,222 @@
+"""Drift detection: conformal radius sharing, hysteresis, latching,
+re-arm on rollover — the trigger side of the continuous-learning loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlkit.conformal import ConformalRegressor, conformal_radius
+from repro.serve import DriftConfig, DriftMonitor, ResidualLedger
+
+# Small enough to fire fast in tests, but with a calibration set large
+# enough that calm gaussian traffic stays inside the coverage budget.
+SMALL = DriftConfig(
+    window=8,
+    min_observations=4,
+    calibration=16,
+    medape_threshold=25.0,
+    coverage_alpha=0.1,
+    coverage_slack=5.0,
+    hysteresis=2,
+)
+
+
+def feed_calm(monitor, n, scale=0.001, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        monitor.observe(1.0, 1.0 + scale * float(rng.standard_normal()))
+
+
+class TestDriftConfig:
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            DriftConfig(window=0)
+        with pytest.raises(ValueError):
+            DriftConfig(calibration=0)
+        with pytest.raises(ValueError):
+            DriftConfig(coverage_alpha=1.5)
+        with pytest.raises(ValueError):
+            DriftConfig(hysteresis=0)
+
+    def test_from_mapping_rejects_unknown_fields(self):
+        cfg = DriftConfig.from_mapping({"window": 16, "hysteresis": 5})
+        assert cfg.window == 16 and cfg.hysteresis == 5
+        with pytest.raises(ValueError, match="unknown drift config"):
+            DriftConfig.from_mapping({"windoww": 16})
+        with pytest.raises(ValueError):
+            DriftConfig.from_mapping(["not", "a", "dict"])
+
+
+class TestConformalRadius:
+    def test_matches_offline_conformal_regressor(self):
+        """The online radius is the exact quantile the offline
+        ConformalRegressor computes — one calibration rule, two homes."""
+        rng = np.random.default_rng(7)
+        y = rng.standard_normal(64)  # the residuals, via a zero predictor
+
+        class _Zero:
+            def clone(self):
+                return self
+
+            def fit(self, X, yy):
+                return self
+
+            def predict(self, X):
+                return np.zeros(len(X))
+
+        reg = ConformalRegressor(_Zero(), alpha=0.1, random_state=0)
+        reg.fit(np.zeros((64, 1)), y)
+        # replay the regressor's own calibration split
+        perm = np.random.default_rng(0).permutation(64)
+        cal = perm[: reg.n_calibration_]
+        assert reg.radius_ == pytest.approx(
+            conformal_radius(np.abs(y[cal]), 0.1)
+        )
+
+    def test_empty_residuals_rejected(self):
+        with pytest.raises(ValueError):
+            conformal_radius([], 0.1)
+
+    def test_radius_covers_nominal_fraction(self):
+        rng = np.random.default_rng(0)
+        resid = rng.standard_normal(500)
+        radius = conformal_radius(resid, 0.1)
+        covered = np.mean(np.abs(resid) <= radius)
+        assert covered >= 0.9
+
+
+class TestResidualLedger:
+    def test_calibration_fills_before_window(self):
+        ledger = ResidualLedger(SMALL)
+        for i in range(SMALL.calibration):
+            assert ledger.add(1.0, 1.1) is False
+        assert ledger.calibrated
+        assert ledger.add(1.0, 1.1) is True
+        assert len(ledger.window) == 1
+
+    def test_window_is_bounded(self):
+        ledger = ResidualLedger(SMALL)
+        for _ in range(SMALL.calibration + 50):
+            ledger.add(1.0, 1.0)
+        assert len(ledger.window) == SMALL.window
+        assert ledger.total == SMALL.calibration + 50
+
+    def test_medape_and_miss_rate(self):
+        ledger = ResidualLedger(SMALL)
+        for _ in range(SMALL.calibration):
+            ledger.add(1.0, 1.0)
+        for _ in range(4):
+            ledger.add(1.0, 2.0)  # 50% APE, residual 1.0
+        for _ in range(4):
+            ledger.add(1.0, 1.0)  # exact
+        assert ledger.medape() == pytest.approx(25.0)
+        assert ledger.miss_rate(0.5) == pytest.approx(0.5)
+        assert ledger.miss_rate(2.0) == 0.0
+
+
+class TestDriftMonitor:
+    def test_calm_traffic_never_fires(self):
+        monitor = DriftMonitor(DriftConfig())
+        feed_calm(monitor, 500, scale=0.001)
+        assert not monitor.fired
+        assert monitor.breach_streak == 0
+
+    def test_fires_on_sustained_medape_breach_with_hysteresis(self):
+        monitor = DriftMonitor(SMALL)
+        feed_calm(monitor, SMALL.calibration + SMALL.window)
+        assert not monitor.fired
+        fired_after = None
+        for i in range(1, 40):
+            if monitor.observe(1.0, 2.0):  # 50% APE
+                fired_after = i
+                break
+        assert fired_after is not None
+        # hysteresis: a single breaching evaluation is never enough
+        assert fired_after >= SMALL.hysteresis
+        assert "medape" in monitor.last_reason
+
+    def test_single_outlier_does_not_fire(self):
+        cfg = DriftConfig(
+            window=16, min_observations=8, calibration=8, hysteresis=3
+        )
+        monitor = DriftMonitor(cfg)
+        feed_calm(monitor, cfg.calibration + cfg.window)
+        monitor.observe(1.0, 50.0)  # one pathological field
+        feed_calm(monitor, 30, seed=1)
+        assert not monitor.fired
+
+    def test_fires_on_coverage_breach_alone(self):
+        # residuals stay tiny in APE terms but blow through the
+        # calibrated radius: only the conformal detector can see it
+        cfg = DriftConfig(
+            window=8,
+            min_observations=4,
+            calibration=4,
+            medape_threshold=1e9,  # disable the MedAPE detector
+            coverage_alpha=0.1,
+            coverage_slack=2.0,
+            hysteresis=2,
+        )
+        monitor = DriftMonitor(cfg)
+        for _ in range(cfg.calibration):
+            monitor.observe(1000.0, 1000.0 + 1e-6)
+        for _ in range(40):
+            if monitor.observe(1000.0, 1000.1):  # tiny APE, huge vs radius
+                break
+        assert monitor.fired
+        assert "coverage" in monitor.last_reason
+
+    def test_latches_until_reset_and_rearm_recalibrates(self):
+        monitor = DriftMonitor(SMALL)
+        feed_calm(monitor, SMALL.calibration + SMALL.window)
+        for _ in range(40):
+            monitor.observe(1.0, 3.0)
+        assert monitor.fired
+        old_radius = monitor.radius
+        # latched: calm traffic does not clear it
+        feed_calm(monitor, 50, seed=2)
+        assert monitor.fired
+        assert monitor.fires == 1
+        monitor.reset("v0002")
+        assert not monitor.fired
+        assert monitor.version == "v0002"
+        assert monitor.radius is None  # calibration restarts
+        feed_calm(monitor, SMALL.calibration + 10, seed=3)
+        assert monitor.radius is not None
+        assert monitor.radius != old_radius or monitor.radius >= 0.0
+        assert not monitor.fired
+
+    def test_fired_version_records_the_drifted_generation(self):
+        monitor = DriftMonitor(SMALL)
+        monitor.reset("v0001")
+        feed_calm(monitor, SMALL.calibration + SMALL.window)
+        for _ in range(40):
+            monitor.observe(1.0, 3.0)
+        assert monitor.fired_version == "v0001"
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        import json
+
+        monitor = DriftMonitor(SMALL)
+        monitor.reset("v0001")
+        feed_calm(monitor, SMALL.calibration + SMALL.window)
+        snap = monitor.snapshot()
+        json.dumps(snap)
+        for field in (
+            "version",
+            "fired",
+            "fired_version",
+            "fires",
+            "observations",
+            "windowed",
+            "calibrated",
+            "radius",
+            "medape_pct",
+            "miss_rate",
+            "breach_streak",
+            "reason",
+        ):
+            assert field in snap
+        assert snap["version"] == "v0001"
+        assert snap["calibrated"] is True

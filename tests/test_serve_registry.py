@@ -22,6 +22,7 @@ from repro.serve import (
     scheme_params,
     state_checksum,
 )
+from repro.serve import PUBLISH_FAULT_POINTS
 from repro.serve.registry import LATEST_NAME, STATE_NAME
 
 RAHMAN_KWARGS = dict(n_estimators=4, max_depth=3, augment_factor=1.0)
@@ -235,4 +236,165 @@ class TestQuarantine:
         assert manifest["scheme"] == "rahman2023"
         assert manifest["compressor"] == "sz3"
         assert manifest["version"] == "v0002"
-        assert registry.describe(key)["latest"] == "v0002"
+
+    def test_version_numbers_never_reused_after_quarantine(self, tmp_path):
+        """A quarantined v0002 keeps its number: the next publish is
+        v0003, so an old cached "v0002" can never alias a new blob."""
+        registry, key, _, _ = self._publish_two(tmp_path)
+        registry.damage_version(key, "v0002")
+        assert registry.load(key).version == "v0001"  # quarantines v0002
+        scheme, predictor, rows = fitted_predictor()
+        r3 = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        assert r3.version == "v0003"
+        assert registry.versions(key) == ["v0001", "v0003"]
+
+
+class _Kill(BaseException):
+    """Simulated trainer death; BaseException so no handler eats it."""
+
+
+class TestPublishJournal:
+    """The journaled two-phase commit: a publish killed at any fault
+    point leaves a registry that recover() returns to a clean state."""
+
+    def _registry(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        scheme, predictor, rows = fitted_predictor()
+        r1 = registry.publish(
+            scheme, "sz3", {"pressio:abs": 1e-4}, predictor, verify_rows=rows[:4]
+        )
+        return registry, scheme, predictor, rows, r1
+
+    def _kill_at(self, point):
+        def hook(p, key, version):
+            if p == point:
+                raise _Kill(point)
+
+        return hook
+
+    @pytest.mark.parametrize("point", PUBLISH_FAULT_POINTS)
+    def test_kill_at_every_fault_point_recovers_clean(self, tmp_path, point):
+        registry, scheme, predictor, rows, r1 = self._registry(tmp_path)
+        with pytest.raises(_Kill):
+            registry.publish(
+                scheme,
+                "sz3",
+                {"pressio:abs": 1e-4},
+                predictor,
+                verify_rows=rows[:4],
+                fault_hook=self._kill_at(point),
+            )
+        # the wreckage is visible to verify() ...
+        issues = registry.verify()
+        assert issues, f"kill at {point!r} left no detectable wreckage"
+        assert any("intent" in i for i in issues)
+        # ... the registry still serves (old or new generation, never torn)
+        loaded = registry.load(r1.key)
+        assert loaded.version in ("v0001", "v0002")
+        # ... and recover() makes verify() clean
+        actions = registry.recover()
+        assert registry.verify() == []
+        assert actions["cleared_intents"] == [r1.key]
+        if point in ("renamed", "latest"):
+            # the blob was fully committed before the kill: the new
+            # generation must win, not be thrown away
+            assert registry.latest(r1.key) == "v0002"
+            assert registry.load(r1.key).version == "v0002"
+        else:
+            assert registry.latest(r1.key) == "v0001"
+        if point == "renamed":
+            assert actions["rolled_forward"] == [f"{r1.key}:v0002"]
+        if point == "staged":
+            assert len(actions["removed_stages"]) == 1
+
+    def test_fault_points_fire_in_commit_order(self, tmp_path):
+        registry, scheme, predictor, rows, _ = self._registry(tmp_path)
+        seen = []
+        registry.publish(
+            scheme,
+            "sz3",
+            {"pressio:abs": 1e-4},
+            predictor,
+            verify_rows=rows[:4],
+            fault_hook=lambda p, k, v: seen.append(p),
+        )
+        assert seen == list(PUBLISH_FAULT_POINTS)
+
+    def test_recover_quarantines_corrupt_committed_version(self, tmp_path):
+        registry, scheme, predictor, rows, r1 = self._registry(tmp_path)
+        rows2, y2 = make_rows(seed=9)
+        predictor.fit(rows2, y2)
+        r2 = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        registry.damage_version(r2.key, r2.version)
+        assert any("integrity" in i for i in registry.verify())
+        actions = registry.recover()
+        assert actions["quarantined"] == [f"{r2.key}:v0002"]
+        assert registry.verify() == []
+        assert registry.latest(r2.key) == "v0001"
+        assert registry.load(r2.key).version == "v0001"
+
+    def test_recover_is_idempotent_noop_when_clean(self, tmp_path):
+        registry, *_ = self._registry(tmp_path)
+        assert registry.verify() == []
+        actions = registry.recover()
+        assert all(not v for v in actions.values())
+        assert registry.verify() == []
+
+    def test_damage_version_invalidates_checksum(self, tmp_path):
+        registry, scheme, predictor, rows, r1 = self._registry(tmp_path)
+        path = registry.damage_version(r1.key, r1.version)
+        assert os.path.exists(path)
+        with pytest.raises(ModelIntegrityError):
+            registry.load(r1.key, r1.version)
+
+
+def _race_publish(root, seed, barrier):
+    """Child process body for the LATEST race (module-level for fork)."""
+    registry = ModelRegistry(root)
+    scheme = get_scheme("rahman2023", **RAHMAN_KWARGS)
+    predictor = scheme.get_predictor(make_compressor("sz3", pressio__abs=1e-4))
+    rows, y = make_rows(seed=seed)
+    predictor.fit(rows, y)
+    barrier.wait()
+    # verify_rows makes the publish prove its own round-trip in-child;
+    # a failed proof (or a torn write) exits non-zero.
+    registry.publish(
+        scheme, "sz3", {"pressio:abs": 1e-4}, predictor, verify_rows=rows[:4]
+    )
+
+
+class TestConcurrentPublishers:
+    def test_latest_race_is_last_writer_wins_with_no_torn_state(self, tmp_path):
+        """Two publishers racing the same key: both versions land
+        intact, version numbers never collide, and LATEST ends up a
+        valid pointer at one of them (last writer wins)."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        root = str(tmp_path / "reg")
+        registry = ModelRegistry(root)
+        scheme, predictor, rows = fitted_predictor()
+        r1 = registry.publish(scheme, "sz3", {"pressio:abs": 1e-4}, predictor)
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(target=_race_publish, args=(root, 100 + i, barrier))
+            for i in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+        assert all(p.exitcode == 0 for p in procs), [p.exitcode for p in procs]
+        # both racers allocated distinct versions; nothing was lost
+        versions = registry.versions(r1.key)
+        assert versions == ["v0001", "v0002", "v0003"]
+        # LATEST is valid, points at a racer, and loads cleanly
+        latest = registry.latest(r1.key)
+        assert latest in ("v0002", "v0003")
+        assert registry.load(r1.key).version == latest
+        # every blob round-trips: pinned loads re-verify the checksums
+        for version in versions:
+            loaded = registry.load(r1.key, version)
+            assert loaded.predictor.predict_many(rows).shape == (len(rows),)
+        # no journal wreckage survived the race
+        assert registry.verify() == []

@@ -20,6 +20,7 @@ from repro.bench.runner import ExperimentRunner
 from repro.dataset import HurricaneDataset
 from repro.predict.scheme import get_scheme
 from repro.serve import (
+    DriftConfig,
     ModelRegistry,
     PredictionClient,
     PredictionServer,
@@ -28,6 +29,24 @@ from repro.serve import (
     registry_key,
     scheme_params,
 )
+
+# Fires fast: tiny calibration + window, two breaching evaluations.
+FAST_DRIFT = DriftConfig(
+    window=8, min_observations=4, calibration=4, hysteresis=2
+)
+
+
+def force_drift(client, key, row, cap=60):
+    """Feed skewed ground truth until the key's monitor fires."""
+    resp = client.predict(key, results=row)
+    for _ in range(cap):
+        snap = client.observe(
+            key, resp["prediction"], resp["prediction"] * 3.0,
+            version=resp["version"],
+        )
+        if snap["fired"]:
+            return snap
+    raise AssertionError("drift monitor never fired")
 
 BOUND = 1e-3
 
@@ -70,13 +89,13 @@ def serve(campaign, **kwargs):
     return ServerThread(PredictionServer(campaign.registry, **kwargs))
 
 
-def burst(address, key, rows, n):
+def burst(address, key, rows, n, **client_kwargs):
     """Fire *n* predicts from *n* connections released simultaneously."""
     out: list = [None] * n
     barrier = threading.Barrier(n)
 
     def worker(i):
-        with PredictionClient(*address) as client:
+        with PredictionClient(*address, **client_kwargs) as client:
             barrier.wait()
             try:
                 out[i] = client.predict(key, results=rows[i % len(rows)])
@@ -213,11 +232,15 @@ class TestMicroBatching:
 
 class TestAdmissionControl:
     def test_overload_sheds_with_documented_status(self, campaign):
+        # overload_retries=0 turns client retries off: the raw shed
+        # must surface with the documented status.
         k = 8
         with serve(
             campaign, batch_window_ms=300, max_in_flight=2, max_queue_depth=1
         ) as thread:
-            results = burst(thread.address, campaign.key, campaign.rows, k)
+            results = burst(
+                thread.address, campaign.key, campaign.rows, k, overload_retries=0
+            )
             with PredictionClient(*thread.address) as client:
                 stats = client.stats()
         ok = [r for r in results if isinstance(r, dict)]
@@ -229,6 +252,59 @@ class TestAdmissionControl:
             assert "retry with backoff" in str(exc)
         assert stats["shed"] == len(shed)
         assert stats["completed"] == len(ok)
+
+    def test_default_client_retries_through_overload(self, campaign):
+        # The same burst that sheds above completes without a single
+        # client-visible error when the default retry-with-backoff is
+        # left on — the server's "overloaded" answer is advice the
+        # client now follows.
+        k = 8
+        with serve(
+            campaign, batch_window_ms=50, max_in_flight=2, max_queue_depth=1
+        ) as thread:
+            results = burst(
+                thread.address,
+                campaign.key,
+                campaign.rows,
+                k,
+                overload_retries=12,
+                retry_base_delay=0.02,
+                retry_seed=7,
+            )
+            with PredictionClient(*thread.address) as client:
+                stats = client.stats()
+        errors = [r for r in results if isinstance(r, ServerError)]
+        assert not errors, f"retrying clients still saw errors: {errors[:2]}"
+        assert all(r["status"] == "ok" for r in results)
+        # the server really did shed — the retries are what hid it
+        assert stats["shed"] > 0
+
+    def test_backoff_schedule_is_bounded_and_deterministic(self):
+        import random
+
+        from repro.serve import overload_backoff
+
+        rng = random.Random(3)
+        delays = [
+            overload_backoff(
+                a, base_delay=0.05, max_delay=0.4, jitter=0.5, rng=rng
+            )
+            for a in range(1, 8)
+        ]
+        # jitter keeps every delay within +/-50% of the raw exponential
+        raw = [min(0.05 * 2.0 ** (a - 1), 0.4) for a in range(1, 8)]
+        for got, want in zip(delays, raw):
+            assert 0.5 * want <= got <= 1.5 * want
+        assert max(delays) <= 0.4 * 1.5
+        # same seed -> same schedule
+        rng2 = random.Random(3)
+        again = [
+            overload_backoff(
+                a, base_delay=0.05, max_delay=0.4, jitter=0.5, rng=rng2
+            )
+            for a in range(1, 8)
+        ]
+        assert delays == again
 
     def test_unknown_key_is_not_found(self, campaign):
         with serve(campaign) as thread:
@@ -322,3 +398,167 @@ class TestRefreshOp:
                 with pytest.raises(ServerError) as err:
                     client.refresh(key="")
         assert err.value.server_status == "bad_request"
+
+
+class TestObserveAndDriftOps:
+    """The observability half of the loop: ground truth flows back in
+    via ``observe``, drift state flows out via ``drift`` and ``stats``."""
+
+    def test_observe_feeds_monitor_and_counts(self, campaign):
+        with serve(campaign, drift_config=FAST_DRIFT) as thread:
+            with PredictionClient(*thread.address) as client:
+                resp = client.predict(campaign.key, results=campaign.rows[0])
+                snap = client.observe(
+                    campaign.key,
+                    resp["prediction"],
+                    resp["prediction"],
+                    version=resp["version"],
+                )
+                assert snap["observations"] == 1
+                assert snap["version"] == resp["version"]
+                assert snap["fired"] is False
+                stats = client.stats()
+                assert stats["observations"] == 1
+                assert stats["drift_fires"] == 0
+                assert stats["stale_keys"] == []
+
+    def test_observe_validates_inputs(self, campaign):
+        with serve(campaign, drift_config=FAST_DRIFT) as thread:
+            with PredictionClient(*thread.address) as client:
+                no_key = client.request(
+                    {"op": "observe", "prediction": 1.0, "truth": 1.0}
+                )
+                assert no_key["status"] == "bad_request"
+                bad_num = client.request(
+                    {
+                        "op": "observe",
+                        "key": campaign.key,
+                        "prediction": "wat",
+                        "truth": 1.0,
+                    }
+                )
+                assert bad_num["status"] == "bad_request"
+
+    def test_drift_fire_marks_key_stale_until_rollover(
+        self, campaign, tmp_path
+    ):
+        import shutil
+
+        root = tmp_path / "registry-copy"
+        shutil.copytree(campaign.registry.root, root)
+        registry = ModelRegistry(str(root))
+        model = registry.load(campaign.key)
+        row = campaign.rows[0]
+        with ServerThread(
+            PredictionServer(registry, drift_config=FAST_DRIFT)
+        ) as thread:
+            with PredictionClient(*thread.address) as client:
+                snap = force_drift(client, campaign.key, row)
+                assert snap["fired_version"] == model.version
+                stats = client.stats()
+                assert stats["drift_fires"] == 1
+                assert campaign.key in stats["stale_keys"]
+                body = client.drift()
+                assert body["monitors"][campaign.key]["stale"] is True
+                assert campaign.key in body["stale_keys"]
+                # the fired monitor latches: more truth cannot clear it
+                client.observe(campaign.key, 1.0, 1.0)
+                assert campaign.key in client.stats()["stale_keys"]
+                # rollover: republish + refresh clears staleness and re-arms
+                receipt = registry.publish(
+                    model.scheme,
+                    model.manifest["compressor"],
+                    model.manifest["compressor_options"],
+                    model.predictor,
+                )
+                refreshed = client.refresh()
+                assert refreshed[campaign.key] == receipt.version
+                stats = client.stats()
+                assert stats["stale_keys"] == []
+                body = client.drift()
+                monitor = body["monitors"][campaign.key]
+                assert monitor["fired"] is False
+                assert monitor["version"] == receipt.version
+                assert monitor["calibrated"] is False  # recalibrating
+
+    def test_observe_for_new_version_rearms_monitor(self, campaign):
+        with serve(campaign, drift_config=FAST_DRIFT) as thread:
+            with PredictionClient(*thread.address) as client:
+                force_drift(client, campaign.key, campaign.rows[0])
+                # ground truth for a different generation re-arms
+                snap = client.observe(
+                    campaign.key, 1.0, 1.0, version="v9999"
+                )
+                assert snap["fired"] is False
+                assert snap["version"] == "v9999"
+                assert snap["observations"] == 1
+
+    def test_drift_configure_replaces_config_and_rearms(self, campaign):
+        with serve(campaign, drift_config=FAST_DRIFT) as thread:
+            with PredictionClient(*thread.address) as client:
+                client.observe(campaign.key, 1.0, 1.0)
+                body = client.drift(
+                    configure={"window": 16, "hysteresis": 5, "calibration": 8}
+                )
+                assert body["monitors"][campaign.key]["observations"] == 0
+                bad = client.request(
+                    {"op": "drift", "configure": {"nonsense": 1}}
+                )
+                assert bad["status"] == "bad_request"
+                tighter = client.request(
+                    {"op": "drift", "configure": {"window": 0}}
+                )
+                assert tighter["status"] == "bad_request"
+
+
+class TestQuarantinedVersionEviction:
+    """A version quarantined on disk must not survive in the warm LRU —
+    not even pinned — once a refresh announces the new world."""
+
+    def test_refresh_evicts_pinned_quarantined_version(
+        self, campaign, tmp_path
+    ):
+        import os
+        import shutil
+
+        root = tmp_path / "registry-copy"
+        shutil.copytree(campaign.registry.root, root)
+        registry = ModelRegistry(str(root))
+        model = registry.load(campaign.key)
+        row = campaign.rows[0]
+        # two generations, so quarantining the latest leaves a fallback
+        receipt = registry.publish(
+            model.scheme,
+            model.manifest["compressor"],
+            model.manifest["compressor_options"],
+            model.predictor,
+        )
+        with ServerThread(PredictionServer(registry)) as thread:
+            with PredictionClient(*thread.address) as client:
+                client.refresh()
+                # warm BOTH a follow-latest and a pinned entry for v-new
+                assert (
+                    client.predict(campaign.key, results=row)["version"]
+                    == receipt.version
+                )
+                pinned = client.predict(
+                    campaign.key, results=row, version=receipt.version
+                )
+                assert pinned["version"] == receipt.version
+                # the blob rots at rest; a registry-side load quarantines it
+                registry.damage_version(campaign.key, receipt.version)
+                healed = registry.load(campaign.key)
+                assert healed.version == model.version
+                assert receipt.version not in registry.versions(campaign.key)
+                # refresh: the pinned ghost must be evicted with the rest
+                refreshed = client.refresh()
+                assert refreshed[campaign.key] == model.version
+                assert (
+                    client.predict(campaign.key, results=row)["version"]
+                    == model.version
+                )
+                with pytest.raises(ServerError) as err:
+                    client.predict(
+                        campaign.key, results=row, version=receipt.version
+                    )
+                assert err.value.server_status in ("not_found", "error")
