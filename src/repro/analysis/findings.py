@@ -128,6 +128,12 @@ RESOURCE_LEAK = _rule(
     "resource-leak",
     "an OS-backed resource never reaches close/unlink in its owning function",
 )
+RESOURCE_LEAK_ACROSS_CALL = _rule(
+    "RL502",
+    "resource-leak-across-call",
+    "an OS-backed resource's only escape is a call whose callee neither "
+    "releases nor stores the received handle",
+)
 
 
 def all_rules() -> list[Rule]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 from ..core.compressor import compressor_registry
@@ -237,6 +238,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: total queued rows before shedding")
     serve.add_argument("--cache-capacity", type=int, default=8,
                        help="warm-model LRU capacity")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes; >1 runs a ServeFleet sharing "
+                       "the port via SO_REUSEPORT (or port-per-worker fallback)")
+    serve.add_argument("--feat-cache", choices=["off", "local", "shared"],
+                       default="shared",
+                       help="featurization cache tier: off, per-worker local, "
+                       "or shm-shared across the fleet")
+    serve.add_argument("--feat-cache-dir", default=None,
+                       help="ledger directory for the shared tier "
+                       "(default: a private temp dir swept at exit)")
+    serve.add_argument("--feat-cache-capacity", type=int, default=1024,
+                       help="per-worker L1 entries in the featurization cache")
+    serve.add_argument("--feat-cache-bytes", type=int, default=64 * 1024 * 1024,
+                       help="byte budget for the shared featurization tier")
     _add_drift_flags(serve)
 
     loop = sub.add_parser(
@@ -592,10 +607,68 @@ def cmd_publish(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the prediction server in the foreground until interrupted."""
+    """Run the prediction server (or a multi-worker fleet) until interrupted."""
     import asyncio
 
-    from ..serve import DriftConfig, ModelRegistry, PredictionServer
+    from ..serve import (
+        DriftConfig,
+        FeaturizationCache,
+        ModelRegistry,
+        PredictionServer,
+        ServeFleet,
+    )
+
+    drift_config = DriftConfig(**_drift_config_kwargs(args))
+    if args.workers > 1:
+        fleet = ServeFleet(
+            args.registry,
+            args.workers,
+            host=args.host,
+            port=args.port,
+            feat_cache=args.feat_cache,
+            feat_cache_dir=args.feat_cache_dir,
+            feat_cache_capacity=args.feat_cache_capacity,
+            feat_cache_bytes=args.feat_cache_bytes,
+            drift_config=drift_config,
+            server_options={
+                "batch_window_ms": args.batch_window_ms,
+                "max_batch": args.max_batch,
+                "max_in_flight": args.max_in_flight,
+                "max_queue_depth": args.max_queue_depth,
+                "cache_capacity": args.cache_capacity,
+            },
+        )
+        with fleet:
+            mode = "SO_REUSEPORT" if fleet.reuse_port else "port-per-worker"
+            for host, port in fleet.data_addresses():
+                print(
+                    f"serving {args.registry} on {host}:{port} "
+                    f"({fleet.workers} workers, {mode}, "
+                    f"feat-cache={args.feat_cache})",
+                    flush=True,
+                )
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+        return 0
+
+    feat_cache = None
+    if args.feat_cache == "local":
+        feat_cache = FeaturizationCache(capacity=args.feat_cache_capacity)
+    elif args.feat_cache == "shared":
+        # One process: the shared tier still works (and persists across
+        # restarts when --feat-cache-dir names a stable directory), but
+        # with no explicit directory "local" semantics are what's meant.
+        if args.feat_cache_dir is not None:
+            feat_cache = FeaturizationCache(
+                capacity=args.feat_cache_capacity,
+                shared_dir=args.feat_cache_dir,
+                shared_capacity_bytes=args.feat_cache_bytes,
+            )
+        else:
+            feat_cache = FeaturizationCache(capacity=args.feat_cache_capacity)
 
     server = PredictionServer(
         ModelRegistry(args.registry),
@@ -607,6 +680,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         cache_capacity=args.cache_capacity,
         drift_config=DriftConfig(**_drift_config_kwargs(args)),
+        feat_cache=feat_cache,
     )
 
     async def _serve() -> None:
@@ -618,6 +692,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        if feat_cache is not None:
+            feat_cache.close()
     return 0
 
 

@@ -159,9 +159,11 @@ class FaultInjector:
 
 #: Fault classes a :class:`ChaosPlan` can inject.  The first five hit
 #: the collection harness (task execution, checkpoint, result sink);
-#: the last three hit the continuous-learning loop (trainer killed at a
+#: the next three hit the continuous-learning loop (trainer killed at a
 #: publish fault point, at-rest corruption of a freshly published blob,
-#: a dropped server refresh).
+#: a dropped server refresh); ``cache_kill`` kills a serving worker at a
+#: shared-featurization-cache publish fault point (mid-write crash
+#: safety of the shm tier).
 CHAOS_CLASSES = (
     "crash",
     "hang",
@@ -171,6 +173,7 @@ CHAOS_CLASSES = (
     "trainer_kill",
     "publish_corrupt",
     "refresh_drop",
+    "cache_kill",
 )
 
 
@@ -204,6 +207,7 @@ class ChaosPlan:
         trainer_kill_rate: float = 0.0,
         publish_corrupt_rate: float = 0.0,
         refresh_drop_rate: float = 0.0,
+        cache_kill_rate: float = 0.0,
         hang_seconds: float = 5.0,
         state_dir: str | None = None,
     ) -> None:
@@ -218,6 +222,7 @@ class ChaosPlan:
             "trainer_kill": float(trainer_kill_rate),
             "publish_corrupt": float(publish_corrupt_rate),
             "refresh_drop": float(refresh_drop_rate),
+            "cache_kill": float(cache_kill_rate),
         }
         self.hang_seconds = float(hang_seconds)
         if state_dir is None:
@@ -334,11 +339,11 @@ class ChaosPlan:
         """Fire a continuous-learning-loop fault exactly once per *key*.
 
         ``kind`` is one of ``trainer_kill``/``publish_corrupt``/
-        ``refresh_drop``; *key* names the loop stage instance (round,
-        registry key, publish fault point…).  Same once-only marker
-        discipline as the collection classes, so a retried stage does
-        not re-fault on the same site and the supervisor provably makes
-        progress through the chaos.
+        ``refresh_drop``/``cache_kill``; *key* names the stage instance
+        (round, registry key, publish fault point…).  Same once-only
+        marker discipline as the collection classes, so a retried stage
+        does not re-fault on the same site and the supervisor provably
+        makes progress through the chaos.
         """
         if kind not in self.rates:
             raise ValueError(f"unknown chaos class {kind!r}")

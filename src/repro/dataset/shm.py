@@ -58,6 +58,13 @@ except ImportError:  # pragma: no cover
 #: The three data planes the bench understands.
 DATA_PLANES = ("pickle", "mmap", "shm")
 
+#: Publish stages an injected fault hook can interrupt (chaos tests kill
+#: the publisher at each one to prove readers never see a torn segment):
+#: after the write-intent record exists, after the segment is created
+#: but before the payload is copied, and after the payload is complete
+#: but before the ledger rename makes it visible.
+SHM_FAULT_POINTS = ("intent", "segment", "filled")
+
 
 def shared_memory_available() -> bool:
     """Whether ``multiprocessing.shared_memory`` can be used here."""
@@ -196,6 +203,17 @@ class SharedSegmentRegistry:
         tracker, and a killed worker's tracker would then unlink live
         segments out from under its siblings (bpo-39959).  The ledger
         sweep (:meth:`unlink_all`) is the real cleanup path either way.
+    stale_intent_seconds:
+        Age beyond which an intent record with no ledger entry is
+        treated as a dead publisher and reclaimed (intent + orphan
+        segment removed) so the key becomes publishable again.  Long-
+        running consumers (the serving featurization cache) need this:
+        without it, one crashed writer would make its key permanently
+        unpublishable until the campaign-end sweep.
+    fault_hook:
+        Test-only callable invoked at each :data:`SHM_FAULT_POINTS`
+        stage of a publish; chaos tests raise/``os._exit`` from it to
+        simulate a writer dying mid-publish.
     """
 
     def __init__(
@@ -204,6 +222,8 @@ class SharedSegmentRegistry:
         *,
         attach_timeout: float = 10.0,
         track: bool = True,
+        stale_intent_seconds: float = 30.0,
+        fault_hook: Any = None,
     ) -> None:
         if not shared_memory_available():  # pragma: no cover - exotic builds
             raise RuntimeError("multiprocessing.shared_memory is unavailable")
@@ -211,6 +231,8 @@ class SharedSegmentRegistry:
         os.makedirs(self.ledger_dir, exist_ok=True)
         self.attach_timeout = float(attach_timeout)
         self.track = bool(track)
+        self.stale_intent_seconds = float(stale_intent_seconds)
+        self.fault_hook = fault_hook
         self._namespace = hashlib.sha1(
             os.path.abspath(self.ledger_dir).encode()
         ).hexdigest()[:8]
@@ -284,6 +306,7 @@ class SharedSegmentRegistry:
             os.write(fd, info.to_json().encode())
         finally:
             os.close(fd)
+        self._fault("intent", key)
         try:
             seg = _shared_memory.SharedMemory(
                 name=name, create=True, size=max(info.nbytes, 1)
@@ -297,11 +320,13 @@ class SharedSegmentRegistry:
             # Worker-side publish: the segment belongs to the campaign
             # owner's sweep, not to this process's resource tracker.
             self._tracker_call("unregister", name)
+        self._fault("segment", key)
         dst = np.ndarray(info.shape, dtype=np.dtype(info.dtype),
                          buffer=seg.buf, order=info.order)
         dst[...] = array
         PLANE_COUNTERS.note_copied(info.nbytes)  # the one-time publish copy
         PLANE_COUNTERS.note_segment(created=True)
+        self._fault("filled", key)
         # Atomic publish: the ledger record appears only once the payload
         # is fully written.
         tmp = self._ledger_path(name) + ".tmp"
@@ -313,6 +338,10 @@ class SharedSegmentRegistry:
             self._attached[name] = [seg, info, 1]
         return self._view(seg, info), info
 
+    def _fault(self, point: str, key: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point, key)
+
     def _await_publisher(
         self, name: str, key: str, array: np.ndarray
     ) -> tuple[np.ndarray, SegmentInfo]:
@@ -323,12 +352,41 @@ class SharedSegmentRegistry:
                 return self._attach(info, copied=False)
             time.sleep(0.005)
         # Publisher died mid-write (or is wedged): serve a private copy
-        # so the task still runs; the sweep reclaims the intent later.
+        # so the task still runs.  Provably-stale intents are reclaimed
+        # here so the key becomes publishable again before the campaign-
+        # end sweep (the serving cache republishes on the next miss).
+        self.reclaim_stale_intent(name)
         PLANE_COUNTERS.note_copied(array.nbytes)
         return array, SegmentInfo(
             name="", shape=tuple(array.shape), dtype=array.dtype.str,
             order=_array_order(array), nbytes=int(array.nbytes), key=key,
         )
+
+    def reclaim_stale_intent(self, name: str) -> bool:
+        """Remove a dead publisher's intent (and orphan segment) for *name*.
+
+        An intent record older than ``stale_intent_seconds`` with no
+        ledger entry means the publisher died between intent and ledger
+        rename; the half-written segment (if any) was never visible to
+        readers, so removing both simply re-opens the key.  Concurrent
+        reclaims race benignly (missing-file errors are tolerated).
+        Returns True when a reclaim happened.
+        """
+        if self._read_ledger(name) is not None:
+            return False
+        intent = self._intent_path(name)
+        try:
+            age = time.time() - os.stat(intent).st_mtime
+        except OSError:
+            return False
+        if age < self.stale_intent_seconds:
+            return False
+        try:
+            os.remove(intent)
+        except FileNotFoundError:
+            return False
+        self._unlink_segment(name)
+        return True
 
     def _attach(
         self, info: SegmentInfo, *, copied: bool
@@ -429,6 +487,27 @@ class SharedSegmentRegistry:
                 names.add(entry[: -len(".intent")])
         return sorted(names)
 
+    def entries(self) -> list[tuple[SegmentInfo, float]]:
+        """Published ledger records with publish times, oldest first.
+
+        The eviction substrate for capacity-bounded consumers: each
+        record carries its original datum key and byte size, and the
+        ledger file's mtime orders the entries for oldest-first sweeps.
+        Intent-only (in-flight or crashed) publishes are not listed.
+        """
+        out: list[tuple[SegmentInfo, float]] = []
+        for name in self.ledger_names():
+            info = self._read_ledger(name)
+            if info is None:
+                continue
+            try:
+                mtime = os.stat(self._ledger_path(name)).st_mtime
+            except OSError:
+                continue
+            out.append((info, mtime))
+        out.sort(key=lambda pair: pair[1])
+        return out
+
     def iter_live_segments(self) -> Iterator[str]:
         """Ledger-known names that still exist in the OS namespace."""
         for name in self.ledger_names():
@@ -453,6 +532,45 @@ class SharedSegmentRegistry:
             except BufferError:
                 pass
 
+    def _unlink_segment(self, name: str) -> bool:
+        """Unlink *name*'s OS segment if it exists (True when removed)."""
+        try:
+            seg = _shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            return False
+        if not self.track:
+            # unlink() sends an unregister; balance it so the
+            # tracker never sees a name it was not holding.
+            self._tracker_call("register", name)
+        try:
+            seg.close()
+        finally:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - raced sweep
+                return False
+        return True
+
+    def unlink(self, key: str) -> bool:
+        """Unlink one published *key*: segment, ledger and intent records.
+
+        The per-entry eviction path (capacity-bounded caches retire the
+        oldest entries instead of sweeping everything).  Attached
+        readers in other processes keep their mapping alive — POSIX
+        shm unlink removes the name, not live maps — so eviction never
+        tears a row out from under a concurrent reader.  Safe when two
+        evictors race; returns True when this call removed the segment.
+        """
+        name = self.segment_name(key)
+        self.release(key)
+        removed = self._unlink_segment(name)
+        for path in (self._ledger_path(name), self._intent_path(name)):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        return removed
+
     def unlink_all(self) -> list[str]:
         """Unlink every ledger-known segment; returns the names removed.
 
@@ -464,23 +582,8 @@ class SharedSegmentRegistry:
         self.close()
         removed: list[str] = []
         for name in self.ledger_names():
-            try:
-                seg = _shared_memory.SharedMemory(name=name, create=False)
-            except FileNotFoundError:
-                seg = None
-            if seg is not None:
-                if not self.track:
-                    # unlink() sends an unregister; balance it so the
-                    # tracker never sees a name it was not holding.
-                    self._tracker_call("register", name)
-                try:
-                    seg.close()
-                finally:
-                    try:
-                        seg.unlink()
-                        removed.append(name)
-                    except FileNotFoundError:  # pragma: no cover - raced sweep
-                        pass
+            if self._unlink_segment(name):
+                removed.append(name)
             for path in (self._ledger_path(name), self._intent_path(name)):
                 try:
                     os.remove(path)
@@ -498,6 +601,7 @@ class SharedSegmentRegistry:
 __all__ = [
     "DATA_PLANES",
     "PLANE_COUNTERS",
+    "SHM_FAULT_POINTS",
     "PlaneCounters",
     "SegmentInfo",
     "SharedSegmentRegistry",

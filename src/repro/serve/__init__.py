@@ -9,6 +9,9 @@ micro-batched vectorised inference.  On top of both, the
 continuous-learning loop (:class:`ContinuousLearner`) closes the
 circle: drift detection (:class:`DriftMonitor`) → incremental
 re-collect → republish → zero-restart refresh of every live server.
+:class:`ServeFleet` scales the tier to the hardware: one worker process
+per core behind a shared ``SO_REUSEPORT`` data port, all sharing one
+shm-backed :class:`FeaturizationCache`.
 """
 
 from .codec import (
@@ -20,8 +23,22 @@ from .codec import (
     encode_state,
     state_checksum,
 )
-from .client import PredictionClient, ServerError, overload_backoff
+from .client import (
+    ConnectionClosedError,
+    FleetClient,
+    PredictionClient,
+    ServerError,
+    overload_backoff,
+)
 from .drift import DriftConfig, DriftMonitor, ResidualLedger
+from .featcache import CachedRow, FeaturizationCache, content_fingerprint
+from .fleet import (
+    FEAT_CACHE_MODES,
+    FleetRefreshError,
+    ServeFleet,
+    aggregate_stats,
+    reuse_port_supported,
+)
 from .loop import (
     ContinuousLearner,
     LoopStageError,
@@ -53,9 +70,15 @@ from .server import (
 
 __all__ = [
     "CODEC_VERSION",
+    "CachedRow",
+    "ConnectionClosedError",
     "ContinuousLearner",
     "DriftConfig",
     "DriftMonitor",
+    "FEAT_CACHE_MODES",
+    "FeaturizationCache",
+    "FleetClient",
+    "FleetRefreshError",
     "INTENT_NAME",
     "LoadedModel",
     "LoopStageError",
@@ -74,17 +97,21 @@ __all__ = [
     "STATUS_NOT_FOUND",
     "STATUS_OK",
     "STATUS_OVERLOADED",
+    "ServeFleet",
     "ServeStats",
     "ServerError",
     "ServerThread",
     "StateSerializationError",
     "TrainerKilledError",
+    "aggregate_stats",
+    "content_fingerprint",
     "decode_array",
     "decode_state",
     "encode_array",
     "encode_state",
     "overload_backoff",
     "registry_key",
+    "reuse_port_supported",
     "scheme_params",
     "state_checksum",
 ]

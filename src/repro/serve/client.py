@@ -1,11 +1,31 @@
-"""Synchronous client for the prediction server.
+"""Synchronous clients for the prediction server and fleet.
 
-Thin blocking wrapper over the newline-delimited JSON protocol —
+Thin blocking wrappers over the newline-delimited JSON protocol —
 applications (and the ``query`` CLI) get predictions without touching
-asyncio.  One client = one TCP connection; requests on a connection are
-answered in order, so concurrency comes from opening more clients,
-which is exactly how the burst tests and the throughput benchmark
-drive the server's micro-batcher.
+asyncio.  One :class:`PredictionClient` = one TCP connection, opened
+lazily on the first request and **reused across calls** (dial-per-query
+pays a full handshake per prediction; the burst benchmark showed it).
+Requests on a connection are answered in order, so concurrency comes
+from opening more clients, which is exactly how the burst tests and the
+throughput benchmark drive the server's micro-batcher.
+
+A broken connection (server restarted, fleet worker killed) is redialed
+transparently up to ``reconnects`` times per request.  Every op the
+protocol offers is idempotent on the server (predict is pure; observe
+at worst duplicates one residual), so a resend after a connection drop
+is safe.  :class:`FleetClient` stacks round-robin address balancing on
+top for the port-per-worker fallback path of
+:class:`~repro.serve.fleet.ServeFleet`.
+
+**Zero-copy what-if resends.**  What-if traffic probes the *same* field
+over and over (different bounds, different compressors); shipping the
+multi-hundred-KB payload with every probe wastes most of the wire and
+parse budget.  When a raw-data predict response reports ``"cached":
+true`` the client remembers the payload's content fingerprint, and
+subsequent predicts of the same field send a tiny ``data_ref`` request
+instead.  A server that cannot honour the ref (evicted entry, cache
+disabled) answers ``need_data`` and the client transparently resends in
+full — callers never see the negotiation.
 """
 
 from __future__ import annotations
@@ -14,12 +34,20 @@ import json
 import random
 import socket
 import time
+from collections import OrderedDict
 from typing import Any, Mapping
 
 import numpy as np
 
 from ..core.errors import PressioError, Status
 from .codec import encode_array
+from .featcache import content_fingerprint
+
+#: Per-client LRU bounds for the zero-copy resend bookkeeping: payload
+#: fingerprints the server confirmed cached, and the payload-object →
+#: fingerprint memo that keeps repeat predicts from re-hashing the body.
+_KNOWN_REFS_CAP = 512
+_FP_MEMO_CAP = 32
 
 
 class ServerError(PressioError):
@@ -31,6 +59,13 @@ class ServerError(PressioError):
         super().__init__(message)
         self.response = dict(response)
         self.server_status = self.response.get("status", "error")
+
+
+class ConnectionClosedError(ServerError):
+    """The connection dropped and the reconnect budget is exhausted."""
+
+    def __init__(self, message: str):
+        super().__init__(message, {"status": "disconnected"})
 
 
 def overload_backoff(
@@ -75,28 +110,89 @@ class PredictionClient:
         retry_max_delay: float = 2.0,
         retry_jitter: float = 0.5,
         retry_seed: int | None = None,
+        reconnects: int = 2,
     ) -> None:
         self.host = host
         self.port = int(port)
+        self.timeout = float(timeout)
         self.overload_retries = max(0, int(overload_retries))
         self.retry_base_delay = float(retry_base_delay)
         self.retry_max_delay = float(retry_max_delay)
         self.retry_jitter = float(retry_jitter)
+        self.reconnects = max(0, int(reconnects))
         self._retry_rng = random.Random(retry_seed)
         #: Overload retries this client has performed (observability).
         self.overload_retries_used = 0
-        self._sock = socket.create_connection((host, self.port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+        #: TCP connections this client has dialed — the connection-reuse
+        #: tests assert this stays at 1 across a whole query loop.
+        self.connect_count = 0
+        #: Predicts served via ``data_ref`` without resending the payload.
+        self.ref_hits = 0
+        self._known_refs: OrderedDict[str, None] = OrderedDict()
+        self._fp_memo: OrderedDict[int, tuple[Any, str]] = OrderedDict()
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
 
     # -- transport -------------------------------------------------------------
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._rfile = self._sock.makefile("rb")
+        self.connect_count += 1
+
+    def _drop_connection(self) -> None:
+        sock, rfile = self._sock, self._rfile
+        self._sock = None
+        self._rfile = None
+        try:
+            if rfile is not None:
+                rfile.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
     def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        """Send one request object, return the raw response object."""
+        """Send one request object, return the raw response object.
+
+        The connection is dialed lazily on first use and reused across
+        requests.  A drop (reset, broken pipe, server-side close) is
+        retried on a fresh connection up to ``reconnects`` times — safe
+        because every server op is idempotent.  A *timeout* is not
+        silently retried: the request may still be in flight, and
+        resending would double-submit against a live connection.
+        """
         line = (json.dumps(dict(payload)) + "\n").encode("utf-8")
-        self._sock.sendall(line)
-        raw = self._rfile.readline()
-        if not raw:
-            raise ServerError("server closed the connection", {"status": "error"})
-        return json.loads(raw)
+        attempts = 1 + self.reconnects
+        last_error: Exception | None = None
+        for _ in range(attempts):
+            try:
+                self._ensure_connected()
+                assert self._sock is not None
+                self._sock.sendall(line)
+                raw = self._rfile.readline()
+            except socket.timeout:
+                raise
+            except OSError as exc:
+                self._drop_connection()
+                last_error = exc
+                continue
+            if not raw:
+                self._drop_connection()
+                last_error = None
+                continue
+            return json.loads(raw)
+        detail = f": {last_error}" if last_error is not None else ""
+        raise ConnectionClosedError(
+            f"connection to {self.host}:{self.port} lost after "
+            f"{attempts} attempt(s){detail}"
+        )
 
     def _checked(self, payload: Mapping[str, Any]) -> dict[str, Any]:
         attempt = 0
@@ -132,10 +228,19 @@ class PredictionClient:
         key: str,
         *,
         results: Mapping[str, Any] | None = None,
-        data: np.ndarray | None = None,
+        data: np.ndarray | Mapping[str, Any] | None = None,
         version: str | None = None,
     ) -> dict[str, Any]:
         """Predict for precomputed metric ``results`` or a raw field.
+
+        ``data`` takes either an ndarray or an already-encoded wire
+        payload (the :func:`~repro.serve.codec.encode_array` mapping) —
+        a what-if driver probing one field many times encodes it once.
+        A pre-encoded payload is treated as immutable: the client
+        memoises its content fingerprint by object identity, and once
+        the server confirms the field is cached, repeats go out as a
+        ``data_ref`` a few hundred bytes long instead of the payload
+        (falling back to a full resend on ``need_data``).
 
         Returns the full response (``prediction``, ``target``,
         ``version``, ``batch_size``, ``timings``).  Raises
@@ -143,14 +248,52 @@ class PredictionClient:
         is on ``exc.server_status`` so callers can back off on
         ``"overloaded"`` specifically.
         """
-        payload: dict[str, Any] = {"op": "predict", "key": key}
-        if results is not None:
-            payload["results"] = dict(results)
-        if data is not None:
-            payload["data"] = encode_array(np.asarray(data))
+        request: dict[str, Any] = {"op": "predict", "key": key}
         if version is not None:
-            payload["version"] = version
-        return self._checked(payload)
+            request["version"] = version
+        if results is not None:
+            request["results"] = dict(results)
+        if data is None:
+            return self._checked(request)
+        payload = data if isinstance(data, Mapping) else encode_array(np.asarray(data))
+        fingerprint = self._fingerprint(payload)
+        if fingerprint in self._known_refs:
+            self._known_refs.move_to_end(fingerprint)
+            try:
+                response = self._checked({**request, "data_ref": fingerprint})
+            except ServerError as exc:
+                if exc.server_status != "need_data":
+                    raise
+                # Evicted (or a cache-less server): forget the ref and
+                # resend in full below; a "cached" confirmation on the
+                # resend re-arms it, a cache-off server never does.
+                self._known_refs.pop(fingerprint, None)
+            else:
+                self.ref_hits += 1
+                return response
+        response = self._checked({**request, "data": dict(payload)})
+        if response.get("cached"):
+            self._known_refs[fingerprint] = None
+            self._known_refs.move_to_end(fingerprint)
+            while len(self._known_refs) > _KNOWN_REFS_CAP:
+                self._known_refs.popitem(last=False)
+        return response
+
+    def _fingerprint(self, payload: Mapping[str, Any]) -> str:
+        """Content fingerprint, memoised by payload object identity.
+
+        The strong reference kept in the memo guarantees a stored id()
+        can never be recycled by a different payload object.
+        """
+        memo = self._fp_memo.get(id(payload))
+        if memo is not None and memo[0] is payload:
+            self._fp_memo.move_to_end(id(payload))
+            return memo[1]
+        fingerprint = content_fingerprint(payload)
+        self._fp_memo[id(payload)] = (payload, fingerprint)
+        while len(self._fp_memo) > _FP_MEMO_CAP:
+            self._fp_memo.popitem(last=False)
+        return fingerprint
 
     def stats(self) -> dict[str, Any]:
         return self._checked({"op": "stats"})["stats"]
@@ -213,13 +356,138 @@ class PredictionClient:
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        finally:
-            self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "PredictionClient":
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+class FleetClient:
+    """Round-robin client over the data addresses of a serving fleet.
+
+    With ``SO_REUSEPORT`` the fleet exposes one address and the kernel
+    balances connections, so this class mostly wraps a single
+    :class:`PredictionClient`.  On the port-per-worker fallback path it
+    does the balancing itself: per-request ops (:meth:`predict`,
+    :meth:`observe`) rotate across addresses and step past workers that
+    are mid-restart; fan-out ops (:meth:`stats`, :meth:`refresh`,
+    :meth:`ping`, :meth:`drift`) visit every address.
+
+    ``addresses`` is either a static ``[(host, port), ...]`` list or a
+    zero-argument callable returning the current list —
+    :meth:`ServeFleet.connect <repro.serve.fleet.ServeFleet.connect>`
+    passes the fleet's live ``data_addresses`` method so a restarted
+    worker's fresh port is picked up without re-creating the client.
+    """
+
+    def __init__(
+        self,
+        addresses: Any,
+        **client_options: Any,
+    ) -> None:
+        if callable(addresses):
+            self._resolve = addresses
+        else:
+            static = [(host, int(port)) for host, port in addresses]
+            if not static:
+                raise ValueError("FleetClient needs at least one address")
+            self._resolve = lambda: static
+        self._client_options = dict(client_options)
+        self._clients: dict[tuple[str, int], PredictionClient] = {}
+        self._cursor = 0
+
+    # -- address management ------------------------------------------------------
+    def addresses(self) -> list[tuple[str, int]]:
+        return [(host, int(port)) for host, port in self._resolve()]
+
+    def _client_for(self, address: tuple[str, int]) -> PredictionClient:
+        client = self._clients.get(address)
+        if client is None:
+            client = PredictionClient(*address, **self._client_options)
+            self._clients[address] = client
+        return client
+
+    def _prune(self, live: list[tuple[str, int]]) -> None:
+        for address in list(self._clients):
+            if address not in live:
+                self._clients.pop(address).close()
+
+    # -- per-request ops (round-robin) --------------------------------------------
+    def _rotate(self, op_name: str, call: Any) -> Any:
+        addresses = self.addresses()
+        if not addresses:
+            raise ConnectionClosedError(f"no live fleet workers for {op_name!r}")
+        self._prune(addresses)
+        last_error: Exception | None = None
+        for step in range(len(addresses)):
+            address = addresses[(self._cursor + step) % len(addresses)]
+            try:
+                result = call(self._client_for(address))
+            except (ConnectionClosedError, OSError) as exc:
+                # Worker mid-restart: drop its client and try the next.
+                self._clients.pop(address, None)
+                last_error = exc
+                continue
+            self._cursor = (self._cursor + step + 1) % len(addresses)
+            return result
+        raise ConnectionClosedError(
+            f"all {len(addresses)} fleet address(es) failed for "
+            f"{op_name!r}: {last_error}"
+        )
+
+    def predict(self, key: str, **kwargs: Any) -> dict[str, Any]:
+        return self._rotate("predict", lambda c: c.predict(key, **kwargs))
+
+    def observe(self, key: str, prediction: float, truth: float, **kwargs: Any) -> dict[str, Any]:
+        return self._rotate(
+            "observe", lambda c: c.observe(key, prediction, truth, **kwargs)
+        )
+
+    # -- fan-out ops ---------------------------------------------------------------
+    def _fanout(self, call: Any) -> list[Any]:
+        addresses = self.addresses()
+        self._prune(addresses)
+        results = []
+        for address in addresses:
+            try:
+                results.append(call(self._client_for(address)))
+            except (ConnectionClosedError, OSError):
+                self._clients.pop(address, None)
+        return results
+
+    def stats(self) -> list[dict[str, Any]]:
+        return self._fanout(lambda c: c.stats())
+
+    def refresh(self, key: str | None = None) -> list[dict[str, str | None]]:
+        return self._fanout(lambda c: c.refresh(key))
+
+    def drift(self, *, configure: Mapping[str, Any] | None = None) -> list[dict[str, Any]]:
+        return self._fanout(lambda c: c.drift(configure=configure))
+
+    def ping(self) -> bool:
+        pongs = self._fanout(lambda c: c.ping())
+        return bool(pongs) and all(pongs)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+__all__ = [
+    "ConnectionClosedError",
+    "FleetClient",
+    "PredictionClient",
+    "ServerError",
+    "overload_backoff",
+]

@@ -1,0 +1,590 @@
+"""Worker-per-core serving fleet: N processes, one port, one feature store.
+
+One asyncio :class:`~repro.serve.server.PredictionServer` tops out when
+featurize-heavy queries saturate its core.  :class:`ServeFleet` scales
+the serving tier to the hardware by forking one worker process per core,
+every worker running the *same* server code:
+
+* **One data port** — workers bind the shared ``(host, port)`` with
+  ``SO_REUSEPORT``; the kernel balances incoming connections across the
+  listening sockets, so clients keep dialing one address.  Where the
+  option is unavailable (or ``reuse_port=False``), the fleet falls back
+  to a port per worker and :class:`~repro.serve.client.FleetClient`
+  round-robins — same API, software balancing.
+* **Private control ports** — each worker opens a second, ephemeral
+  listener serving the same op set.  The kernel decides which worker a
+  data-port connection reaches, so anything that must reach *every*
+  worker (``refresh`` after a publish, ``stats`` aggregation, drift
+  configuration) fans out over the control addresses instead.  Control
+  ports are re-reported on restart, and fan-outs re-resolve addresses
+  per attempt, so a worker mid-restart is retried at its new port, not
+  skipped.
+* **Shared model + feature state** — all workers read one on-disk
+  :class:`~repro.serve.registry.ModelRegistry` (per-worker warm LRUs on
+  top) and, with ``feat_cache="shared"``, one shm-backed
+  :class:`~repro.serve.featcache.FeaturizationCache` L2 tier: a field
+  featurized by any worker is a cache hit for all of them.
+* **Supervision** — a thread watches worker processes and restarts
+  crashed ones under the same crash-loop cap discipline the collection
+  harness uses (``max_restarts`` per worker, then the worker is parked
+  as crash-looped and the rest of the fleet keeps serving).
+
+The fleet owns shared resources' lifecycles: the shm feature store is
+swept (``unlink_all``) at :meth:`stop`, so a chaos-killed worker cannot
+leak ``/dev/shm`` names past the fleet's lifetime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..dataset.shm import SharedSegmentRegistry
+from .client import FleetClient, PredictionClient, ServerError
+from .drift import DriftConfig
+from .featcache import FeaturizationCache
+from .registry import ModelRegistry
+from .server import PredictionServer
+
+#: Featurization-cache deployment modes a fleet understands.
+FEAT_CACHE_MODES = ("off", "local", "shared")
+
+
+def reuse_port_supported(host: str = "127.0.0.1") -> bool:
+    """Whether two sockets can share one TCP port on this host.
+
+    Probes by actually double-binding: ``SO_REUSEPORT`` existing as a
+    constant does not guarantee the kernel honours it (WSL1, some
+    container seccomp profiles), and the fleet's fallback decision must
+    be made from evidence, not version sniffing.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    first = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    second = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        first.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        first.bind((host, 0))
+        second.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        second.bind((host, first.getsockname()[1]))
+    except OSError:
+        return False
+    finally:
+        first.close()
+        second.close()
+    return True
+
+
+def _build_feat_cache(spec: Mapping[str, Any]) -> FeaturizationCache | None:
+    mode = spec["feat_cache"]
+    if mode == "off":
+        return None
+    if mode == "local":
+        return FeaturizationCache(capacity=spec["feat_cache_capacity"])
+    return FeaturizationCache(
+        capacity=spec["feat_cache_capacity"],
+        shared_dir=spec["feat_cache_dir"],
+        shared_capacity_bytes=spec["feat_cache_bytes"],
+        # Workers never own the shm tier: the fleet parent sweeps at
+        # stop, and a worker's resource tracker must not unlink live
+        # segments out from under its siblings when chaos kills it.
+        track=False,
+    )
+
+
+def _fleet_worker_main(spec: dict[str, Any], ready_queue: Any) -> None:
+    """Entry point of one fleet worker process (module-level: picklable)."""
+    import asyncio
+
+    registry = ModelRegistry(spec["registry_root"])
+    feat_cache = _build_feat_cache(spec)
+    drift_config = (
+        DriftConfig.from_mapping(spec["drift_config"])
+        if spec.get("drift_config")
+        else None
+    )
+    server = PredictionServer(
+        registry,
+        spec["host"],
+        spec["port"],
+        reuse_port=spec["reuse_port"],
+        control_port=0,
+        worker_id=spec["worker_id"],
+        feat_cache=feat_cache,
+        drift_config=drift_config,
+        **spec.get("server_options", {}),
+    )
+
+    async def amain() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, server.request_stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        ready_queue.put(
+            {
+                "worker": spec["worker_id"],
+                "pid": os.getpid(),
+                "port": server.port,
+                "control_port": server.control_port,
+            }
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(amain())
+    finally:
+        if feat_cache is not None:
+            feat_cache.close()
+
+
+@dataclass
+class _WorkerRecord:
+    """Supervisor-side state for one fleet worker slot."""
+
+    spec: dict[str, Any]
+    proc: Any = None
+    pid: int | None = None
+    port: int | None = None
+    control_port: int | None = None
+    ready: bool = False
+    restarts: int = 0
+    crash_looped: bool = False
+    exit_codes: list[int] = field(default_factory=list)
+
+
+class FleetRefreshError(RuntimeError):
+    """A fan-out could not reach every live worker within its retries."""
+
+
+class ServeFleet:
+    """Spawn, supervise and address a multi-process prediction fleet.
+
+    Parameters mirror :class:`PredictionServer` where they overlap;
+    extra server keywords (``batch_window_ms``, ``max_batch``, …) pass
+    through ``server_options``.  ``reuse_port=None`` auto-detects and
+    falls back to port-per-worker; ``True`` insists (raising where
+    unsupported); ``False`` forces the fallback path.
+    """
+
+    def __init__(
+        self,
+        registry_root: str,
+        workers: int | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool | None = None,
+        feat_cache: str = "shared",
+        feat_cache_dir: str | None = None,
+        feat_cache_capacity: int = 1024,
+        feat_cache_bytes: int = 64 * 1024 * 1024,
+        max_restarts: int = 3,
+        drift_config: DriftConfig | Mapping[str, Any] | None = None,
+        server_options: Mapping[str, Any] | None = None,
+        mp_context: str | None = None,
+        ready_timeout: float = 60.0,
+    ) -> None:
+        if feat_cache not in FEAT_CACHE_MODES:
+            raise ValueError(
+                f"feat_cache must be one of {FEAT_CACHE_MODES}, got {feat_cache!r}"
+            )
+        self.registry_root = os.fspath(registry_root)
+        self.workers = max(1, int(workers if workers is not None else os.cpu_count() or 1))
+        self.host = host
+        self.port = int(port)
+        self._reuse_port_requested = reuse_port
+        self.reuse_port = False  # resolved at start()
+        self.feat_cache = feat_cache
+        self._feat_dir_owned = feat_cache == "shared" and feat_cache_dir is None
+        self.feat_cache_dir = feat_cache_dir
+        self.feat_cache_capacity = int(feat_cache_capacity)
+        self.feat_cache_bytes = int(feat_cache_bytes)
+        self.max_restarts = max(0, int(max_restarts))
+        if dataclasses.is_dataclass(drift_config):
+            drift_config = dataclasses.asdict(drift_config)
+        self.drift_config = dict(drift_config) if drift_config else None
+        self.server_options = dict(server_options or {})
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.ready_timeout = float(ready_timeout)
+        self._records: dict[int, _WorkerRecord] = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._ready_queue: Any = None
+        self._supervisor: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "ServeFleet":
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._started = True
+        self._stop_event.clear()
+        self._ready_queue = self._ctx.Queue()
+        if self.feat_cache == "shared" and self.feat_cache_dir is None:
+            self.feat_cache_dir = tempfile.mkdtemp(prefix="featcache-")
+        self.reuse_port = self._resolve_reuse_port()
+        placeholder: socket.socket | None = None
+        try:
+            if self.reuse_port:
+                # Reserve the shared port before any worker binds it: a
+                # bound, never-listening SO_REUSEPORT socket holds the
+                # number (TCP only routes to LISTEN sockets) without
+                # receiving connections, closing the pick-then-bind race
+                # for port=0.
+                placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                placeholder.bind((self.host, self.port))
+                self.port = placeholder.getsockname()[1]
+            for worker_id in range(self.workers):
+                self._spawn(worker_id)
+            self._await_ready(self.ready_timeout)
+        except Exception:
+            self._started = False
+            self._terminate_all()
+            raise
+        finally:
+            if placeholder is not None:
+                placeholder.close()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="fleet-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop every worker (SIGTERM, then kill) and sweep shared state."""
+        if not self._started:
+            return
+        self._started = False
+        self._stop_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout)
+            self._supervisor = None
+        self._terminate_all(timeout=timeout)
+        if self._ready_queue is not None:
+            self._ready_queue.close()
+            self._ready_queue = None
+        if self.feat_cache == "shared" and self.feat_cache_dir is not None:
+            sweeper = SharedSegmentRegistry(self.feat_cache_dir, track=True)
+            sweeper.unlink_all()
+            if self._feat_dir_owned:
+                shutil.rmtree(self.feat_cache_dir, ignore_errors=True)
+                self.feat_cache_dir = None
+
+    def __enter__(self) -> "ServeFleet":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- spawn / supervise -------------------------------------------------------
+    def _resolve_reuse_port(self) -> bool:
+        if self._reuse_port_requested is False:
+            return False
+        supported = reuse_port_supported(self.host)
+        if self._reuse_port_requested is True and not supported:
+            raise RuntimeError(
+                "reuse_port=True requested but SO_REUSEPORT is unavailable "
+                "on this host; pass reuse_port=None for automatic fallback"
+            )
+        return supported
+
+    def _spawn(self, worker_id: int) -> None:
+        spec = {
+            "worker_id": worker_id,
+            "registry_root": self.registry_root,
+            "host": self.host,
+            "port": self.port if self.reuse_port else 0,
+            "reuse_port": self.reuse_port,
+            "feat_cache": self.feat_cache,
+            "feat_cache_dir": self.feat_cache_dir,
+            "feat_cache_capacity": self.feat_cache_capacity,
+            "feat_cache_bytes": self.feat_cache_bytes,
+            "drift_config": self.drift_config,
+            "server_options": self.server_options,
+        }
+        proc = self._ctx.Process(
+            target=_fleet_worker_main,
+            args=(spec, self._ready_queue),
+            name=f"serve-fleet-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        with self._lock:
+            record = self._records.get(worker_id)
+            if record is None:
+                record = self._records[worker_id] = _WorkerRecord(spec=spec)
+            record.proc = proc
+            record.pid = proc.pid
+            record.ready = False
+
+    def _consume_ready(self, timeout: float) -> bool:
+        """Apply one readiness report from a worker; False on timeout."""
+        import queue as _queue
+
+        try:
+            msg = self._ready_queue.get(timeout=timeout)
+        except (_queue.Empty, OSError, ValueError):
+            return False
+        with self._lock:
+            record = self._records.get(msg["worker"])
+            if record is not None:
+                record.pid = msg["pid"]
+                record.port = msg["port"]
+                record.control_port = msg["control_port"]
+                record.ready = True
+        return True
+
+    def _await_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                missing = [
+                    wid
+                    for wid, rec in self._records.items()
+                    if not rec.ready and not rec.crash_looped
+                ]
+            if not missing:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"fleet workers {missing} failed to report ready "
+                    f"within {timeout:.1f}s"
+                )
+            self._consume_ready(min(remaining, 0.25))
+
+    def _supervise(self) -> None:
+        """Restart dead workers under the crash-loop cap (daemon thread)."""
+        while not self._stop_event.wait(0.05):
+            # Drain restart readiness reports without blocking the scan.
+            while self._consume_ready(timeout=0.0):
+                pass
+            with self._lock:
+                dead = [
+                    (wid, rec)
+                    for wid, rec in self._records.items()
+                    if rec.proc is not None
+                    and not rec.proc.is_alive()
+                    and not rec.crash_looped
+                ]
+            for worker_id, record in dead:
+                if self._stop_event.is_set():
+                    return
+                record.exit_codes.append(record.proc.exitcode)
+                record.ready = False
+                record.restarts += 1
+                if record.restarts > self.max_restarts:
+                    # Crash-looping: park the slot, keep the fleet up.
+                    record.crash_looped = True
+                    continue
+                self._spawn(worker_id)
+
+    def _terminate_all(self, timeout: float = 10.0) -> None:
+        with self._lock:
+            procs = [rec.proc for rec in self._records.values() if rec.proc is not None]
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM -> graceful request_stop
+        deadline = time.monotonic() + timeout
+        for proc in procs:
+            proc.join(max(deadline - time.monotonic(), 0.1))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(1.0)
+
+    # -- addressing -------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The data address clients dial (shared port under reuse_port)."""
+        if self.reuse_port:
+            return (self.host, self.port)
+        addresses = self.data_addresses()
+        if not addresses:
+            raise RuntimeError("no live fleet workers")
+        return addresses[0]
+
+    def data_addresses(self) -> list[tuple[str, int]]:
+        """Every data address currently accepting queries."""
+        if self.reuse_port:
+            return [(self.host, self.port)]
+        with self._lock:
+            return [
+                (self.host, rec.port)
+                for rec in self._records.values()
+                if rec.ready and rec.port is not None and rec.proc.is_alive()
+            ]
+
+    def control_addresses(self) -> list[tuple[str, int]]:
+        """Per-worker private addresses, re-resolved on every call.
+
+        Restarted workers re-report with fresh ports, so callers must
+        not cache this list across failures — the loop's refresh fan-out
+        and :meth:`_fanout` both re-resolve per attempt.
+        """
+        with self._lock:
+            return [
+                (self.host, rec.control_port)
+                for rec in self._records.values()
+                if rec.ready and rec.control_port is not None and rec.proc.is_alive()
+            ]
+
+    def worker_pids(self) -> dict[int, int]:
+        with self._lock:
+            return {
+                wid: rec.pid
+                for wid, rec in self._records.items()
+                if rec.pid is not None and rec.proc is not None and rec.proc.is_alive()
+            }
+
+    def live_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for rec in self._records.values() if rec.ready and rec.proc.is_alive()
+            )
+
+    def crash_looped_workers(self) -> list[int]:
+        with self._lock:
+            return sorted(
+                wid for wid, rec in self._records.items() if rec.crash_looped
+            )
+
+    def restart_counts(self) -> dict[int, int]:
+        with self._lock:
+            return {wid: rec.restarts for wid, rec in self._records.items()}
+
+    def connect(self, **client_kwargs: Any) -> FleetClient:
+        """A client balanced over the fleet's current data addresses."""
+        return FleetClient(self.data_addresses, **client_kwargs)
+
+    # -- fleet-wide operations -----------------------------------------------------
+    def _fanout(
+        self,
+        fn: Callable[[PredictionClient], Any],
+        *,
+        retries: int = 5,
+        backoff: float = 0.2,
+        timeout: float = 10.0,
+    ) -> dict[int, Any]:
+        """Run *fn* against every live worker's control port.
+
+        Addresses are re-resolved per attempt so a worker that died and
+        restarted mid-fan-out is reached at its new control port.  Raises
+        :class:`FleetRefreshError` when, after all retries, some live
+        worker never answered — a silent partial fan-out would leave a
+        worker serving a stale model, the exact bug refresh exists to
+        prevent.
+        """
+        results: dict[int, Any] = {}
+        last_errors: dict[int, str] = {}
+        for attempt in range(retries + 1):
+            with self._lock:
+                targets = [
+                    (wid, (self.host, rec.control_port))
+                    for wid, rec in self._records.items()
+                    if rec.ready
+                    and rec.control_port is not None
+                    and rec.proc.is_alive()
+                    and wid not in results
+                ]
+            for worker_id, address in targets:
+                try:
+                    with PredictionClient(
+                        *address, timeout=timeout, reconnects=0
+                    ) as client:
+                        results[worker_id] = fn(client)
+                except (OSError, ServerError) as exc:
+                    last_errors[worker_id] = f"{type(exc).__name__}: {exc}"
+            with self._lock:
+                expected = {
+                    wid
+                    for wid, rec in self._records.items()
+                    if not rec.crash_looped
+                }
+            if expected <= set(results):
+                return results
+            if attempt < retries:
+                time.sleep(backoff * (attempt + 1))
+        missing = sorted(expected - set(results))
+        raise FleetRefreshError(
+            f"workers {missing} unreachable after {retries + 1} attempts: "
+            f"{ {w: last_errors.get(w, 'never ready') for w in missing} }"
+        )
+
+    def refresh(self, key: str | None = None) -> dict[int, dict[str, Any]]:
+        """Fan a registry invalidation out to *every* worker.
+
+        One publish flips the whole fleet without restarts; returns each
+        worker's ``{key: live_version}`` map, and raises if any live
+        worker could not be refreshed.
+        """
+        return self._fanout(lambda client: client.refresh(key))
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregated fleet counters plus the per-worker snapshots."""
+        per_worker = self._fanout(lambda client: client.stats())
+        return {
+            "workers": per_worker,
+            "aggregate": aggregate_stats(list(per_worker.values())),
+        }
+
+    def drift(self, *, configure: Mapping[str, Any] | None = None) -> dict[int, Any]:
+        """Fan the ``drift`` op (snapshots / reconfiguration) fleet-wide."""
+        return self._fanout(lambda client: client.drift(configure=configure))
+
+    def ping(self) -> bool:
+        """True when every non-crash-looped worker answers a ping."""
+        return all(self._fanout(lambda client: client.ping()).values())
+
+
+def aggregate_stats(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Sum per-worker :class:`ServeStats` snapshots into fleet totals.
+
+    Counters and accumulated seconds add; latency quantiles cannot be
+    averaged meaningfully, so the aggregate reports the worst worker's
+    (an upper bound on the fleet quantile); ``mean_batch_size`` is
+    recomputed from the summed numerator/denominator.
+    """
+    out: dict[str, Any] = {"workers": len(snapshots)}
+    if not snapshots:
+        return out
+    summed = (
+        "requests", "completed", "failed", "shed", "batches", "predict_calls",
+        "batched_rows", "cache_hits", "cache_misses", "load_waits",
+        "model_loads", "refreshes", "observations", "drift_fires",
+        "connections", "feat_hits", "feat_misses", "feat_bypass",
+        "feat_ref_hits", "feat_ref_misses",
+        "feat_bytes_saved", "feat_seconds_saved", "queue_wait_seconds",
+        "featurize_seconds", "predict_seconds",
+    )
+    for name in summed:
+        out[name] = sum(snap.get(name, 0) for snap in snapshots)
+    for name in ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms"):
+        out[name] = max(snap.get(name, 0.0) for snap in snapshots)
+    calls = out["predict_calls"]
+    out["mean_batch_size"] = out["batched_rows"] / calls if calls else 0.0
+    stale: set[str] = set()
+    for snap in snapshots:
+        stale.update(snap.get("stale_keys", ()))
+    out["stale_keys"] = sorted(stale)
+    return out
+
+
+__all__ = [
+    "FEAT_CACHE_MODES",
+    "FleetRefreshError",
+    "ServeFleet",
+    "aggregate_stats",
+    "reuse_port_supported",
+]

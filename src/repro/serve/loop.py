@@ -140,7 +140,13 @@ class ContinuousLearner:
 
         self.registry = registry
         self.runner_factory = runner_factory
-        self.servers = [(h, int(p)) for h, p in servers]
+        # Entries are (host, port) pairs or fleet-like objects exposing
+        # control_addresses(); the latter expand at *call* time, because
+        # a fleet's restarted workers report fresh control ports.
+        self.servers = [
+            entry if hasattr(entry, "control_addresses") else (entry[0], int(entry[1]))
+            for entry in servers
+        ]
         self.retry_policy = retry_policy or RetryPolicy(max_retries=0)
         self.max_stage_attempts = max(1, int(max_stage_attempts))
         self.chaos = chaos
@@ -167,18 +173,34 @@ class ContinuousLearner:
         return hook
 
     # -- drift polling -----------------------------------------------------------
+    def _server_addresses(self) -> list[tuple[str, int]]:
+        """The current set of per-server addresses, fleets expanded live.
+
+        A :class:`~repro.serve.fleet.ServeFleet` entry contributes one
+        address per live worker (its control ports — the data port is
+        kernel-balanced and cannot address a specific worker), so a
+        loop-driven refresh flips every member of the fleet.
+        """
+        addresses: list[tuple[str, int]] = []
+        for entry in self.servers:
+            if hasattr(entry, "control_addresses"):
+                addresses.extend(entry.control_addresses())
+            else:
+                addresses.append(entry)
+        return addresses
+
     def configure_servers(self) -> None:
         """Push the learner's drift thresholds to every server."""
         if self.drift_config is None:
             return
-        for host, port in self.servers:
+        for host, port in self._server_addresses():
             with PredictionClient(host, port) as client:
                 client.drift(configure=self.drift_config)
 
     def fired_keys(self) -> dict[str, dict[str, Any]]:
         """Keys whose drift monitor has fired and is still stale."""
         fired: dict[str, dict[str, Any]] = {}
-        for host, port in self.servers:
+        for host, port in self._server_addresses():
             with PredictionClient(host, port) as client:
                 body = client.drift()
             for key, snap in body.get("monitors", {}).items():
@@ -281,7 +303,7 @@ class ContinuousLearner:
         """Flip every live server to the new versions and confirm it."""
         out: dict[str, dict[str, str | None]] = {}
         expected = {r.key: self.registry.latest(r.key) for r in receipts}
-        for host, port in self.servers:
+        for host, port in self._server_addresses():
             addr = f"{host}:{port}"
             if self.chaos is not None and self.chaos.loop_fault(
                 "refresh_drop", f"round{round_no}:refresh:{addr}"

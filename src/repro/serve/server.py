@@ -29,6 +29,11 @@ Wire protocol: newline-delimited JSON over TCP.  Request::
      "results": {...}}                  # precomputed metric features
     {"op": "predict", "key": "...",
      "data": {"__ndarray__": ...}}      # raw field; server featurizes
+    {"op": "predict", "key": "...",
+     "data_ref": "<sha256>"}            # zero-copy what-if repeat: the
+                                        # content fingerprint of a field
+                                        # sent earlier; served entirely
+                                        # from the featurization cache
     {"op": "observe", "key": "...",     # ground truth arrived for an
      "prediction": 3.1, "truth": 2.9,   # earlier prediction: feed the
      "version": "v0001"}                # drift monitor's ledger
@@ -39,7 +44,15 @@ Wire protocol: newline-delimited JSON over TCP.  Request::
 Response statuses (documented contract): ``"ok"``, ``"overloaded"``
 (shed by admission control — retry after backoff), ``"not_found"``
 (unknown/unpublished key), ``"bad_request"`` (malformed request),
-``"error"`` (internal failure; request was admitted but not served).
+``"need_data"`` (a ``data_ref`` fingerprint is not in the featurization
+cache — resend the full ``data`` payload), ``"error"`` (internal
+failure; request was admitted but not served).
+
+Raw-data predict responses carry ``"cached": true`` when the row was
+served from or stored into the featurization cache; a client uses that
+as the server's invitation to send ``data_ref`` instead of the payload
+on subsequent what-if probes of the same field (the cheap resend path
+:class:`~repro.serve.client.PredictionClient` drives automatically).
 
 Degradation contract: when a model's drift monitor has fired but no
 new version has started serving (the continuous-learning loop is down
@@ -61,6 +74,7 @@ from typing import Any, Mapping
 from ..core.data import as_data
 from .codec import decode_array
 from .drift import DriftConfig, DriftMonitor
+from .featcache import FeaturizationCache
 from .registry import LoadedModel, ModelNotFoundError, ModelRegistry
 
 #: Documented response statuses (see module docstring / DESIGN.md §8).
@@ -68,6 +82,7 @@ STATUS_OK = "ok"
 STATUS_OVERLOADED = "overloaded"
 STATUS_NOT_FOUND = "not_found"
 STATUS_BAD_REQUEST = "bad_request"
+STATUS_NEED_DATA = "need_data"
 STATUS_ERROR = "error"
 
 
@@ -98,6 +113,23 @@ class ServeStats:
     observations: int = 0
     #: Drift-monitor fire transitions (per key, per armed generation).
     drift_fires: int = 0
+    #: TCP connections accepted (a reusing client counts once).
+    connections: int = 0
+    #: Featurization-cache outcomes for raw-data queries: a hit skips
+    #: the decode + scheme evaluator entirely; bypass means the model's
+    #: metrics are nondeterministic (uncacheable by contract).
+    feat_hits: int = 0
+    feat_misses: int = 0
+    feat_bypass: int = 0
+    #: ``data_ref`` predicts served without the payload crossing the
+    #: wire (counted inside ``feat_hits`` too) / refs the cache could
+    #: not honour (answered ``need_data``; the client resends in full).
+    feat_ref_hits: int = 0
+    feat_ref_misses: int = 0
+    #: Field bytes whose decode+featurize a cache hit avoided.
+    feat_bytes_saved: int = 0
+    #: Featurize seconds avoided (original miss cost minus hit cost).
+    feat_seconds_saved: float = 0.0
     queue_wait_seconds: float = 0.0
     featurize_seconds: float = 0.0
     predict_seconds: float = 0.0
@@ -136,6 +168,14 @@ class ServeStats:
             "refreshes": self.refreshes,
             "observations": self.observations,
             "drift_fires": self.drift_fires,
+            "connections": self.connections,
+            "feat_hits": self.feat_hits,
+            "feat_misses": self.feat_misses,
+            "feat_bypass": self.feat_bypass,
+            "feat_ref_hits": self.feat_ref_hits,
+            "feat_ref_misses": self.feat_ref_misses,
+            "feat_bytes_saved": self.feat_bytes_saved,
+            "feat_seconds_saved": self.feat_seconds_saved,
             "queue_wait_seconds": self.queue_wait_seconds,
             "featurize_seconds": self.featurize_seconds,
             "predict_seconds": self.predict_seconds,
@@ -234,8 +274,21 @@ class _Pending:
     array: Any  # encoded ndarray payload, if featurization is needed
     future: asyncio.Future
     enqueued: float
+    #: Content fingerprint of a payload the client sent earlier — the
+    #: zero-copy resend path; the row must come from the cache or the
+    #: request is answered ``need_data``.
+    data_ref: str | None = None
     queue_wait: float = 0.0
     featurize_s: float = 0.0
+    #: Featurization-cache outcome for a raw-data item ("hit"/"miss"/
+    #: "bypass"/"ref_hit"/"ref_miss"; None when no cache or the client
+    #: sent results).  Set on the featurize worker thread, folded into
+    #: stats on the loop thread.
+    feat_outcome: str | None = None
+    #: Decoded field size (bytes) a hit avoided / a miss paid.
+    source_nbytes: int = 0
+    #: The original featurize cost a hit inherited from its stored row.
+    cached_cost_s: float = 0.0
 
 
 class PredictionServer:
@@ -253,6 +306,11 @@ class PredictionServer:
         max_queue_depth: int = 256,
         cache_capacity: int = 8,
         drift_config: DriftConfig | None = None,
+        feat_cache: FeaturizationCache | None = None,
+        reuse_port: bool = False,
+        control_port: int | None = None,
+        worker_id: int = 0,
+        stream_limit: int = 16 * 1024 * 1024,
     ) -> None:
         self.registry = registry
         self.host = host
@@ -263,6 +321,20 @@ class PredictionServer:
         self.max_queue_depth = max(1, int(max_queue_depth))
         self.stats = ServeStats()
         self.cache = _ModelCache(registry, cache_capacity, self.stats)
+        #: Shared/local featurization cache; None disables (see featcache.py).
+        self.feat_cache = feat_cache
+        #: Max request-line bytes asyncio will buffer.  The default
+        #: 64 KiB stream limit truncates raw-field predicts (a 32³ float
+        #: field is already ~85 KiB base64-encoded), killing the
+        #: connection with LimitOverrunError instead of an error reply.
+        self.stream_limit = int(stream_limit)
+        #: Bind with SO_REUSEPORT so fleet siblings share one data port.
+        self.reuse_port = bool(reuse_port)
+        #: When not None, a second private listener serving the same ops;
+        #: fleet supervisors address one specific worker through it even
+        #: while the kernel balances the shared data port (0 = ephemeral).
+        self.control_port = control_port if control_port is None else int(control_port)
+        self.worker_id = int(worker_id)
         self.drift_config = drift_config or DriftConfig()
         #: key → drift monitor over the ``observe`` residual stream.
         self._monitors: dict[str, DriftMonitor] = {}
@@ -273,22 +345,52 @@ class PredictionServer:
         self._in_flight = 0
         self._queued = 0
         self._server: asyncio.AbstractServer | None = None
+        self._control_server: asyncio.AbstractServer | None = None
         self._stopping: asyncio.Event | None = None
+        #: Live connection tasks — drained at stop so a graceful shutdown
+        #: with keep-alive clients attached does not leave tasks for
+        #: ``asyncio.run`` to cancel noisily.
+        self._connection_tasks: set[asyncio.Task] = set()
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
         self._stopping = asyncio.Event()
+        kwargs: dict[str, Any] = {"limit": self.stream_limit}
+        if self.reuse_port:
+            kwargs["reuse_port"] = True
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.control_port is not None:
+            self._control_server = await asyncio.start_server(
+                self._handle_connection,
+                self.host,
+                self.control_port,
+                limit=self.stream_limit,
+            )
+            self.control_port = self._control_server.sockets[0].getsockname()[1]
 
     async def serve_until_stopped(self) -> None:
         if self._server is None:
             await self.start()
         assert self._stopping is not None
-        async with self._server:
-            await self._stopping.wait()
+        try:
+            async with self._server:
+                await self._stopping.wait()
+        finally:
+            if self._control_server is not None:
+                self._control_server.close()
+                await self._control_server.wait_closed()
+            # Keep-alive clients hold connections open across requests;
+            # cancel and await their handler tasks here so teardown is
+            # quiet and deterministic.
+            for task in list(self._connection_tasks):
+                task.cancel()
+            if self._connection_tasks:
+                await asyncio.gather(
+                    *self._connection_tasks, return_exceptions=True
+                )
 
     def request_stop(self) -> None:
         if self._stopping is not None:
@@ -298,6 +400,11 @@ class PredictionServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self.stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
         try:
             while True:
                 line = await reader.readline()
@@ -311,10 +418,33 @@ class PredictionServer:
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
+        except ValueError:
+            # A request line over stream_limit: answer with a proper
+            # error instead of silently dropping the connection.
+            response = {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": f"request exceeds the {self.stream_limit}-byte line limit",
+            }
+            try:
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+            except OSError:
+                pass
+        except asyncio.CancelledError:
+            # Server stopping with this connection still open — not an
+            # error; close the writer below and swallow the cancel so
+            # gather() in serve_until_stopped gets a clean result.
+            pass
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
+            except asyncio.CancelledError:
+                # Stop-time cancel landed during the close handshake
+                # (CancelledError is a BaseException on 3.11, so the
+                # clause below would let it escape the task).
+                pass
             except Exception:  # noqa: BLE001 - teardown best-effort
                 pass
 
@@ -336,6 +466,9 @@ class PredictionServer:
         elif op == "stats":
             snapshot = self.stats.snapshot()
             snapshot["stale_keys"] = self.stale_keys()
+            snapshot["worker"] = self.worker_id
+            if self.feat_cache is not None:
+                snapshot["featcache"] = self.feat_cache.stats()
             response = {"ok": True, "status": STATUS_OK, "stats": snapshot}
         elif op == "observe":
             response = self._handle_observe(request)
@@ -519,17 +652,35 @@ class PredictionServer:
             }
         row = request.get("results")
         array = request.get("data")
-        if (row is None) == (array is None):
+        data_ref = request.get("data_ref")
+        if sum(x is not None for x in (row, array, data_ref)) != 1:
             return {
                 "ok": False,
                 "status": STATUS_BAD_REQUEST,
-                "error": "predict requires exactly one of 'results' / 'data'",
+                "error": (
+                    "predict requires exactly one of "
+                    "'results' / 'data' / 'data_ref'"
+                ),
             }
         if row is not None and not isinstance(row, dict):
             return {
                 "ok": False,
                 "status": STATUS_BAD_REQUEST,
                 "error": "'results' must be an object of metric values",
+            }
+        if data_ref is not None and not isinstance(data_ref, str):
+            return {
+                "ok": False,
+                "status": STATUS_BAD_REQUEST,
+                "error": "'data_ref' must be a content-fingerprint string",
+            }
+        if data_ref is not None and self.feat_cache is None:
+            # No cache, nothing a fingerprint could resolve against.
+            self.stats.feat_ref_misses += 1
+            return {
+                "ok": False,
+                "status": STATUS_NEED_DATA,
+                "error": "no featurization cache on this server; send 'data'",
             }
         # Admission control: shed instead of queueing unboundedly.  The
         # overload contract is a *fast* "overloaded" response so clients
@@ -549,6 +700,7 @@ class PredictionServer:
         pending = _Pending(
             row=row,
             array=array,
+            data_ref=data_ref,
             future=asyncio.get_running_loop().create_future(),
             enqueued=time.perf_counter(),
         )
@@ -569,6 +721,10 @@ class PredictionServer:
             }
         finally:
             self._in_flight -= 1
+        if payload.get("status") == STATUS_NEED_DATA:
+            # Not a served prediction and not a failure: the client's
+            # resend with the full payload is the request that counts.
+            return payload
         self.stats.completed += 1
         self.stats.observe_latency(time.perf_counter() - t_admit)
         return payload
@@ -624,11 +780,46 @@ class PredictionServer:
             # Stats mutate only on the loop thread; _featurize_batch ran
             # on a worker, so fold its per-item timings in here.
             self.stats.featurize_seconds += sum(i.featurize_s for i in batch)
+            for item in batch:
+                if item.feat_outcome in ("hit", "ref_hit"):
+                    self.stats.feat_hits += 1
+                    self.stats.feat_bytes_saved += item.source_nbytes
+                    self.stats.feat_seconds_saved += max(
+                        item.cached_cost_s - item.featurize_s, 0.0
+                    )
+                    if item.feat_outcome == "ref_hit":
+                        self.stats.feat_ref_hits += 1
+                elif item.feat_outcome == "miss":
+                    self.stats.feat_misses += 1
+                elif item.feat_outcome == "bypass":
+                    self.stats.feat_bypass += 1
+                elif item.feat_outcome == "ref_miss":
+                    self.stats.feat_ref_misses += 1
+            # A data_ref the cache could not honour drops out of the
+            # batch here with ``need_data``; the client resends in full.
+            live = [(item, row) for item, row in zip(batch, rows) if row is not None]
+            for item, row in zip(batch, rows):
+                if row is None and not item.future.done():
+                    item.future.set_result(
+                        {
+                            "ok": False,
+                            "status": STATUS_NEED_DATA,
+                            "error": (
+                                "data_ref is not in the featurization "
+                                "cache; resend the full 'data' payload"
+                            ),
+                            "key": key,
+                        }
+                    )
+            if not live:
+                return
             t_pred = time.perf_counter()
-            preds = await asyncio.to_thread(model.predictor.predict_many, rows)
+            preds = await asyncio.to_thread(
+                model.predictor.predict_many, [row for _, row in live]
+            )
             predict_s = time.perf_counter() - t_pred
             self.stats.predict_calls += 1
-            self.stats.batched_rows += len(batch)
+            self.stats.batched_rows += len(live)
             self.stats.predict_seconds += predict_s
             if version is None:
                 # Follow-latest traffic defines what "currently serving"
@@ -639,25 +830,28 @@ class PredictionServer:
                 if not item.future.done():
                     item.future.set_exception(exc)
             return
-        for item, pred in zip(batch, preds):
+        for (item, _), pred in zip(live, preds):
             if item.future.done():
                 continue
-            item.future.set_result(
-                {
-                    "ok": True,
-                    "status": STATUS_OK,
-                    "prediction": float(pred),
-                    "target": model.target_key,
-                    "key": key,
-                    "version": model.version,
-                    "batch_size": len(batch),
-                    "timings": {
-                        "queue_wait_ms": item.queue_wait * 1e3,
-                        "featurize_ms": item.featurize_s * 1e3,
-                        "predict_ms": predict_s * 1e3,
-                    },
-                }
-            )
+            response = {
+                "ok": True,
+                "status": STATUS_OK,
+                "prediction": float(pred),
+                "target": model.target_key,
+                "key": key,
+                "version": model.version,
+                "batch_size": len(batch),
+                "timings": {
+                    "queue_wait_ms": item.queue_wait * 1e3,
+                    "featurize_ms": item.featurize_s * 1e3,
+                    "predict_ms": predict_s * 1e3,
+                },
+            }
+            if item.row is None:
+                # Tell the client whether the row now lives in the
+                # cache — its cue to switch to ``data_ref`` resends.
+                response["cached"] = item.feat_outcome in ("hit", "miss", "ref_hit")
+            item.future.set_result(response)
 
     def _featurize_batch(
         self, model: LoadedModel, batch: list[_Pending]
@@ -668,17 +862,28 @@ class PredictionServer:
         zero-cost config features; raw ``data`` payloads run through the
         scheme's own metric evaluator — the same featurization the bench
         used at training time, so online and offline rows agree.
+
+        With a :class:`FeaturizationCache` attached, raw payloads are
+        content-hashed first and a hit returns the stored evaluator row
+        (bit-identical by the state codec's round-trip contract) without
+        decoding the array at all.  Config features are applied *after*
+        the cache, never stored: they encode the error configuration,
+        which error-agnostic cache keys deliberately exclude.
         """
         config = model.scheme.config_features(model.compressor)
-        rows: list[Mapping[str, Any]] = []
+        rows: list[Mapping[str, Any] | None] = []
         for item in batch:
             t0 = time.perf_counter()
             if item.row is not None:
                 row = dict(item.row)
             else:
-                data = as_data(decode_array(item.array))
-                evaluator = model.scheme.req_metrics_opts(model.compressor)
-                row = dict(evaluator.evaluate(data))
+                row = self._featurize_raw(model, item)
+            if row is None:
+                # Unhonourable data_ref — answered ``need_data`` by the
+                # batch runner; nothing to featurize.
+                item.featurize_s = time.perf_counter() - t0
+                rows.append(None)
+                continue
             # Fill in zero-cost config features without clobbering any
             # the client computed itself (training rows carry per-field
             # effective bounds when range-relative mode was on).
@@ -687,6 +892,55 @@ class PredictionServer:
             item.featurize_s = time.perf_counter() - t0
             rows.append(row)
         return rows
+
+    def _featurize_raw(
+        self, model: LoadedModel, item: _Pending
+    ) -> dict[str, Any] | None:
+        """Featurize one raw-field item, consulting the cache when present.
+
+        A ``data_ref`` item can *only* be served from the cache — there
+        is no payload to featurize — so a lookup failure returns None
+        and the batch runner answers ``need_data``.
+        """
+        cache = self.feat_cache
+        if item.data_ref is not None:
+            cache_key = (
+                cache.key_for_fingerprint(model, item.data_ref)
+                if cache is not None
+                else None
+            )
+            cached = cache.get(cache_key) if cache_key is not None else None
+            if cached is None:
+                item.feat_outcome = "ref_miss"
+                return None
+            item.feat_outcome = "ref_hit"
+            item.source_nbytes = cached.source_nbytes
+            item.cached_cost_s = cached.cost_s
+            return cached.row
+        cache_key = cache.key_for(model, item.array) if cache is not None else None
+        if cache is not None and cache_key is None:
+            item.feat_outcome = "bypass"
+        if cache_key is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                item.feat_outcome = "hit"
+                item.source_nbytes = cached.source_nbytes
+                item.cached_cost_s = cached.cost_s
+                return cached.row
+        t0 = time.perf_counter()
+        data = as_data(decode_array(item.array))
+        evaluator = model.scheme.req_metrics_opts(model.compressor)
+        row = dict(evaluator.evaluate(data))
+        if cache_key is not None:
+            item.feat_outcome = "miss"
+            item.source_nbytes = int(data.nbytes)
+            cache.put(
+                cache_key,
+                row,
+                cost_s=time.perf_counter() - t0,
+                source_nbytes=int(data.nbytes),
+            )
+        return row
 
 
 class ServerThread:

@@ -394,6 +394,136 @@ class TestResourceLifecycle:
         assert lint(src).clean
 
 
+# -- RL502 resource-leak-across-call ---------------------------------------------
+
+RL502_BAD = """\
+    from multiprocessing.shared_memory import SharedMemory
+
+    def log_segment(handle):
+        print(handle.name, handle.size)
+
+    def inspect(name):
+        seg = SharedMemory(name=name)
+        log_segment(seg)  # BAD
+"""
+
+RL502_GOOD_OWNER = """\
+    from multiprocessing.shared_memory import SharedMemory
+
+    REGISTRY = {}
+
+    def adopt(handle):
+        REGISTRY["seg"] = handle
+
+    def inspect(name):
+        seg = SharedMemory(name=name)
+        adopt(seg)
+"""
+
+RL502_GOOD_CLOSER = """\
+    from multiprocessing.shared_memory import SharedMemory
+
+    def consume(handle):
+        try:
+            print(handle.name)
+        finally:
+            handle.close()
+
+    def inspect(name):
+        seg = SharedMemory(name=name)
+        consume(seg)
+"""
+
+
+class TestResourceLifecycleAcrossCalls:
+    def test_callee_that_drops_the_handle_is_flagged(self):
+        report = lint(RL502_BAD)
+        assert hits(report, "RL502") == [bad_line(RL502_BAD)]
+        assert hits(report, "RL501") == []
+
+    def test_callee_that_stores_the_handle_passes(self):
+        assert lint(RL502_GOOD_OWNER).clean
+
+    def test_callee_that_closes_the_handle_passes(self):
+        assert lint(RL502_GOOD_CLOSER).clean
+
+    def test_release_at_caller_beats_the_drop(self):
+        src = """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def log_segment(handle):
+                print(handle.name)
+
+            def inspect(name):
+                seg = SharedMemory(name=name)
+                try:
+                    log_segment(seg)
+                finally:
+                    seg.close()
+        """
+        assert lint(src).clean
+
+    def test_unresolvable_callee_stays_quiet(self):
+        # Method calls and names with no (or multiple) project
+        # definitions cannot be proven non-owning: old escape semantics.
+        src = """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def inspect(name, ledger):
+                seg = SharedMemory(name=name)
+                ledger.adopt(seg)
+
+            def inspect2(name):
+                seg = SharedMemory(name=name)
+                unknown_external(seg)
+        """
+        assert lint(src).clean
+
+    def test_callee_forwarding_past_one_level_stays_quiet(self):
+        src = """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def deeper(handle):
+                print(handle.name)
+
+            def forward(handle):
+                deeper(handle)
+
+            def inspect(name):
+                seg = SharedMemory(name=name)
+                forward(seg)
+        """
+        assert lint(src).clean
+
+    def test_handle_inside_expression_stays_quiet(self):
+        src = """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def log_all(handles):
+                print(handles)
+
+            def inspect(name):
+                seg = SharedMemory(name=name)
+                log_all([seg])
+        """
+        assert lint(src).clean
+
+    def test_cross_module_resolution(self):
+        provider = """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def open_and_report(name):
+                seg = SharedMemory(name=name)
+                report(seg)  # BAD
+        """
+        library = """\
+            def report(handle):
+                print(handle.name, handle.size)
+        """
+        report = lint(provider, library, paths=("provider.py", "library.py"))
+        assert hits(report, "RL502") == [bad_line(provider)]
+
+
 # -- suppressions --------------------------------------------------------------
 
 

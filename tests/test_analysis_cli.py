@@ -82,10 +82,10 @@ def test_missing_path_is_a_usage_error(tmp_path, capsys):
     assert "no such path" in capsys.readouterr().err
 
 
-def test_list_rules_names_all_nine(capsys):
+def test_list_rules_names_all_ten(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert len(all_rules()) == 9
+    assert len(all_rules()) == 10
     for rule in all_rules():
         assert rule.id in out
         assert rule.name in out

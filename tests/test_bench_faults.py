@@ -226,6 +226,7 @@ class TestChaosPlan:
             "trainer_kill",
             "publish_corrupt",
             "refresh_drop",
+            "cache_kill",
         }
 
     def test_loop_faults_fire_once_per_site_and_count(self, tmp_path):

@@ -1,0 +1,357 @@
+"""Fleet serving: multi-process workers, shared cache, supervision.
+
+The serving tier's scale-out contract: N workers behind one address (or
+a round-robined address list where ``SO_REUSEPORT`` is unavailable),
+one shared featurization store, fleet-wide refresh that provably
+reaches every worker, and a supervisor that restarts crashed workers
+while queries keep succeeding.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.dataset import HurricaneDataset
+from repro.predict.scheme import get_scheme
+from repro.serve import (
+    FleetClient,
+    ModelRegistry,
+    PredictionClient,
+    ServeFleet,
+    registry_key,
+    reuse_port_supported,
+    scheme_params,
+)
+
+BOUND = 1e-3
+SHAPE = (16, 16, 8)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """A tiny published campaign; the runner stays open to republish."""
+    dataset = HurricaneDataset(
+        shape=SHAPE, timesteps=[0], fields=["P", "U", "QRAIN", "CLOUD"]
+    )
+    scheme = get_scheme("rahman2023", n_estimators=5, max_depth=4, augment_factor=1.0)
+    runner = ExperimentRunner(
+        dataset, compressors=["sz3"], bounds=[BOUND], schemes=[scheme], n_folds=2
+    )
+    observations = runner.collect().observations
+    registry_root = str(tmp_path_factory.mktemp("registry"))
+    registry = ModelRegistry(registry_root)
+    receipts = runner.publish(registry, observations)
+    key = registry_key(
+        scheme.id,
+        "sz3",
+        {"pressio:abs": BOUND, "pressio:abs_is_relative": True},
+        scheme_params(scheme),
+    )
+    rows = [
+        dict(o)
+        for o in observations
+        if o.get("scheme:rahman2023:supported") and o.get("size:compression_ratio")
+    ]
+    yield SimpleNamespace(
+        registry_root=registry_root,
+        registry=registry,
+        runner=runner,
+        observations=observations,
+        receipts=receipts,
+        key=key,
+        rows=rows,
+    )
+    runner.close()
+
+
+def fleet(campaign, workers=2, **kwargs):
+    kwargs.setdefault("ready_timeout", 60.0)
+    return ServeFleet(campaign.registry_root, workers, **kwargs)
+
+
+def wait_for(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestFleetLifecycle:
+    def test_start_ping_stats_stop(self, campaign):
+        with fleet(campaign) as f:
+            assert f.live_workers() == 2
+            assert f.ping()
+            stats = f.stats()
+            assert stats["aggregate"]["workers"] == 2
+            assert set(stats["workers"]) == {0, 1}
+            assert len(f.control_addresses()) == 2
+
+    @pytest.mark.skipif(
+        not reuse_port_supported(), reason="SO_REUSEPORT unavailable on this host"
+    )
+    def test_reuse_port_single_shared_address(self, campaign):
+        with fleet(campaign) as f:
+            assert f.reuse_port
+            assert f.data_addresses() == [f.address]
+            with f.connect() as client:
+                response = client.predict(campaign.key, results=campaign.rows[0])
+            assert response["prediction"] > 0
+
+    def test_forced_fallback_round_robins(self, campaign):
+        with fleet(campaign, reuse_port=False) as f:
+            assert not f.reuse_port
+            addresses = f.data_addresses()
+            assert len(addresses) == 2
+            with f.connect() as client:
+                for i in range(6):
+                    client.predict(
+                        campaign.key, results=campaign.rows[i % len(campaign.rows)]
+                    )
+            per_worker = f.stats()["workers"]
+            # Round-robin spreads the 6 requests over both workers.
+            assert all(s["requests"] >= 2 for s in per_worker.values())
+
+
+class TestSharedFeatureCache:
+    def test_cross_worker_featurize_hit(self, campaign):
+        """A field featurized by worker 0 is an L2 hit for worker 1 —
+        bit-identical prediction, evaluator skipped."""
+        rng = np.random.default_rng(5)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        with fleet(campaign, reuse_port=False, feat_cache="shared") as f:
+            (a0, a1) = f.data_addresses()
+            with PredictionClient(*a0) as c0:
+                first = c0.predict(campaign.key, data=arr)
+            with PredictionClient(*a1) as c1:
+                second = c1.predict(campaign.key, data=arr)
+            aggregate = f.stats()["aggregate"]
+        assert second["prediction"] == first["prediction"]
+        assert aggregate["feat_misses"] == 1
+        assert aggregate["feat_hits"] == 1
+        assert aggregate["feat_bytes_saved"] == arr.nbytes
+
+    def test_what_if_sweep_hits_within_worker(self, campaign):
+        """Repeats of the same field hit the cache (the what-if shape:
+        rahman2023's features are bound-insensitive)."""
+        rng = np.random.default_rng(6)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        with fleet(campaign, workers=1, feat_cache="local") as f:
+            with f.connect() as client:
+                for _ in range(4):
+                    client.predict(campaign.key, data=arr)
+            aggregate = f.stats()["aggregate"]
+        assert aggregate["feat_misses"] == 1
+        assert aggregate["feat_hits"] == 3
+        assert aggregate["feat_seconds_saved"] > 0
+
+    def test_cache_off_mode(self, campaign):
+        rng = np.random.default_rng(7)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        with fleet(campaign, workers=1, feat_cache="off") as f:
+            with f.connect() as client:
+                client.predict(campaign.key, data=arr)
+                client.predict(campaign.key, data=arr)
+            stats = f.stats()
+            aggregate = stats["aggregate"]
+            assert aggregate["feat_hits"] == 0
+            assert aggregate["feat_misses"] == 0
+            assert all("featcache" not in s for s in stats["workers"].values())
+
+
+class TestZeroCopyResend:
+    def test_repeat_probe_rides_data_ref(self, campaign):
+        """Once the server confirms a field is cached, the client's next
+        probe of it sends a fingerprint instead of the payload."""
+        rng = np.random.default_rng(8)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        with fleet(campaign, workers=1, feat_cache="shared") as f:
+            client = PredictionClient(*f.address)
+            try:
+                first = client.predict(campaign.key, data=arr)
+                assert first["cached"]
+                second = client.predict(campaign.key, data=arr)
+                third = client.predict(campaign.key, data=arr)
+                aggregate = f.stats()["aggregate"]
+            finally:
+                client.close()
+        assert client.ref_hits == 2
+        assert second["prediction"] == first["prediction"]
+        assert third["prediction"] == first["prediction"]
+        assert aggregate["feat_ref_hits"] == 2
+        assert aggregate["feat_ref_misses"] == 0
+
+    def test_preencoded_payload_matches_ndarray(self, campaign):
+        """data= accepts the encoded wire mapping; same prediction."""
+        from repro.serve import encode_array
+
+        rng = np.random.default_rng(9)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        with fleet(campaign, workers=1, feat_cache="shared") as f:
+            with f.connect() as client:
+                by_array = client.predict(campaign.key, data=arr)
+                by_payload = client.predict(campaign.key, data=encode_array(arr))
+        assert by_payload["prediction"] == by_array["prediction"]
+
+    def test_need_data_falls_back_to_full_resend(self, campaign):
+        """A ref the server cannot honour (evicted entry, fresh worker)
+        is renegotiated transparently: the caller just sees the answer."""
+        rng = np.random.default_rng(10)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        from repro.serve import encode_array
+
+        payload = encode_array(arr)
+        with fleet(campaign, workers=1, feat_cache="shared") as f:
+            client = PredictionClient(*f.address)
+            try:
+                # Simulate a stale ref memory (e.g. the entry was evicted
+                # between probes): the client believes the field is cached.
+                client._known_refs[client._fingerprint(payload)] = None
+                response = client.predict(campaign.key, data=payload)
+                aggregate = f.stats()["aggregate"]
+            finally:
+                client.close()
+        assert response["status"] == "ok"
+        assert client.ref_hits == 0
+        assert aggregate["feat_ref_misses"] == 1
+        assert aggregate["feat_misses"] == 1
+        # The renegotiated full send is the one real request served.
+        assert aggregate["failed"] == 0
+
+    def test_cache_off_server_answers_need_data(self, campaign):
+        rng = np.random.default_rng(12)
+        arr = rng.standard_normal(SHAPE).astype(np.float32)
+        from repro.serve import encode_array
+
+        payload = encode_array(arr)
+        with fleet(campaign, workers=1, feat_cache="off") as f:
+            client = PredictionClient(*f.address)
+            try:
+                # A cache-off server never reports "cached", so a well
+                # behaved client never sends refs — prime one anyway.
+                client._known_refs[client._fingerprint(payload)] = None
+                response = client.predict(campaign.key, data=payload)
+                again = client.predict(campaign.key, data=payload)
+                aggregate = f.stats()["aggregate"]
+            finally:
+                client.close()
+        assert response["status"] == "ok"
+        assert again["prediction"] == response["prediction"]
+        assert client.ref_hits == 0
+        assert aggregate["feat_ref_misses"] == 1
+        # The fallback full send got no "cached" confirmation, so the
+        # second predict went straight to a full payload: no more refs.
+        assert aggregate["feat_ref_hits"] == 0
+
+
+class TestSupervision:
+    def test_killed_worker_restarts_and_queries_keep_succeeding(self, campaign):
+        with fleet(campaign, reuse_port=False) as f:
+            victim = f.worker_pids()[0]
+            with f.connect() as client:
+                os.kill(victim, signal.SIGKILL)
+                # Every query during the kill/restart window must succeed:
+                # the fleet client rotates past the dead worker.
+                for i in range(20):
+                    response = client.predict(
+                        campaign.key, results=campaign.rows[i % len(campaign.rows)]
+                    )
+                    assert "prediction" in response
+                assert wait_for(lambda: f.live_workers() == 2)
+                assert f.restart_counts()[0] >= 1
+                assert f.worker_pids()[0] != victim
+                # And the restarted worker serves again.
+                assert f.ping()
+
+    def test_crash_loop_cap_parks_worker(self, campaign):
+        with fleet(campaign, reuse_port=False, max_restarts=1) as f:
+            # Kill worker 0 every time it comes back until the cap trips.
+            assert wait_for(
+                lambda: self._kill_once(f, 0) and f.crash_looped_workers() == [0],
+                timeout=30.0,
+            )
+            assert f.crash_looped_workers() == [0]
+            # The fleet keeps serving on the survivor, and fleet-wide ops
+            # exclude the parked slot instead of hanging on it.
+            assert f.live_workers() == 1
+            assert f.ping()
+            with f.connect() as client:
+                assert client.predict(campaign.key, results=campaign.rows[0])
+
+    @staticmethod
+    def _kill_once(f, worker_id):
+        pid = f.worker_pids().get(worker_id)
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        return True
+
+
+class TestRefresh:
+    def test_refresh_fans_out_to_every_worker(self, campaign):
+        with fleet(campaign) as f:
+            before = {
+                wid: resp[campaign.key] for wid, resp in f.refresh().items()
+            }
+            assert len(before) == 2
+            # Publish a new generation, then flip the whole fleet.
+            campaign.runner.publish(campaign.registry, campaign.observations)
+            latest = campaign.registry.latest(campaign.key)
+            assert latest not in before.values()
+            after = f.refresh()
+            assert {resp[campaign.key] for resp in after.values()} == {latest}
+            # Predictions now come from the new generation on any worker.
+            with f.connect() as client:
+                response = client.predict(campaign.key, results=campaign.rows[0])
+            assert response["version"] == latest
+
+
+class TestClientConnectionReuse:
+    def test_one_dial_for_many_queries(self, campaign):
+        with fleet(campaign, workers=1) as f:
+            client = PredictionClient(*f.address)
+            try:
+                for i in range(8):
+                    client.predict(
+                        campaign.key, results=campaign.rows[i % len(campaign.rows)]
+                    )
+                assert client.connect_count == 1
+                stats = f.stats()["aggregate"]
+            finally:
+                client.close()
+        # 8 predicts + the stats fan-out connection(s), but the predict
+        # path itself rode exactly one TCP connection.
+        assert stats["requests"] >= 8
+        assert stats["connections"] <= 3
+
+    def test_reconnect_across_worker_restart(self, campaign):
+        """A client holding a dead connection transparently redials —
+        under SO_REUSEPORT the kernel routes the new connection to a
+        live worker, so the query succeeds mid-restart."""
+        if not reuse_port_supported():
+            pytest.skip("SO_REUSEPORT unavailable on this host")
+        with fleet(campaign, workers=2) as f:
+            client = PredictionClient(*f.address, reconnects=4)
+            try:
+                first = client.predict(campaign.key, results=campaign.rows[0])
+                os.kill(sorted(f.worker_pids().values())[0], signal.SIGKILL)
+                # Whether or not the killed worker held our connection,
+                # every subsequent query must still answer.
+                for _ in range(10):
+                    response = client.predict(
+                        campaign.key, results=campaign.rows[0]
+                    )
+                    assert response["prediction"] == first["prediction"]
+                assert client.connect_count >= 1
+            finally:
+                client.close()
