@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Sequence
@@ -24,6 +25,7 @@ from ..core.compressor import compressor_registry
 from ..dataset.hurricane import HurricaneDataset
 from ..predict.scheme import available_schemes
 from .checkpoint import CheckpointStore
+from .cluster import ClusterSpec, discover_shards, generate_sbatch, merge_shards, merged_run_stats
 from .faults import ChaosPlan, RetryPolicy
 from .report import format_table2, rows_to_records
 from .runner import ExperimentRunner
@@ -155,12 +157,106 @@ def build_parser() -> argparse.ArgumentParser:
         "=> same faults on the same tasks)",
     )
 
+    collect = sub.add_parser(
+        "collect",
+        help="run (or resume) the collection phase only — no evaluation; "
+        "the entry point for the multi-node 'cluster' engine (every "
+        "launched rank runs this same command; rank 0 coordinates)",
+    )
+    collect.add_argument("--schemes", nargs="+", default=["khan2023", "jin2022", "rahman2023"])
+    collect.add_argument("--compressors", nargs="+", default=["sz3", "zfp"])
+    collect.add_argument("--bounds", nargs="+", type=float, default=[1e-6, 1e-4])
+    collect.add_argument("--shape", nargs=3, type=int, default=[32, 32, 16])
+    collect.add_argument("--timesteps", type=int, default=8)
+    collect.add_argument("--fields", nargs="+", default=None)
+    collect.add_argument("--absolute-bounds", action="store_true")
+    collect.add_argument("--checkpoint", default="bench.db",
+                         help="primary checkpoint the rank shards merge into")
+    collect.add_argument("--flush-every", type=int, default=32)
+    collect.add_argument("--flush-interval", type=float, default=None)
+    collect.add_argument("--workers", type=int, default=2,
+                         help="worker ranks to spawn (cluster spawn mode) or "
+                         "pool size (thread/process engines)")
+    collect.add_argument(
+        "--engine", choices=["serial", "thread", "process", "cluster"],
+        default="cluster",
+    )
+    collect.add_argument("--chunk-size", type=int, default=None)
+    collect.add_argument("--max-retries", type=int, default=2)
+    collect.add_argument("--retry-base-delay", type=float, default=0.0)
+    collect.add_argument("--task-timeout", type=float, default=None)
+    collect.add_argument(
+        "--max-pool-rebuilds", type=int, default=5,
+        help="consecutive no-progress rank deaths (or pool rebuilds) "
+        "tolerated before the campaign aborts with a diagnosis",
+    )
+    collect.add_argument("--chaos", default=None, metavar="SPEC",
+                         help="seeded fault injection, e.g. 'rank_kill:0.1' "
+                         "(cluster ranks bind the plan worker-side)")
+    collect.add_argument("--chaos-seed", type=int, default=0)
+    collect.add_argument(
+        "--chaos-state-dir", default=None,
+        help="shared directory for once-only injection markers (must be "
+        "reachable by every rank; default: a host-local temp dir)",
+    )
+    collect.add_argument("--queue-stats", action="store_true")
+    collect.add_argument(
+        "--shard-dir", default=None,
+        help="directory for the per-rank checkpoint shards (launched "
+        "campaigns need a shared filesystem path; spawn mode defaults to "
+        "a temp dir)",
+    )
+    collect.add_argument("--cluster-backend", choices=["auto", "tcp", "mpi"],
+                         default="auto")
+    collect.add_argument("--coord", default=None, metavar="HOST:PORT",
+                         help="TCP rendezvous for launched campaigns "
+                         "(REPRO_CLUSTER_COORD overrides)")
+    collect.add_argument("--no-spawn", action="store_true",
+                         help="never fork local worker ranks; without a "
+                         "launcher environment this downgrades to 'process'")
+    collect.add_argument("--heartbeat-interval", type=float, default=0.5)
+    collect.add_argument("--heartbeat-timeout", type=float, default=10.0)
+    collect.add_argument("--startup-timeout", type=float, default=30.0,
+                         help="seconds rank 0 waits for worker hellos")
+
+    sbatch = sub.add_parser(
+        "sbatch",
+        help="generate a SLURM batch script for a launched-TCP cluster "
+        "campaign (every rank runs the given collect command; shard "
+        "paths derive from SLURM_PROCID)",
+    )
+    sbatch.add_argument(
+        "collect_command",
+        metavar="COMMAND",
+        help="collection invocation to run on every rank, without engine/"
+        "shard flags — e.g. 'predict-bench collect --checkpoint bench.db'",
+    )
+    sbatch.add_argument("--job-name", default="predict-bench")
+    sbatch.add_argument("--ntasks", type=int, default=4,
+                        help="total ranks (1 coordinator + N-1 workers)")
+    sbatch.add_argument("--nodes", type=int, default=None)
+    sbatch.add_argument("--time", dest="time_limit", default="01:00:00")
+    sbatch.add_argument("--partition", default=None)
+    sbatch.add_argument("--account", default=None)
+    sbatch.add_argument("--shard-dir", default="cluster-shards")
+    sbatch.add_argument("--coord-port", type=int, default=7621)
+    sbatch.add_argument(
+        "--directive", action="append", default=[], metavar="FLAG",
+        help="extra raw #SBATCH directive (repeatable)",
+    )
+    sbatch.add_argument("--output", default=None,
+                        help="write the script here instead of stdout")
+
     report = sub.add_parser(
         "report",
         help="re-evaluate from an existing checkpoint without recollecting "
         "(§4.3: query and partially restore the key state)",
     )
-    report.add_argument("checkpoint")
+    report.add_argument(
+        "checkpoint",
+        help="checkpoint database, or a shard *directory* from a cluster "
+        "campaign (per-rank shards are merged in memory for the report)",
+    )
     report.add_argument("--schemes", nargs="+", default=["khan2023", "jin2022", "rahman2023"])
     report.add_argument("--compressors", nargs="+", default=["sz3", "zfp"])
     report.add_argument("--folds", type=int, default=10)
@@ -170,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--failures", action="store_true",
         help="also print the checkpoint's persistent failure ledger "
-        "(task key, error, status, attempts)",
+        "(task key, error, status, attempts, originating rank)",
     )
 
     sub.add_parser("list-schemes", help="enumerate registered schemes")
@@ -455,6 +551,148 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_collect(args: argparse.Namespace) -> int:
+    """Collection only: run (or resume) a campaign into the checkpoint.
+
+    With ``--engine cluster`` this is the symmetric multi-node entry
+    point: a launched worker rank (``SLURM_PROCID`` / ``MPI`` rank > 0)
+    short-circuits into the worker loop — no dataset initialisation, no
+    primary-store access — while rank 0 coordinates, merges the shards
+    into ``--checkpoint``, and prints the campaign summary.  On a
+    laptop (no launcher) the coordinator simply spawns local worker
+    ranks over loopback TCP.
+    """
+    cluster = None
+    if args.engine == "cluster":
+        cluster = ClusterSpec(
+            backend=args.cluster_backend,
+            spawn=not args.no_spawn,
+            shard_dir=args.shard_dir,
+            coord=args.coord,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            worker_startup_timeout=args.startup_timeout,
+        )
+        if cluster.is_worker_rank:
+            queue = TaskQueue(args.workers, "cluster", cluster=cluster)
+            queue.run([], None)
+            return 0
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        base_delay=args.retry_base_delay,
+        seed=args.chaos_seed,
+    )
+    queue = TaskQueue(
+        args.workers,
+        args.engine,
+        retry_policy=policy,
+        task_timeout=args.task_timeout,
+        max_pool_rebuilds=args.max_pool_rebuilds,
+        chunk_size=args.chunk_size,
+        cluster=cluster,
+    )
+    dataset = HurricaneDataset(
+        shape=tuple(args.shape), timesteps=args.timesteps, fields=args.fields
+    )
+    store = CheckpointStore(
+        args.checkpoint,
+        flush_every=args.flush_every,
+        flush_interval=args.flush_interval,
+    )
+    runner = ExperimentRunner(
+        dataset,
+        compressors=args.compressors,
+        bounds=args.bounds,
+        schemes=args.schemes,
+        relative_bounds=not args.absolute_bounds,
+        store=store,
+        queue=queue,
+    )
+    chaos = None
+    if args.chaos:
+        chaos = ChaosPlan.from_spec(
+            args.chaos, seed=args.chaos_seed, state_dir=args.chaos_state_dir
+        )
+    try:
+        observations, stats, failures = runner.collect(chaos=chaos)
+        for failure in failures:
+            origin = f" on rank{failure.worker}" if failure.worker > 0 else ""
+            print(
+                f"failed[{failure.status}] {failure.task.key()} "
+                f"after {failure.attempts} attempt(s){origin}: {failure.error}",
+                file=sys.stderr,
+            )
+        engine = stats.engine or queue.engine
+        requested = (
+            f" (requested {stats.requested_engine})"
+            if stats.requested_engine and stats.requested_engine != engine
+            else ""
+        )
+        print(
+            f"collected {len(observations)} observation(s) into "
+            f"{args.checkpoint} [{engine}{requested}]: "
+            f"completed={stats.completed} failed={stats.failed} "
+            f"retries={stats.retries}"
+        )
+        if engine == "cluster":
+            cs = stats.cluster_summary()
+            print(
+                f"cluster: shards_merged={cs['shards_merged']} "
+                f"merge_replaced={cs['merge_replaced']} "
+                f"merge_quarantined={cs['merge_quarantined']} "
+                f"rank_deaths={cs['rank_deaths']} "
+                f"rank_restarts={cs['rank_restarts']} "
+                f"wire_bytes_per_task={cs['wire_bytes_per_task']:.0f}"
+            )
+        if args.queue_stats:
+            stages = " ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in stats.stage_summary().items()
+            )
+            print(
+                f"queue[{engine}{requested} x{queue.n_workers}] {stages} "
+                f"quarantined={stats.quarantined} timeouts={stats.timeouts} "
+                f"commits={store.commit_count}",
+                file=sys.stderr,
+            )
+        if chaos is not None:
+            fired = ",".join(
+                f"{kind}={n}" for kind, n in chaos.injected_counts().items() if n
+            )
+            print(
+                f"chaos[seed={args.chaos_seed}] injected {fired or 'nothing'}",
+                file=sys.stderr,
+            )
+        return 0 if stats.failed == 0 else 1
+    finally:
+        runner.close()
+        store.close()
+
+
+def cmd_sbatch(args: argparse.Namespace) -> int:
+    """Emit the SLURM batch script for a launched cluster campaign."""
+    script = generate_sbatch(
+        args.collect_command,
+        job_name=args.job_name,
+        ntasks=args.ntasks,
+        nodes=args.nodes,
+        time_limit=args.time_limit,
+        partition=args.partition,
+        account=args.account,
+        shard_dir=args.shard_dir,
+        coord_port=args.coord_port,
+        extra_directives=args.directive,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(script)
+        os.chmod(args.output, 0o755)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(script)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Rebuild the evaluation tables from checkpointed observations only.
 
@@ -463,19 +701,40 @@ def cmd_report(args: argparse.Namespace) -> int:
     restored") and the k-fold evaluation replays over it.  Useful after
     a long campaign to try different fold counts, protocols, or scheme
     subsets without touching the metrics.
+
+    Pointing it at a *directory* reports on a cluster campaign's shard
+    set directly: the per-rank shards merge into an in-memory store
+    (checksum-verified, last-writer-wins — the same fold the
+    coordinator performs), per-rank run stats combine into one harness
+    view, and ``--failures`` shows which rank recorded each entry.
     """
     from ..dataset.synthetic import SyntheticDataset
 
-    store = CheckpointStore(args.checkpoint)
+    shards = None
+    if os.path.isdir(args.checkpoint):
+        shards = discover_shards(args.checkpoint)
+        if not shards:
+            print(
+                f"directory {args.checkpoint!r} holds no shard-*.db files",
+                file=sys.stderr,
+            )
+            return 1
+        store = CheckpointStore(":memory:")
+        merge_report = merge_shards(store, shards)
+        print(merge_report.summary(), file=sys.stderr)
+    else:
+        store = CheckpointStore(args.checkpoint)
     try:
         if args.failures:
             ledger = store.failures()
             if not ledger:
                 print("no recorded failures", file=sys.stderr)
             for entry in ledger:
+                origin = f" on {entry['origin']}" if entry.get("origin") else ""
                 print(
                     f"failed[{entry['status']}] {entry['key']} "
-                    f"after {entry['attempts']} attempt(s): {entry['error']}",
+                    f"after {entry['attempts']} attempt(s){origin}: "
+                    f"{entry['error']}",
                     file=sys.stderr,
                 )
         observations = store.query()
@@ -495,14 +754,18 @@ def cmd_report(args: argparse.Namespace) -> int:
         rows = runner.table2(observations)
         # The collection pass persisted its harness statistics (stage
         # timings, data-plane counters) with the campaign; surface them so a
-        # report from the checkpoint alone tells the whole story.
+        # report from the checkpoint alone tells the whole story.  A shard
+        # directory instead folds every rank's stats into one campaign view.
         harness = None
-        raw_stats = store.get_meta("last_run_stats")
-        if raw_stats is not None:
-            try:
-                harness = json.loads(raw_stats)
-            except ValueError:
-                harness = None
+        if shards is not None:
+            harness = merged_run_stats(shards)
+        else:
+            raw_stats = store.get_meta("last_run_stats")
+            if raw_stats is not None:
+                try:
+                    harness = json.loads(raw_stats)
+                except ValueError:
+                    harness = None
         if args.json:
             print(
                 json.dumps(
@@ -853,6 +1116,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "collect":
+        return cmd_collect(args)
+    if args.command == "sbatch":
+        return cmd_sbatch(args)
     if args.command == "report":
         return cmd_report(args)
     if args.command == "simulate":

@@ -1,0 +1,50 @@
+"""Multi-node scale-out: the rank-sharded ``cluster`` collection engine.
+
+The subsystem splits along the coordinator/worker seam:
+
+* :mod:`~repro.bench.cluster.spec` — deployment description and
+  environment detection (spawn / launched-TCP / MPI), import-light so
+  the task queue can resolve (and honestly downgrade) before dataset
+  initialisation is paid for;
+* :mod:`~repro.bench.cluster.wire` + :mod:`~repro.bench.cluster.transport`
+  — the length-prefixed checksummed frame codec and the two transports
+  (pure-socket TCP and mpi4py) carrying identical message objects;
+* :mod:`~repro.bench.cluster.worker` — the rank loop: execute batches,
+  persist to the rank's own SQLite shard, flush *before* acking;
+* :mod:`~repro.bench.cluster.engine` — the rank-0 coordinator: datum
+  affinity dispatch, heartbeat/EOF rank supervision with uncharged
+  requeue and respawn, then the checksum-verified last-writer-wins
+  shard merge;
+* :mod:`~repro.bench.cluster.shards` — shard discovery and the merge
+  itself (idempotent; corrupt rows quarantined per shard);
+* :mod:`~repro.bench.cluster.sbatch` — SLURM batch-script generation
+  for launched-TCP campaigns.
+
+The engine and worker halves import heavy machinery and are loaded
+lazily by :meth:`TaskQueue.run`; this package export surface stays
+cheap so ``from repro.bench.taskqueue import TaskQueue`` does not drag
+transports in.
+"""
+
+from .sbatch import generate_sbatch
+from .shards import (
+    MergeReport,
+    discover_shards,
+    merge_shards,
+    merged_run_stats,
+    shard_path,
+)
+from .spec import ClusterSpec, detect_launch_env, mpi_available, mpi_world_size
+
+__all__ = [
+    "ClusterSpec",
+    "MergeReport",
+    "detect_launch_env",
+    "discover_shards",
+    "generate_sbatch",
+    "merge_shards",
+    "merged_run_stats",
+    "mpi_available",
+    "mpi_world_size",
+    "shard_path",
+]

@@ -1,0 +1,196 @@
+"""Per-rank checkpoint shards and the rank-0 merge.
+
+Every worker rank owns one SQLite :class:`CheckpointStore` shard (WAL,
+its own failure ledger) — no cross-rank write contention, no SQLite
+over NFS locking horror, and a dead rank loses only its uncommitted
+tail.  After the campaign, rank 0 folds the shards into the primary
+store:
+
+* **checksum-verified** — each shard row's payload is re-hashed before
+  it enters the merged store; corrupt rows are quarantined per shard
+  and reported, never merged (one damaged shard cannot poison the
+  campaign);
+* **last-writer-wins** — a task that ran on two ranks (its first rank
+  died after the shard write but before the ack, so the coordinator
+  requeued it) keeps the newest row by ``created_at``;
+* **idempotent** — timestamps and checksums are preserved through the
+  merge, so re-merging the same shards (a resumed campaign, a nervous
+  operator) changes nothing.
+
+Failure-ledger merge is success-aware: a shard's failure entry is only
+imported when the merged results hold *no* row for that key — a task
+that failed on rank 2 but later succeeded on rank 5 is a success, not a
+failure, and must not surface in ``report --failures``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..checkpoint import CheckpointStore, payload_checksum
+
+_SHARD_RE = re.compile(r"^shard-(\d{5})\.db$")
+
+
+def shard_path(shard_dir: str, rank: int) -> str:
+    """Canonical shard filename for *rank* (stable across restarts)."""
+    return os.path.join(shard_dir, f"shard-{int(rank):05d}.db")
+
+
+def discover_shards(shard_dir: str) -> list[tuple[int, str]]:
+    """``(rank, path)`` for every shard in *shard_dir*, rank-ordered.
+
+    Only canonical names match — WAL side files (``*.db-wal``) and
+    stray droppings are ignored, so a merge after a messy crash sees
+    exactly the shards.
+    """
+    out: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(shard_dir)
+    except FileNotFoundError:
+        return out
+    for name in names:
+        m = _SHARD_RE.match(name)
+        if m:
+            out.append((int(m.group(1)), os.path.join(shard_dir, name)))
+    out.sort()
+    return out
+
+
+@dataclass
+class MergeReport:
+    """What one :func:`merge_shards` pass did."""
+
+    shards: int = 0
+    rows_seen: int = 0
+    inserted: int = 0
+    replaced: int = 0
+    skipped: int = 0
+    #: shard path → keys whose payload failed its checksum re-check.
+    quarantined: dict[str, list[str]] = field(default_factory=dict)
+    failures_imported: int = 0
+
+    @property
+    def merged(self) -> int:
+        return self.inserted + self.replaced
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(len(keys) for keys in self.quarantined.values())
+
+    def summary(self) -> str:
+        return (
+            f"merged {self.shards} shard(s): {self.rows_seen} row(s) seen, "
+            f"{self.inserted} inserted, {self.replaced} replaced, "
+            f"{self.skipped} skipped, {self.quarantined_total} quarantined, "
+            f"{self.failures_imported} failure(s) imported"
+        )
+
+
+def merge_shards(
+    dest: CheckpointStore,
+    shards: Iterable[tuple[int, str]],
+    *,
+    import_failures: bool = True,
+) -> MergeReport:
+    """Fold rank shards into *dest* (see module docstring for semantics).
+
+    *shards* is ``(rank, path)`` pairs — rank labels the imported
+    failure-ledger entries' ``origin``.  Shards are merged in the given
+    order; on an exact ``created_at`` tie the later shard wins.
+    """
+    report = MergeReport()
+    failure_entries: list[tuple[int, dict[str, Any]]] = []
+    for rank, path in shards:
+        with CheckpointStore(path) as shard:
+            rows = shard.dump_rows()
+            if import_failures:
+                failure_entries.extend(
+                    (rank, entry) for entry in shard.failures()
+                )
+        report.shards += 1
+        report.rows_seen += len(rows)
+        clean: list[tuple] = []
+        bad: list[str] = []
+        for row in rows:
+            # Re-verify before the row crosses the shard boundary: the
+            # shard's own verify() may never have run, and the merge is
+            # the last checkpoint before evaluation trusts the payload.
+            if row[7] and payload_checksum(row[5]) != row[7]:
+                bad.append(row[0])
+                continue
+            if not row[7]:
+                try:
+                    json.loads(row[5])
+                except (TypeError, ValueError):
+                    bad.append(row[0])
+                    continue
+            clean.append(row)
+        if bad:
+            report.quarantined[path] = bad
+        counts = dest.merge_rows(clean)
+        report.inserted += counts["inserted"]
+        report.replaced += counts["replaced"]
+        report.skipped += counts["skipped"]
+    if import_failures:
+        merged_keys = set(dest.keys())
+        for rank, entry in failure_entries:
+            if entry["key"] in merged_keys:
+                continue  # another rank eventually succeeded
+            dest.record_failure(
+                entry["key"],
+                entry["error"],
+                status=entry["status"],
+                attempts=entry["attempts"],
+                origin=entry.get("origin") or f"rank{rank}",
+            )
+            report.failures_imported += 1
+        # Keys that succeeded on some rank must not keep stale entries —
+        # neither ones a shard carried nor ones the destination recorded
+        # in a previous partial campaign.
+        stale = dest.failed_keys() & merged_keys
+        if stale:
+            dest.clear_failures(sorted(stale))
+    return report
+
+
+def merged_run_stats(shards: Iterable[tuple[int, str]]) -> dict[str, Any] | None:
+    """Fold per-shard ``last_run_stats`` metas into one campaign view.
+
+    Numeric fields sum across ranks; a ``per_rank`` breakdown keeps the
+    individual records (``report`` on a shard directory shows both).
+    Returns ``None`` when no shard carries stats.
+    """
+    per_rank: dict[str, dict[str, Any]] = {}
+    for rank, path in shards:
+        with CheckpointStore(path) as shard:
+            raw = shard.get_meta("last_run_stats")
+        if raw is None:
+            continue
+        try:
+            per_rank[f"rank{rank}"] = json.loads(raw)
+        except ValueError:
+            continue
+    if not per_rank:
+        return None
+    merged: dict[str, Any] = {"engine": "cluster", "ranks": len(per_rank)}
+    for stats in per_rank.values():
+        for field_name, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[field_name] = merged.get(field_name, 0) + value
+    merged["per_rank"] = per_rank
+    return merged
+
+
+__all__ = [
+    "MergeReport",
+    "discover_shards",
+    "merge_shards",
+    "merged_run_stats",
+    "shard_path",
+]

@@ -1,0 +1,190 @@
+"""Cluster deployment description and environment detection.
+
+A :class:`ClusterSpec` answers one question for the ``cluster`` engine:
+*how does this process find its peers?*  Three answers exist:
+
+* ``spawn`` — no launcher: the coordinator forks its own worker
+  subprocesses on this host and hands them a TCP rendezvous address.
+  This is what tests and CI use, and what ``--engine cluster`` means on
+  a laptop.
+* ``launched-tcp`` — an external launcher (``srun``, ``mpirun`` without
+  mpi4py, a shell loop) started every rank of the same CLI entry point;
+  the environment tells each process its rank, the world size, and the
+  coordinator's ``host:port``.
+* ``mpi`` — mpi4py is importable and the process was launched inside an
+  MPI world of size > 1; messages ride ``MPI.COMM_WORLD`` instead of
+  sockets (the paper's LibDistributed deployment).
+
+When none of the three apply — no launcher environment, spawning
+disabled, no mpi4py — :meth:`ClusterSpec.resolve` returns ``None`` and
+the :class:`~repro.bench.taskqueue.TaskQueue` downgrades to the
+``process`` engine with a warning instead of raising after the caller
+already paid for dataset initialisation.
+
+This module must stay import-light (no taskqueue/engine imports): the
+queue imports it at module scope, while the heavy engine half of the
+subsystem is imported lazily at run time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def mpi_available() -> bool:
+    """Whether mpi4py imports (the package may legitimately be absent)."""
+    try:
+        import mpi4py  # noqa: F401 - availability probe only
+    except ImportError:
+        return False
+    return True
+
+
+def mpi_world_size() -> int:
+    """COMM_WORLD size, or 0 when mpi4py is unavailable."""
+    if not mpi_available():
+        return 0
+    from mpi4py import MPI
+
+    return int(MPI.COMM_WORLD.Get_size())
+
+
+def _env_int(*names: str) -> int | None:
+    for name in names:
+        raw = os.environ.get(name)
+        if raw is not None and raw.strip().lstrip("-").isdigit():
+            return int(raw)
+    return None
+
+
+def detect_launch_env() -> dict[str, object]:
+    """Read rank/world/coordinator facts from the launcher environment.
+
+    Recognised, in priority order: the subsystem's own
+    ``REPRO_CLUSTER_RANK`` / ``REPRO_CLUSTER_WORLD`` /
+    ``REPRO_CLUSTER_COORD`` (what the generated sbatch script exports),
+    then SLURM (``SLURM_PROCID`` / ``SLURM_NTASKS``), then Open MPI /
+    PMI rank variables (useful when ranks were launched by ``mpirun``
+    but mpi4py is not importable).
+    """
+    rank = _env_int("REPRO_CLUSTER_RANK", "SLURM_PROCID",
+                    "OMPI_COMM_WORLD_RANK", "PMI_RANK")
+    world = _env_int("REPRO_CLUSTER_WORLD", "SLURM_NTASKS",
+                     "OMPI_COMM_WORLD_SIZE", "PMI_SIZE")
+    coord = os.environ.get("REPRO_CLUSTER_COORD")
+    return {"rank": rank, "world": world, "coord": coord}
+
+
+def parse_hostport(spec: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; raises ValueError otherwise."""
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+@dataclass
+class ClusterSpec:
+    """How the ``cluster`` engine finds (or creates) its worker ranks.
+
+    Parameters
+    ----------
+    backend:
+        ``"auto"`` (prefer MPI when launched inside one, else TCP),
+        ``"tcp"``, or ``"mpi"``.
+    spawn:
+        Allow the coordinator to fork local worker subprocesses when no
+        launcher environment is present.  ``False`` turns a
+        launcher-less ``--engine cluster`` into a ``process``-engine
+        downgrade instead.
+    shard_dir:
+        Directory for the per-rank checkpoint shards; ``None`` lets the
+        engine create a temporary one (spawn mode only — launched ranks
+        must agree on a shared path).
+    coord:
+        ``"host:port"`` rendezvous for the TCP backend.  In spawn mode
+        ``None`` means an ephemeral port on localhost; in launched mode
+        it is required (the sbatch generator exports it).
+    heartbeat_interval / heartbeat_timeout:
+        Worker liveness cadence and the staleness threshold past which
+        the coordinator declares a rank dead and requeues its batch.
+    worker_startup_timeout:
+        Seconds the coordinator waits for every rank's hello before
+        giving up on the missing ones.
+    """
+
+    backend: str = "auto"
+    spawn: bool = True
+    shard_dir: str | None = None
+    coord: str | None = None
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 10.0
+    worker_startup_timeout: float = 30.0
+    #: Filled by :meth:`resolve`: ``"spawn"`` / ``"launched-tcp"`` /
+    #: ``"mpi"`` / ``None`` (downgrade).
+    mode: str | None = field(default=None, repr=False)
+    #: Launched-mode identity (rank 0 coordinates; ranks 1..world-1 work).
+    rank: int = 0
+    world: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("auto", "tcp", "mpi"):
+            raise ValueError(
+                f"unknown cluster backend {self.backend!r}; "
+                "choose auto, tcp, or mpi"
+            )
+        if self.heartbeat_interval <= 0.0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+
+    def resolve(self) -> str | None:
+        """Decide (and record) the deployment mode for this process.
+
+        Returns the mode, or ``None`` when no cluster deployment is
+        possible — the queue's cue to downgrade.  Idempotent.
+        """
+        if self.mode is not None:
+            return self.mode
+        if self.backend in ("auto", "mpi") and mpi_world_size() > 1:
+            from mpi4py import MPI
+
+            self.mode = "mpi"
+            self.rank = int(MPI.COMM_WORLD.Get_rank())
+            self.world = int(MPI.COMM_WORLD.Get_size())
+            return self.mode
+        if self.backend == "mpi":
+            # Explicitly requested MPI without a usable MPI world: this
+            # is a deployment error worth downgrading on, not raising —
+            # the caller may already hold an initialised dataset.
+            return None
+        env = detect_launch_env()
+        if env["rank"] is not None and env["world"] is not None and int(env["world"]) > 1:
+            if env["coord"] or self.coord:
+                self.mode = "launched-tcp"
+                self.rank = int(env["rank"])
+                self.world = int(env["world"])
+                if env["coord"] and not self.coord:
+                    self.coord = str(env["coord"])
+                return self.mode
+        if self.spawn:
+            self.mode = "spawn"
+            self.rank = 0
+            return self.mode
+        return None
+
+    @property
+    def is_worker_rank(self) -> bool:
+        """True for a launched rank > 0 (runs the worker loop, not the
+        coordinator — and must not pay for dataset initialisation)."""
+        return self.resolve() in ("launched-tcp", "mpi") and self.rank > 0
+
+
+__all__ = [
+    "ClusterSpec",
+    "detect_launch_env",
+    "mpi_available",
+    "mpi_world_size",
+    "parse_hostport",
+]

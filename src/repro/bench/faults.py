@@ -163,7 +163,9 @@ class FaultInjector:
 #: publish fault point, at-rest corruption of a freshly published blob,
 #: a dropped server refresh); ``cache_kill`` kills a serving worker at a
 #: shared-featurization-cache publish fault point (mid-write crash
-#: safety of the shm tier).
+#: safety of the shm tier); ``rank_kill`` abruptly kills a whole
+#: cluster worker rank at a selected task — the node-loss fault the
+#: coordinator's heartbeat supervision and shard merge must absorb.
 CHAOS_CLASSES = (
     "crash",
     "hang",
@@ -174,6 +176,7 @@ CHAOS_CLASSES = (
     "publish_corrupt",
     "refresh_drop",
     "cache_kill",
+    "rank_kill",
 )
 
 
@@ -208,6 +211,7 @@ class ChaosPlan:
         publish_corrupt_rate: float = 0.0,
         refresh_drop_rate: float = 0.0,
         cache_kill_rate: float = 0.0,
+        rank_kill_rate: float = 0.0,
         hang_seconds: float = 5.0,
         state_dir: str | None = None,
     ) -> None:
@@ -223,6 +227,7 @@ class ChaosPlan:
             "publish_corrupt": float(publish_corrupt_rate),
             "refresh_drop": float(refresh_drop_rate),
             "cache_kill": float(cache_kill_rate),
+            "rank_kill": float(rank_kill_rate),
         }
         self.hang_seconds = float(hang_seconds)
         if state_dir is None:
@@ -348,6 +353,20 @@ class ChaosPlan:
         if kind not in self.rates:
             raise ValueError(f"unknown chaos class {kind!r}")
         return self._fire_once(kind, key)
+
+    # -- cluster-rank faults -----------------------------------------------------
+    def fire_rank_kill(self, key: str) -> bool:
+        """True exactly once per selected *key*: the worker rank hosting
+        this task must die abruptly (``os._exit``, no flush, no ack).
+
+        The once-only marker lives in the shared ``state_dir``, so a
+        respawned rank — or a different rank the coordinator requeues
+        the batch to — does not re-die on the same task, and the chaos
+        campaign provably drains.  The caller does the killing: the
+        decision must be separable from the act so tests can count
+        planned kills without dying themselves.
+        """
+        return self._fire_once("rank_kill", key)
 
     # -- sink wrapping -----------------------------------------------------------
     def wrap_sink(self, on_result: Callable[[Any], None]) -> Callable[[Any], None]:

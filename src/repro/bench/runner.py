@@ -335,6 +335,13 @@ class ExperimentRunner:
         A :class:`~repro.bench.faults.ChaosPlan` (``chaos=``) wraps the
         task function (and, on the process engine, the per-worker
         factory) plus the result sink, injecting its planned faults.
+
+        On the ``cluster`` engine the plan ships to the worker ranks
+        unwrapped (each rank binds its own task function — the
+        ``rank_kill`` class only makes sense there), payloads travel
+        through the rank shards instead of the ack channel (the store is
+        handed to the queue as the merge target), and recorded failures
+        carry the originating rank.
         """
         tasks = self.build_tasks()
         by_key = {t.key(): t for t in tasks}
@@ -352,21 +359,27 @@ class ExperimentRunner:
         todo = [
             by_key[k] for k in self.store.pending(by_key.keys()) if k not in poison
         ]
+        cluster_mode = self.queue.engine == "cluster"
         fn = task_fn
         worker_init = None
         if fn is None:
-            if self.queue.engine == "process":
+            if self.queue.engine in ("process", "cluster"):
                 worker_init = self.worker_init()
             else:
                 fn = self.run_task
-        if chaos is not None:
+        if chaos is not None and not cluster_mode:
+            # Cluster ranks bind the plan themselves (it rides the init
+            # message); wrapping here too would double-inject.
             if worker_init is not None:
                 worker_init = functools.partial(chaos_worker_init, worker_init, chaos)
             else:
                 fn = chaos.bind(fn)
 
         def on_result(result) -> None:
-            if result.ok:
+            # Cluster successes arrive payload-less (the payload's home
+            # is the rank shard; it reaches this store via the merge) —
+            # writing the ack's None here would shadow the merged row.
+            if result.ok and result.payload is not None:
                 task = result.task
                 self.store.put(
                     task.key(),
@@ -382,13 +395,20 @@ class ExperimentRunner:
 
         prior_failed = self.store.failed_keys()
         results, stats = self.queue.run(
-            todo, fn, on_result=on_result, worker_init=worker_init
+            todo,
+            fn,
+            on_result=on_result,
+            worker_init=worker_init,
+            chaos=chaos if cluster_mode else None,
+            merge_store=self.store if cluster_mode else None,
         )
         self.store.flush()
         failures = [r for r in results if not r.ok]
         for r in failures:
+            origin = f"rank{r.worker}" if cluster_mode and r.worker >= 0 else ""
             self.store.record_failure(
-                r.task.key(), r.error or "", status=r.status, attempts=r.attempts
+                r.task.key(), r.error or "", status=r.status, attempts=r.attempts,
+                origin=origin,
             )
         if prior_failed:
             # A task that finally succeeded clears its ledger entry.
@@ -417,6 +437,7 @@ class ExperimentRunner:
                         "retries": stats.retries,
                         "stage_summary": stats.stage_summary(),
                         **stats.data_plane_summary(),
+                        **(stats.cluster_summary() if stats.engine == "cluster" else {}),
                     }
                 ),
             )

@@ -67,10 +67,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.errors import Status, TaskTimeoutError, error_status
+from .cluster.spec import ClusterSpec
 from .faults import FaultInjector, RetryPolicy  # noqa: F401 - re-exported
 from .tasks import Task
 
-ENGINES = ("serial", "thread", "process")
+ENGINES = ("serial", "thread", "process", "cluster")
 
 #: Warn once per process that the serial deadline cannot be enforced
 #: (no SIGALRM on this platform, or running off the main thread).
@@ -197,6 +198,17 @@ class QueueStats:
     affinity_steals: int = 0
     #: Which data plane moved the bytes (``pickle``/``mmap``/``shm``).
     data_plane: str = ""
+    #: Cluster engine: worker ranks declared dead (heartbeat timeout or
+    #: connection loss) and ranks respawned after a death (spawn mode).
+    rank_deaths: int = 0
+    rank_restarts: int = 0
+    #: Control-plane bytes the coordinator put on / took off the wire.
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    #: Shard-merge accounting (cluster engine, rank-0 side).
+    shards_merged: int = 0
+    merge_replaced: int = 0
+    merge_quarantined: int = 0
 
     @property
     def locality_rate(self) -> float:
@@ -226,6 +238,22 @@ class QueueStats:
             "affinity_misses": self.affinity_misses,
             "affinity_steals": self.affinity_steals,
             "affinity_hit_rate": self.affinity_hit_rate,
+        }
+
+    def cluster_summary(self) -> dict[str, Any]:
+        """Rank fault-domain + wire + merge counters for reports."""
+        tasks = max(self.completed + self.failed, 1)
+        return {
+            "rank_deaths": self.rank_deaths,
+            "rank_restarts": self.rank_restarts,
+            "wire_bytes_sent": self.wire_bytes_sent,
+            "wire_bytes_received": self.wire_bytes_received,
+            "wire_bytes_per_task": (
+                (self.wire_bytes_sent + self.wire_bytes_received) / tasks
+            ),
+            "shards_merged": self.shards_merged,
+            "merge_replaced": self.merge_replaced,
+            "merge_quarantined": self.merge_quarantined,
         }
 
 
@@ -400,18 +428,38 @@ class TaskQueue:
         chunk_size: int | None = None,
         data_plane: str = "pickle",
         lock_witness=None,
+        cluster: ClusterSpec | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         self.n_workers = max(1, int(n_workers))
         self.requested_engine = engine
-        if self.n_workers == 1 and engine != "serial":
+        self.cluster = cluster
+        if engine == "cluster":
+            # Resolve the deployment *now*, not after the caller has
+            # paid for dataset init: no launcher environment, no MPI
+            # world, and spawning disabled means there is no cluster to
+            # run on — downgrade to the process engine with a warning
+            # (and let QueueStats stay truthful via requested_engine).
+            self.cluster = cluster or ClusterSpec()
+            if self.cluster.resolve() is None:
+                warnings.warn(
+                    "engine 'cluster' found no launcher environment, no "
+                    "usable MPI world, and spawning is disabled; falling "
+                    "back to 'process'",
+                    stacklevel=2,
+                )
+                engine = "process"
+        # A single-worker parallel engine is pointless *except* for the
+        # cluster engine, whose one worker is still a separate rank with
+        # its own shard (the 1-rank cell of a scaling sweep).
+        if self.n_workers == 1 and engine not in ("serial", "cluster"):
             warnings.warn(
                 f"engine {engine!r} requires more than one worker; "
                 "falling back to 'serial'",
                 stacklevel=2,
             )
-        self.engine = engine if self.n_workers > 1 else "serial"
+        self.engine = engine if (self.n_workers > 1 or engine in ("serial", "cluster")) else "serial"
         self.retry_policy = retry_policy or RetryPolicy(max_retries=int(max_retries))
         #: Kept in sync with the policy for backward compatibility.
         self.max_retries = self.retry_policy.max_retries
@@ -435,6 +483,8 @@ class TaskQueue:
         *,
         on_result: Callable[[TaskResult], None] | None = None,
         worker_init: Callable[[], Callable[[Task, int], dict[str, Any]]] | None = None,
+        chaos=None,
+        merge_store=None,
     ) -> tuple[list[TaskResult], QueueStats]:
         """Execute all tasks; returns (results, stats).
 
@@ -445,13 +495,44 @@ class TaskQueue:
         once per worker process (per-worker dataset/compressor setup)
         instead of pickling ``task_fn``; the serial/thread engines call
         it once up front when ``task_fn`` is None.
+
+        Cluster-engine extras (ignored elsewhere): ``chaos`` is a
+        picklable :class:`~repro.bench.faults.ChaosPlan` shipped to the
+        worker ranks (each rank binds its own task function — including
+        the ``rank_kill`` class, which only makes sense worker-side),
+        and ``merge_store`` is the :class:`CheckpointStore` the rank
+        shards are folded into when the campaign drains.  Successful
+        cluster results carry ``payload=None`` — the payload's home is
+        the rank's shard, and it reaches ``merge_store`` via the merge,
+        not the ack.
         """
         if task_fn is None and worker_init is None:
-            raise ValueError("one of task_fn or worker_init is required")
+            # A launched cluster *worker* rank receives its task function
+            # over the wire (pickled in the coordinator's init message);
+            # requiring one locally would make the symmetric "every rank
+            # calls queue.run" entry point impossible.
+            if not (
+                self.engine == "cluster"
+                and self.cluster is not None
+                and self.cluster.is_worker_rank
+            ):
+                raise ValueError("one of task_fn or worker_init is required")
         from ..dataset.shm import PLANE_COUNTERS, PlaneCounters
 
         before = PLANE_COUNTERS.snapshot()
-        if self.engine == "process":
+        if self.engine == "cluster":
+            from .cluster.engine import run_cluster
+
+            results, stats = run_cluster(
+                self,
+                tasks,
+                task_fn,
+                on_result=on_result,
+                worker_init=worker_init,
+                chaos=chaos,
+                merge_store=merge_store,
+            )
+        elif self.engine == "process":
             results, stats = self._run_process(
                 tasks, task_fn, on_result=on_result, worker_init=worker_init
             )

@@ -227,6 +227,7 @@ class TestChaosPlan:
             "publish_corrupt",
             "refresh_drop",
             "cache_kill",
+            "rank_kill",
         }
 
     def test_loop_faults_fire_once_per_site_and_count(self, tmp_path):

@@ -1,0 +1,308 @@
+"""Shard-merge edge cases, the wire codec, and the sbatch generator.
+
+The merge invariants under test are the ones the zero-lost-tasks
+guarantee rests on: duplicate keys resolve last-writer-wins with the
+checksum re-verified, corrupt rows are quarantined per shard instead of
+poisoning the campaign, re-merging the same shards is a no-op, and a
+resume from a partial shard set recomputes exactly the missing work.
+"""
+
+import io
+import json
+import sqlite3
+
+import pytest
+
+from repro.bench.checkpoint import CheckpointStore, payload_checksum
+from repro.bench.cluster import (
+    MergeReport,
+    discover_shards,
+    generate_sbatch,
+    merge_shards,
+    merged_run_stats,
+    shard_path,
+)
+from repro.bench.cluster.wire import (
+    MAX_FRAME,
+    ConnectionClosed,
+    FrameError,
+    encode_frame,
+    recv_frame,
+)
+
+
+def _make_shard(path, rows, failures=(), stats=None):
+    """Build one shard db: ``rows`` is ``{key: payload}``."""
+    with CheckpointStore(path) as store:
+        for key, payload in rows.items():
+            store.put(key, payload)
+        for key, error in failures:
+            store.record_failure(key, error, status=1)
+        if stats is not None:
+            store.set_meta("last_run_stats", json.dumps(stats))
+        store.flush()
+    return path
+
+
+def _set_created_at(path, key, created_at):
+    db = sqlite3.connect(path)
+    db.execute("UPDATE results SET created_at=? WHERE key=?", (created_at, key))
+    db.commit()
+    db.close()
+
+
+def _corrupt_payload(path, key):
+    """Damage a row's payload bytes without touching its checksum."""
+    db = sqlite3.connect(path)
+    db.execute("UPDATE results SET payload=? WHERE key=?", ('{"tampered": 1}', key))
+    db.commit()
+    db.close()
+
+
+class TestWireCodec:
+    def test_roundtrip(self):
+        msg = {"op": "run", "tasks": [1, 2, 3], "blob": b"\x00\xff" * 64}
+        frame = encode_frame(msg)
+        obj, nbytes = recv_frame(io.BytesIO(frame))
+        assert obj == msg
+        assert nbytes == len(frame)
+
+    def test_eof_at_boundary_is_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            recv_frame(io.BytesIO(b""))
+
+    def test_truncated_frame_is_frame_error(self):
+        frame = encode_frame({"op": "x"})
+        with pytest.raises(FrameError):
+            recv_frame(io.BytesIO(frame[:-1]))
+
+    def test_corrupt_payload_fails_checksum(self):
+        frame = bytearray(encode_frame({"op": "x", "n": 12345}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(FrameError, match="checksum"):
+            recv_frame(io.BytesIO(bytes(frame)))
+
+    def test_oversized_announcement_rejected(self):
+        header = encode_frame({})[:12]
+        forged = (MAX_FRAME + 1).to_bytes(4, "big") + header[4:]
+        with pytest.raises(FrameError, match="cap"):
+            recv_frame(io.BytesIO(forged))
+
+
+class TestShardDiscovery:
+    def test_canonical_names_only_rank_ordered(self, tmp_path):
+        (tmp_path / "shard-00002.db").touch()
+        (tmp_path / "shard-00000.db").touch()
+        (tmp_path / "shard-00002.db-wal").touch()
+        (tmp_path / "notes.txt").touch()
+        found = discover_shards(str(tmp_path))
+        assert [rank for rank, _ in found] == [0, 2]
+        assert all(path.endswith(".db") for _, path in found)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert discover_shards(str(tmp_path / "nope")) == []
+
+    def test_shard_path_is_stable(self, tmp_path):
+        p = shard_path(str(tmp_path), 3)
+        assert p.endswith("shard-00003.db")
+        assert discover_shards(str(tmp_path)) == []  # not created by naming
+
+
+class TestMergeShards:
+    def test_disjoint_shards_all_inserted(self, tmp_path):
+        s1 = _make_shard(shard_path(str(tmp_path), 1), {"a": {"v": 1}})
+        s2 = _make_shard(shard_path(str(tmp_path), 2), {"b": {"v": 2}})
+        dest = CheckpointStore(":memory:")
+        report = merge_shards(dest, [(1, s1), (2, s2)])
+        assert report.shards == 2
+        assert report.inserted == 2 and report.replaced == 0
+        assert report.quarantined_total == 0
+        assert sorted(dest.keys()) == ["a", "b"]
+        dest.close()
+
+    def test_duplicate_key_last_writer_wins(self, tmp_path):
+        # The requeue-after-unacked-flush scenario: the same task ran on
+        # two ranks; the newer row must win regardless of merge order.
+        s1 = _make_shard(shard_path(str(tmp_path), 1), {"k": {"v": "old"}})
+        s2 = _make_shard(shard_path(str(tmp_path), 2), {"k": {"v": "new"}})
+        _set_created_at(s1, "k", 100.0)
+        _set_created_at(s2, "k", 200.0)
+        for order in ([(1, s1), (2, s2)], [(2, s2), (1, s1)]):
+            dest = CheckpointStore(":memory:")
+            report = merge_shards(dest, order)
+            assert report.merged >= 1
+            assert dest.get("k")["v"] == "new"
+            dest.close()
+
+    def test_equal_timestamp_tie_later_shard_wins(self, tmp_path):
+        s1 = _make_shard(shard_path(str(tmp_path), 1), {"k": {"v": 1}})
+        s2 = _make_shard(shard_path(str(tmp_path), 2), {"k": {"v": 2}})
+        _set_created_at(s1, "k", 50.0)
+        _set_created_at(s2, "k", 50.0)
+        dest = CheckpointStore(":memory:")
+        merge_shards(dest, [(1, s1), (2, s2)])
+        assert dest.get("k")["v"] == 2
+        dest.close()
+
+    def test_corrupt_row_quarantined_not_merged(self, tmp_path):
+        s1 = _make_shard(
+            shard_path(str(tmp_path), 1), {"good": {"v": 1}, "bad": {"v": 2}}
+        )
+        _corrupt_payload(s1, "bad")
+        dest = CheckpointStore(":memory:")
+        report = merge_shards(dest, [(1, s1)])
+        assert report.quarantined_total == 1
+        assert list(report.quarantined.values()) == [["bad"]]
+        assert dest.keys() == ["good"]
+        # The merged row still passes the destination's own audit.
+        assert dest.verify() == []
+        dest.close()
+
+    def test_merge_is_idempotent(self, tmp_path):
+        shards = [
+            (1, _make_shard(shard_path(str(tmp_path), 1), {"a": {"v": 1}})),
+            (2, _make_shard(shard_path(str(tmp_path), 2), {"b": {"v": 2}})),
+        ]
+        dest = CheckpointStore(":memory:")
+        first = merge_shards(dest, shards)
+        assert first.inserted == 2
+        again = merge_shards(dest, shards)
+        assert again.inserted == 0 and again.replaced == 0
+        assert again.skipped == 2
+        assert sorted(dest.keys()) == ["a", "b"]
+        dest.close()
+
+    def test_resume_from_partial_shards_after_rank_loss(self, tmp_path):
+        # Rank 2 died mid-campaign: only its partial shard survives.  The
+        # merge must fold what exists; pending() over the merged store
+        # then names exactly the lost work for the resumed campaign.
+        all_keys = {f"k{i}" for i in range(6)}
+        s1 = _make_shard(
+            shard_path(str(tmp_path), 1), {k: {"v": k} for k in ["k0", "k1", "k2"]}
+        )
+        s2 = _make_shard(shard_path(str(tmp_path), 2), {"k3": {"v": "k3"}})
+        dest = CheckpointStore(":memory:")
+        merge_shards(dest, discover_shards(str(tmp_path)))
+        missing = set(dest.pending(all_keys))
+        assert missing == {"k4", "k5"}
+        # The "resumed" campaign recomputes only the missing keys into a
+        # fresh shard; a second merge completes the set.
+        s3 = _make_shard(
+            shard_path(str(tmp_path), 3), {k: {"v": k} for k in missing}
+        )
+        merge_shards(dest, discover_shards(str(tmp_path)))
+        assert set(dest.keys()) == all_keys
+        assert dest.verify() == []
+        dest.close()
+
+    def test_failure_import_is_success_aware(self, tmp_path):
+        # key "flaky" failed on rank 1 but succeeded on rank 2: the
+        # merged ledger must not show it.  "poison" failed everywhere:
+        # it must surface, labelled with its originating rank.
+        s1 = _make_shard(
+            shard_path(str(tmp_path), 1),
+            {},
+            failures=[("flaky", "IOError: transient"), ("poison", "ValueError: bad")],
+        )
+        s2 = _make_shard(shard_path(str(tmp_path), 2), {"flaky": {"v": 1}})
+        dest = CheckpointStore(":memory:")
+        report = merge_shards(dest, [(1, s1), (2, s2)])
+        assert report.failures_imported == 1
+        ledger = dest.failures()
+        assert [e["key"] for e in ledger] == ["poison"]
+        assert ledger[0]["origin"] == "rank1"
+        dest.close()
+
+    def test_prior_failure_cleared_when_a_shard_succeeded(self, tmp_path):
+        # The destination store already holds a failure from a previous
+        # partial campaign; a shard that finally succeeded clears it.
+        dest = CheckpointStore(":memory:")
+        dest.record_failure("k", "IOError: was down", status=1)
+        s1 = _make_shard(shard_path(str(tmp_path), 1), {"k": {"v": 1}})
+        merge_shards(dest, [(1, s1)])
+        assert dest.failures() == []
+        dest.close()
+
+    def test_empty_report_summary_reads_sanely(self):
+        report = MergeReport()
+        assert "0 shard(s)" in report.summary()
+        assert report.merged == 0 and report.quarantined_total == 0
+
+
+class TestMergedRunStats:
+    def test_numeric_fields_sum_with_per_rank_breakdown(self, tmp_path):
+        s1 = _make_shard(
+            shard_path(str(tmp_path), 1), {},
+            stats={"completed": 3, "execute_seconds": 1.5, "engine": "cluster"},
+        )
+        s2 = _make_shard(
+            shard_path(str(tmp_path), 2), {},
+            stats={"completed": 4, "execute_seconds": 0.5},
+        )
+        merged = merged_run_stats(discover_shards(str(tmp_path)))
+        assert merged["engine"] == "cluster"
+        assert merged["ranks"] == 2
+        assert merged["completed"] == 7
+        assert merged["execute_seconds"] == pytest.approx(2.0)
+        assert set(merged["per_rank"]) == {"rank1", "rank2"}
+
+    def test_no_stats_anywhere_is_none(self, tmp_path):
+        _make_shard(shard_path(str(tmp_path), 1), {"a": {"v": 1}})
+        assert merged_run_stats(discover_shards(str(tmp_path))) is None
+
+
+class TestRowChecksumReverify:
+    def test_unchecksummed_garbage_row_quarantined(self, tmp_path):
+        # Legacy rows (empty checksum) are validated as JSON at least.
+        s1 = _make_shard(shard_path(str(tmp_path), 1), {"k": {"v": 1}})
+        db = sqlite3.connect(s1)
+        db.execute("UPDATE results SET payload='not json', checksum='' WHERE key='k'")
+        db.commit()
+        db.close()
+        dest = CheckpointStore(":memory:")
+        report = merge_shards(dest, [(1, s1)])
+        assert report.quarantined_total == 1
+        assert dest.keys() == []
+        dest.close()
+
+    def test_payload_checksum_matches_store_rows(self, tmp_path):
+        s1 = _make_shard(shard_path(str(tmp_path), 1), {"k": {"v": 1}})
+        with CheckpointStore(s1) as shard:
+            rows = shard.dump_rows()
+        (row,) = rows
+        assert payload_checksum(row[5]) == row[7]
+
+
+class TestSbatchGenerator:
+    def test_golden_script(self, tmp_path):
+        import pathlib
+
+        script = generate_sbatch(
+            "predict-bench collect --checkpoint bench.db",
+            job_name="cluster-demo",
+            ntasks=4,
+            nodes=2,
+            time_limit="02:30:00",
+            partition="batch",
+            account="csc999",
+            shard_dir="/scratch/shards",
+            coord_port=7621,
+            extra_directives=["--mem=16G"],
+        )
+        golden = pathlib.Path(__file__).parent / "golden" / "sbatch_cluster.sh"
+        assert script == golden.read_text(encoding="utf-8")
+
+    def test_rank_and_world_plumbing_present(self):
+        script = generate_sbatch("predict-bench collect", ntasks=3)
+        assert 'export REPRO_CLUSTER_RANK="${SLURM_PROCID}"' in script
+        assert 'export REPRO_CLUSTER_WORLD="${SLURM_NTASKS}"' in script
+        assert "--engine cluster" in script
+        assert '--shard-dir "${SHARD_DIR}"' in script
+
+    def test_single_rank_rejected(self):
+        with pytest.raises(ValueError, match="ntasks"):
+            generate_sbatch("predict-bench collect", ntasks=1)
+
+    def test_single_quotes_rejected(self):
+        with pytest.raises(ValueError, match="single quote"):
+            generate_sbatch("predict-bench collect --fields 'U'")
