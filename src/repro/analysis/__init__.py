@@ -15,7 +15,10 @@ Entry points:
   zero-findings exit code, also exposed as ``predict-bench lint``;
 * :func:`run_paths` — the same engine as a library call;
 * :class:`LockOrderWitness` — the runtime companion: wraps locks during
-  stress tests, records the acquisition graph, fails on cycles.
+  stress tests, records the acquisition graph, fails on cycles;
+* :class:`LocksetWitness` — the Eraser-style lockset sanitizer: also
+  instruments ``# guarded-by:`` attributes and reports any whose
+  candidate lockset goes empty (a data race no schedule needs to fire).
 
 Suppressions: ``# repro-lint: disable=RL101  # reason`` on (or directly
 above) the offending line, or ``# repro-lint: disable-file=RL102`` once
@@ -24,15 +27,25 @@ anywhere in a file.  Every suppression should carry a justification.
 
 from .engine import AnalysisReport, run_paths
 from .findings import Finding, Rule, Severity, all_rules
+from .racewitness import (
+    DataRaceViolation,
+    LocksetWitness,
+    RaceReport,
+    guarded_attributes,
+)
 from .witness import LockOrderViolation, LockOrderWitness
 
 __all__ = [
     "AnalysisReport",
+    "DataRaceViolation",
     "Finding",
     "LockOrderViolation",
     "LockOrderWitness",
+    "LocksetWitness",
+    "RaceReport",
     "Rule",
     "Severity",
     "all_rules",
+    "guarded_attributes",
     "run_paths",
 ]

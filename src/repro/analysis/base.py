@@ -26,6 +26,12 @@ HASH_CRITICAL_MARK = re.compile(r"#\s*(?:repro-lint:\s*)?hash-critical\b")
 #: mutation of ``self.attr`` must hold ``self._lock``.
 GUARDED_BY_MARK = re.compile(r"#\s*guarded-by:\s*(?:self\.)?(?P<lock>\w+)")
 
+#: ``self.attr = ...  # loop-owned`` declares that the attribute belongs
+#: to the event-loop thread: any access from a function shipped to a
+#: worker thread (``to_thread``/``run_in_executor``/``Thread``) is a
+#: data race (the ServeStats bug class from PR 5, as a rule).
+LOOP_OWNED_MARK = re.compile(r"#\s*loop-owned\b")
+
 #: Method names so common on builtin containers/str/bytes that following
 #: a bare-name edge through them would connect the hashing roots to half
 #: the codebase (``h.update`` is hashlib, not ``SomeCache.update``).

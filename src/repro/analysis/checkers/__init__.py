@@ -1,5 +1,7 @@
-"""The five checker implementations behind repro-lint."""
+"""The seven checker implementations behind repro-lint."""
 
+from .asyncdiscipline import AsyncDisciplineChecker
+from .forksafety import ForkSafetyChecker
 from .hashstab import HashStabilityChecker
 from .invalidation import InvalidationVocabularyChecker
 from .lifecycle import ResourceLifecycleChecker
@@ -13,10 +15,14 @@ ALL_CHECKERS = (
     StateCodecChecker,
     InvalidationVocabularyChecker,
     ResourceLifecycleChecker,
+    AsyncDisciplineChecker,
+    ForkSafetyChecker,
 )
 
 __all__ = [
     "ALL_CHECKERS",
+    "AsyncDisciplineChecker",
+    "ForkSafetyChecker",
     "HashStabilityChecker",
     "InvalidationVocabularyChecker",
     "LockDisciplineChecker",

@@ -1,0 +1,389 @@
+"""Fork safety: what the parent holds, the child inherits (broken).
+
+A ``fork()`` clones the whole Python heap mid-flight: locks keep their
+held/unheld bit but lose the thread that would release them, sockets
+and sqlite connections become two handles to one kernel object, other
+threads simply do not exist in the child.  The bugs this breeds — a
+child deadlocked on a lock its parent held, a placeholder socket kept
+alive by every worker, two processes writing one sqlite handle — only
+fire under chaos schedules, so they are checked statically here:
+
+* **RL701** — a live OS handle is *explicitly passed* to the child:
+  a name bound to a socket/sqlite/SharedMemory/file/CheckpointStore
+  constructor appears in a ``Process``/``ProcessPoolExecutor`` argument
+  list.  Handles do not survive pickling (spawn) and alias the parent's
+  kernel object (fork); the child must open its own.
+* **RL702** — the spawn site itself sits inside live parent state: a
+  lock-like ``with`` block or unreleased ``.acquire``, a started and
+  unjoined thread, an open sensitive handle in the same function, or an
+  ``async def`` (forking with a running event loop clones a loop that
+  will never be scheduled).  Spawn sites are found directly and through
+  the call graph (``self._spawn(...)`` counts), so extracting the
+  ``Process`` call into a helper does not hide the hazard.
+
+``subprocess`` is deliberately *not* a spawn site: it forks-and-execs
+with ``close_fds=True``, so the child never sees the parent's heap or
+descriptors — which is exactly why the cluster engine's worker launch
+is safe where a fork would not be.  State tracking is lexical (source
+order within one function), the same envelope as RL501's escape
+analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import (
+    UBIQUITOUS_METHOD_NAMES,
+    Checker,
+    FunctionRecord,
+    ModuleInfo,
+    ProjectIndex,
+    expr_text,
+)
+from ..findings import FORK_UNSAFE_HANDLE, FORK_WITH_LIVE_STATE, Finding
+
+#: Constructor final names whose result must not cross a fork boundary,
+#: mapped to the kind named in the finding message.
+FORK_SENSITIVE_CTORS = {
+    "socket": "socket",
+    "create_connection": "socket",
+    "connect": "sqlite connection",
+    "SharedMemory": "shared-memory handle",
+    "CheckpointStore": "checkpoint store",
+    "open": "file handle",
+    "memmap": "memory map",
+}
+
+#: Callee final names that create a child process from the live heap.
+SPAWN_CTORS = frozenset({"Process", "ProcessPoolExecutor"})
+SPAWN_DOTTED = frozenset({"os.fork"})
+
+#: Methods that retire a tracked handle (or thread) for this analysis.
+RELEASING_METHODS = frozenset(
+    {"close", "join", "release", "shutdown", "stop", "terminate", "unlink"}
+)
+
+_LOCKY = ("lock", "cond", "mutex", "sem")
+
+
+def _final_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _final_name(node.func)
+    return ""
+
+
+def _is_locky(name: str) -> bool:
+    low = name.lower()
+    return any(tok in low for tok in _LOCKY)
+
+
+def _is_spawn_call(node: ast.Call) -> bool:
+    if expr_text(node.func) in SPAWN_DOTTED:
+        return True
+    return _final_name(node.func) in SPAWN_CTORS
+
+
+def _own_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes in *fn*, excluding nested function definitions."""
+    nested: set[int] = set()
+    for node in ast.walk(fn):
+        if node is not fn and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            for sub in ast.walk(node):
+                nested.add(id(sub))
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and id(node) not in nested:
+            yield node
+
+
+class ForkSafetyChecker(Checker):
+    rules = (FORK_UNSAFE_HANDLE, FORK_WITH_LIVE_STATE)
+
+    def __init__(self) -> None:
+        #: function-node id -> does it (transitively) spawn a process?
+        self._spawns_memo: dict[int, bool] = {}
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterable[Finding]:
+        if module.tree is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, index, node, findings)
+        return findings
+
+    # -- transitive spawners ----------------------------------------------------
+    def _spawns(self, record: FunctionRecord, index: ProjectIndex) -> bool:
+        key = id(record.node)
+        if key in self._spawns_memo:
+            return self._spawns_memo[key]
+        self._spawns_memo[key] = False  # cycle guard
+        for call in _own_calls(record.node):
+            if _is_spawn_call(call):
+                self._spawns_memo[key] = True
+                return True
+        for call in _own_calls(record.node):
+            edge = self._edge(call, record.module, index)
+            if edge is None:
+                continue
+            _, targets = edge
+            if any(self._spawns(t, index) for t in targets):
+                self._spawns_memo[key] = True
+                return True
+        return False
+
+    @staticmethod
+    def _edge(
+        node: ast.Call, module: ModuleInfo, index: ProjectIndex
+    ) -> tuple[str, list[FunctionRecord]] | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            name = func.attr
+        else:
+            return None
+        candidates = index.functions.get(name, ())
+        local = [c for c in candidates if c.module is module]
+        if not local and name in UBIQUITOUS_METHOD_NAMES:
+            return None
+        targets = local or list(candidates)
+        return (name, targets) if targets else None
+
+    # -- per-function lexical walk ----------------------------------------------
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        index: ProjectIndex,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        state = _LiveState(in_async=isinstance(fn, ast.AsyncFunctionDef))
+        self._walk(module, index, fn.body, state, findings)
+
+    def _walk(
+        self,
+        module: ModuleInfo,
+        index: ProjectIndex,
+        body: list[ast.stmt],
+        state: "_LiveState",
+        findings: list[Finding],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are walked as their own functions
+            self._apply_statement(module, index, stmt, state, findings)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                entered_locks: list[str] = []
+                entered_handles: list[str] = []
+                for item in stmt.items:
+                    name = _final_name(item.context_expr)
+                    if _is_locky(name):
+                        entered_locks.append(name)
+                        continue
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and _final_name(item.context_expr.func) in FORK_SENSITIVE_CTORS
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        kind = FORK_SENSITIVE_CTORS[_final_name(item.context_expr.func)]
+                        state.handles[item.optional_vars.id] = kind
+                        entered_handles.append(item.optional_vars.id)
+                state.held_locks.extend(entered_locks)
+                self._walk(module, index, stmt.body, state, findings)
+                for name in entered_locks:
+                    state.held_locks.remove(name)
+                for name in entered_handles:
+                    state.handles.pop(name, None)  # the with closed it
+            else:
+                for sub_body in self._sub_bodies(stmt):
+                    self._walk(module, index, sub_body, state, findings)
+
+    @staticmethod
+    def _sub_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                bodies.append(sub)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _apply_statement(
+        self,
+        module: ModuleInfo,
+        index: ProjectIndex,
+        stmt: ast.stmt,
+        state: "_LiveState",
+        findings: list[Finding],
+    ) -> None:
+        # Spawn-site checks run against the state *before* this statement
+        # also registers new handles (a ctor in the same statement as the
+        # spawn is still visible through the call-argument check).
+        for call in self._statement_calls(stmt):
+            if _is_spawn_call(call):
+                self._check_spawn_args(module, call, state, findings)
+                self._report_live_state(module, call, "", state, findings)
+                continue
+            edge = self._edge(call, module, index)
+            if edge is not None:
+                name, targets = edge
+                if any(self._spawns(t, index) for t in targets):
+                    self._report_live_state(
+                        module, call, f" via '{name}()'", state, findings
+                    )
+        # Handle bookkeeping: binds, releases, thread starts.
+        self._track_bindings(stmt, state)
+
+    @staticmethod
+    def _statement_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Calls in *stmt*'s own expressions, not nested statement bodies."""
+        nested: set[int] = set()
+        for sub_body in ForkSafetyChecker._sub_bodies(stmt):
+            for sub in sub_body:
+                for node in ast.walk(sub):
+                    nested.add(id(node))
+        for node in ast.walk(stmt):
+            if id(node) in nested:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                for sub in ast.walk(node):
+                    nested.add(id(sub))
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and id(node) not in nested:
+                yield node
+
+    def _track_bindings(self, stmt: ast.stmt, state: "_LiveState") -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            ctor = _final_name(value) if isinstance(value, ast.Call) else ""
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if ctor in FORK_SENSITIVE_CTORS:
+                    state.handles[target.id] = FORK_SENSITIVE_CTORS[ctor]
+                elif ctor == "Thread":
+                    state.thread_vars.add(target.id)
+                    state.handles.pop(target.id, None)
+                else:
+                    # Rebinding retires whatever the name used to hold.
+                    state.handles.pop(target.id, None)
+                    state.started_threads.discard(target.id)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            func = call.func
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                recv = func.value.id
+                if func.attr == "start" and recv in state.thread_vars:
+                    state.started_threads.add(recv)
+                elif func.attr == "acquire" and _is_locky(recv):
+                    state.held_locks.append(recv)
+                elif func.attr == "release" and recv in state.held_locks:
+                    state.held_locks.remove(recv)
+                elif func.attr in RELEASING_METHODS:
+                    state.handles.pop(recv, None)
+                    state.started_threads.discard(recv)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.handles.pop(target.id, None)
+
+    # -- findings ----------------------------------------------------------------
+    def _check_spawn_args(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        state: "_LiveState",
+        findings: list[Finding],
+    ) -> None:
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        seen: set[str] = set()
+        for value in values:
+            for node in ast.walk(value):
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id in state.handles
+                    and node.id not in seen
+                ):
+                    seen.add(node.id)
+                    kind = state.handles[node.id]
+                    findings.append(
+                        Finding(
+                            rule=FORK_UNSAFE_HANDLE,
+                            path=module.path,
+                            line=call.lineno,
+                            message=(
+                                f"'{node.id}' ({kind}) is passed into "
+                                f"'{expr_text(call.func)}(...)'; the child "
+                                "aliases the parent's kernel object under "
+                                "fork and cannot unpickle it under spawn"
+                            ),
+                            hint="pass the path/address and open the handle "
+                            "inside the child (see _fleet_worker_main)",
+                        )
+                    )
+
+    def _report_live_state(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        via: str,
+        state: "_LiveState",
+        findings: list[Finding],
+    ) -> None:
+        live: list[str] = []
+        if state.held_locks:
+            live.append(
+                "held lock(s) " + ", ".join(f"'{n}'" for n in state.held_locks)
+            )
+        for name in sorted(state.started_threads):
+            live.append(f"running thread '{name}'")
+        for name, kind in sorted(state.handles.items()):
+            live.append(f"open {kind} '{name}'")
+        if state.in_async:
+            live.append("a running event loop (spawn site is in an async def)")
+        if not live:
+            return
+        findings.append(
+            Finding(
+                rule=FORK_WITH_LIVE_STATE,
+                path=module.path,
+                line=call.lineno,
+                message=(
+                    f"child process spawned{via} while the parent holds "
+                    + "; ".join(live)
+                ),
+                hint="release/close the state before forking, or make the "
+                "child shed it first thing (close inherited fds, re-open "
+                "its own handles)",
+            )
+        )
+
+
+class _LiveState:
+    """Lexically tracked parent-side state within one function."""
+
+    def __init__(self, *, in_async: bool) -> None:
+        self.in_async = in_async
+        self.held_locks: list[str] = []
+        self.thread_vars: set[str] = set()
+        self.started_threads: set[str] = set()
+        #: variable name -> handle kind
+        self.handles: dict[str, str] = {}

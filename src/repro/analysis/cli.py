@@ -9,7 +9,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .engine import render_json, run_paths
+from .engine import changed_files, render_json, run_paths
 from .findings import all_rules
 
 
@@ -28,14 +28,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; github = Actions annotations)",
     )
     parser.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids or names to run (default: all)",
+        help="comma-separated rule ids, names or family prefixes "
+        "(e.g. RL6,RL7) to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help="only report findings in files changed vs BASE "
+        "(git diff --name-only; default HEAD) plus untracked files; "
+        "the whole tree is still indexed for cross-module rules",
     )
     parser.add_argument(
         "--show-suppressed",
@@ -60,8 +71,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     rules = None
     if args.rules:
         rules = [tok for tok in args.rules.split(",") if tok.strip()]
+    only = None
+    if args.changed is not None:
+        try:
+            only = changed_files(args.changed)
+        except RuntimeError as exc:
+            print(f"repro-lint: --changed: {exc}", file=sys.stderr)
+            return 2
     try:
-        report = run_paths(args.paths, rules=rules)
+        report = run_paths(args.paths, rules=rules, only=only)
     except FileNotFoundError as exc:
         print(f"repro-lint: no such path: {exc}", file=sys.stderr)
         return 2
@@ -70,6 +88,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.format == "json":
         print(render_json(report, show_suppressed=args.show_suppressed))
+    elif args.format == "github":
+        print(report.render_github(show_suppressed=args.show_suppressed))
     else:
         print(report.render_text(show_suppressed=args.show_suppressed))
     return 0 if report.clean else 1

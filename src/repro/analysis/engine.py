@@ -9,10 +9,45 @@ from typing import Any, Iterable, Sequence
 
 from .base import ModuleInfo, ProjectIndex
 from .checkers import ALL_CHECKERS
-from .findings import RULES, SYNTAX_ERROR, Finding, resolve_rule_token
+from .findings import RULES, SYNTAX_ERROR, Finding, Severity, resolve_rule_token
 
 #: Directories never worth descending into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def changed_files(base: str, cwd: str | None = None) -> set[str]:
+    """Absolute paths of ``.py`` files changed vs *base* (plus untracked).
+
+    The incremental-lint work list: committed, staged and worktree
+    changes against *base*, plus untracked files (a brand-new module is
+    always "changed").  Raises ``RuntimeError`` when git is unusable —
+    the CLI maps that to exit code 2 rather than silently linting
+    nothing.
+    """
+    import subprocess
+
+    def run(cmd: list[str]) -> str:
+        proc = subprocess.run(
+            cmd, cwd=cwd, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(cmd)} failed: {proc.stderr.strip() or proc.returncode}"
+            )
+        return proc.stdout
+
+    root = run(["git", "rev-parse", "--show-toplevel"]).strip()
+    out: set[str] = set()
+    listings = [
+        run(["git", "diff", "--name-only", base, "--"]),
+        run(["git", "ls-files", "--others", "--exclude-standard"]),
+    ]
+    for listing in listings:
+        for rel in listing.splitlines():
+            rel = rel.strip()
+            if rel.endswith(".py"):
+                out.add(os.path.abspath(os.path.join(root, rel)))
+    return out
 
 
 def collect_files(paths: Sequence[str]) -> list[str]:
@@ -40,6 +75,8 @@ class AnalysisReport:
 
     findings: list[Finding] = field(default_factory=list)
     files: int = 0
+    #: files actually reported on under ``--changed`` (None = all of them)
+    scoped: int | None = None
     #: (path, line, token) suppression directives naming no known rule
     unknown_suppressions: list[tuple[str, int, str]] = field(default_factory=list)
 
@@ -57,6 +94,7 @@ class AnalysisReport:
         shown = self.findings if show_suppressed else self.active()
         return {
             "files": self.files,
+            "scoped": self.scoped,
             "findings": [f.to_record() for f in shown],
             "counts": {
                 "active": len(self.active()),
@@ -82,22 +120,53 @@ class AnalysisReport:
             )
         n_active = len(self.active())
         n_sup = len(self.suppressed())
+        scope = f" ({self.scoped} in scope)" if self.scoped is not None else ""
         lines.append(
-            f"repro-lint: {self.files} file(s), {n_active} finding(s)"
+            f"repro-lint: {self.files} file(s){scope}, {n_active} finding(s)"
             + (f", {n_sup} suppressed" if n_sup else "")
         )
         return "\n".join(lines)
 
+    def render_github(self, show_suppressed: bool = False) -> str:
+        """GitHub Actions workflow-command annotations, one per finding."""
+        lines: list[str] = []
+        shown = self.findings if show_suppressed else self.active()
+        for f in shown:
+            level = "error" if f.rule.severity is Severity.ERROR else "warning"
+            if f.suppressed:
+                level = "notice"
+            message = f.message + (f" [hint: {f.hint}]" if f.hint else "")
+            lines.append(
+                f"::{level} file={f.path},line={f.line},"
+                f"title={f.rule.id} {f.rule.name}::{message}"
+            )
+        lines.append(self.render_text().splitlines()[-1])
+        return "\n".join(lines)
+
 
 def run_modules(
-    modules: Iterable[ModuleInfo], rules: set[str] | None = None
+    modules: Iterable[ModuleInfo],
+    rules: set[str] | None = None,
+    report_only: set[str] | None = None,
 ) -> AnalysisReport:
-    """Run every checker over pre-parsed modules (the testable core)."""
+    """Run every checker over pre-parsed modules (the testable core).
+
+    *report_only* (absolute paths) scopes which modules may *emit*
+    findings; every module still feeds the :class:`ProjectIndex`, so
+    cross-module rules (RL201 reachability, RL402's metric registry,
+    RL502's callee analysis) see the whole tree in ``--changed`` mode.
+    """
     modules = list(modules)
     report = AnalysisReport(files=len(modules))
     index = ProjectIndex(m for m in modules if m.tree is not None)
     checkers = [cls() for cls in ALL_CHECKERS]
+    if report_only is not None:
+        report.scoped = 0
     for module in modules:
+        if report_only is not None:
+            if os.path.abspath(module.path) not in report_only:
+                continue
+            report.scoped += 1
         raw: list[Finding] = []
         if module.syntax_error is not None:
             raw.append(
@@ -123,9 +192,16 @@ def run_modules(
 
 
 def run_paths(
-    paths: Sequence[str], rules: Sequence[str] | None = None
+    paths: Sequence[str],
+    rules: Sequence[str] | None = None,
+    only: Iterable[str] | None = None,
 ) -> AnalysisReport:
-    """Lint files/directories; *rules* optionally restricts by id or name."""
+    """Lint files/directories; *rules* optionally restricts by id or name.
+
+    *only* (paths, any spelling) restricts which files may report
+    findings — the ``--changed`` work list — while the full *paths* set
+    is still parsed and indexed.
+    """
     selected: set[str] | None = None
     if rules is not None:
         selected = set()
@@ -142,7 +218,10 @@ def run_paths(
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
         modules.append(ModuleInfo.parse(path, source))
-    return run_modules(modules, selected)
+    report_only = None
+    if only is not None:
+        report_only = {os.path.abspath(p) for p in only}
+    return run_modules(modules, selected, report_only)
 
 
 def render_json(report: AnalysisReport, show_suppressed: bool = False) -> str:

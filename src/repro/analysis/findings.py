@@ -134,6 +134,36 @@ RESOURCE_LEAK_ACROSS_CALL = _rule(
     "an OS-backed resource's only escape is a call whose callee neither "
     "releases nor stores the received handle",
 )
+ASYNC_BLOCKING_CALL = _rule(
+    "RL601",
+    "blocking-call-in-async",
+    "a blocking call (sleep, disk/socket I/O, subprocess, untimed acquire) "
+    "runs on the event-loop thread inside an async def",
+)
+UNAWAITED_COROUTINE = _rule(
+    "RL602",
+    "unawaited-coroutine",
+    "a coroutine function is called as a bare statement; the coroutine is "
+    "created and dropped, its body never runs",
+)
+LOOP_OWNED_CROSS_THREAD = _rule(
+    "RL603",
+    "loop-owned-cross-thread",
+    "a '# loop-owned' annotated attribute is touched from a function shipped "
+    "to a worker thread (to_thread/run_in_executor/Thread)",
+)
+FORK_UNSAFE_HANDLE = _rule(
+    "RL701",
+    "fork-unsafe-handle-to-child",
+    "a live OS handle (socket, sqlite, shm, file, store) is passed as a "
+    "child-process argument across the fork/spawn boundary",
+)
+FORK_WITH_LIVE_STATE = _rule(
+    "RL702",
+    "fork-with-live-state",
+    "a child process is forked while the parent function holds live state "
+    "(running thread, held lock, open socket/sqlite/shm/file handle)",
+)
 
 
 def all_rules() -> list[Rule]:
@@ -141,7 +171,11 @@ def all_rules() -> list[Rule]:
 
 
 def resolve_rule_token(token: str) -> set[str]:
-    """Map a suppression/selection token to rule ids (empty if unknown)."""
+    """Map a suppression/selection token to rule ids (empty if unknown).
+
+    Accepts exact ids (``RL101``), names (``guarded-attr-unlocked``),
+    ``all``, and family prefixes (``RL6`` selects every RL6xx rule).
+    """
     token = token.strip()
     if not token:
         return set()
@@ -152,6 +186,8 @@ def resolve_rule_token(token: str) -> set[str]:
     by_name = {r.name: r.id for r in RULES.values()}
     if token in by_name:
         return {by_name[token]}
+    if re.fullmatch(r"RL\d+", token):
+        return {rid for rid in RULES if rid.startswith(token)}
     return set()
 
 

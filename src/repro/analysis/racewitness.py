@@ -1,0 +1,334 @@
+"""Runtime lockset sanitizer: the dynamic companion to RL101/RL603.
+
+Static lock discipline (RL101) checks that annotated attributes are
+*mutated* under their lock; it cannot see aliasing, reads, or code
+paths assembled at runtime.  This module closes that gap with the
+classic Eraser lockset algorithm (Savage et al., SOSP '97): every
+witnessed access to a ``# guarded-by:`` attribute intersects the set of
+witness-wrapped locks the accessing thread currently holds into the
+attribute's *candidate lockset*.  A shared, written attribute whose
+candidate lockset goes empty has no lock that consistently protects it
+— a data race report, even if the racy interleaving never actually
+fired during the run.
+
+:class:`LocksetWitness` extends :class:`~repro.analysis.witness.
+LockOrderWitness`, so it drops into the existing ``lock_witness=``
+seams (TaskQueue, CheckpointStore, FeaturizationCache) and still does
+cycle detection::
+
+    witness = LocksetWitness()
+    store = CheckpointStore(path, lock_witness=witness)
+    witness.instrument(store, name="store")   # auto-finds guarded attrs
+    ... hammer it from threads ...
+    witness.assert_race_free()                # and witness.assert_acyclic()
+
+Per-variable state machine (Eraser's, unmodified): *virgin* →
+*exclusive* (single thread, lockset untracked — init needs no locks) →
+*shared* (second thread reads) / *shared-modified* (second thread
+writes, or a write lands while shared).  Lockset refinement starts at
+the first cross-thread access; a report fires the moment a
+shared-modified variable's lockset empties.
+
+``REPRO_RACE_WITNESS_REPORT=<path>`` makes the stress suites dump a
+merged JSON report (see ``tests/test_racewitness_stress.py`` and the
+CI ``sanitizer`` job).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import json
+import sys
+import textwrap
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from .base import GUARDED_BY_MARK
+from .witness import LockOrderWitness
+
+#: Eraser variable states.
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+
+class DataRaceViolation(RuntimeError):
+    """A witnessed attribute's candidate lockset went empty."""
+
+    def __init__(self, races: list["RaceReport"]) -> None:
+        self.races = list(races)
+        super().__init__(
+            "lockset witness found {} race(s): {}".format(
+                len(races), "; ".join(r.describe() for r in races)
+            )
+        )
+
+
+@dataclass
+class RaceReport:
+    """One attribute whose lockset emptied while shared-modified."""
+
+    var: str
+    state: str
+    threads: list[str]
+    location: str
+    write: bool
+
+    def describe(self) -> str:
+        kind = "write" if self.write else "read"
+        return (
+            f"{self.var} ({self.state}, threads {', '.join(self.threads)}) "
+            f"lockset emptied at {kind} {self.location}"
+        )
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "var": self.var,
+            "state": self.state,
+            "threads": self.threads,
+            "location": self.location,
+            "write": self.write,
+        }
+
+
+@dataclass
+class _VarState:
+    state: str = VIRGIN
+    owner: int | None = None
+    #: None while exclusive (lockset tracking starts at first sharing).
+    lockset: set[str] | None = None
+    threads: set[str] = field(default_factory=set)
+    reads: int = 0
+    writes: int = 0
+    reported: bool = False
+
+
+def guarded_attributes(cls: type) -> dict[str, str]:
+    """``# guarded-by:`` annotated attribute -> lock name, from source.
+
+    Parses the class source the same way RL101 does, so the static and
+    dynamic checkers watch the identical attribute set.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):
+        return {}
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - getsource returned a fragment
+        return {}
+    lines = source.splitlines()
+    guarded: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        target = (
+            node.targets[0]
+            if isinstance(node, ast.Assign) and node.targets
+            else getattr(node, "target", None)
+        )
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        if 1 <= node.lineno <= len(lines):
+            m = GUARDED_BY_MARK.search(lines[node.lineno - 1])
+            if m:
+                guarded[target.attr] = m.group("lock")
+    return guarded
+
+
+class LocksetWitness(LockOrderWitness):
+    """Lock-order witness plus Eraser lockset race detection.
+
+    ``check_on_access=True`` raises :class:`DataRaceViolation` at the
+    access that empties a lockset (pinning the racy stack in the
+    traceback) instead of deferring to :meth:`assert_race_free`.
+    """
+
+    def __init__(
+        self,
+        check_on_acquire: bool = False,
+        *,
+        check_on_access: bool = False,
+    ) -> None:
+        super().__init__(check_on_acquire)
+        self.check_on_access = check_on_access
+        self._vars: dict[str, _VarState] = {}
+        self._race_list: list[RaceReport] = []
+        self._vars_lock = threading.Lock()
+        self._pause_depth = 0
+
+    @contextmanager
+    def paused(self) -> Iterator[None]:
+        """Suspend access witnessing inside the block.
+
+        For post-join inspection: Eraser has no happens-before edge for
+        ``Thread.join``, so reading a witnessed counter after the
+        workload would empty its lockset and report a race that cannot
+        happen.  Joins really do order those reads; wrap them here.
+        """
+        with self._vars_lock:
+            self._pause_depth += 1
+        try:
+            yield
+        finally:
+            with self._vars_lock:
+                self._pause_depth -= 1
+
+    # -- instrumentation ---------------------------------------------------------
+    def instrument(
+        self,
+        obj: Any,
+        *,
+        attrs: Iterable[str] | None = None,
+        name: str | None = None,
+    ) -> Any:
+        """Intercept reads/writes of *obj*'s guarded attributes.
+
+        *attrs* overrides auto-discovery (the ``# guarded-by:``
+        annotations in the class source).  Swaps ``obj.__class__`` for a
+        dynamically built subclass, so isinstance checks and behaviour
+        are untouched; returns *obj* for chaining.
+        """
+        cls = type(obj)
+        watched = frozenset(attrs if attrs is not None else guarded_attributes(cls))
+        if not watched:
+            raise ValueError(
+                f"{cls.__name__} has no '# guarded-by:' attributes; pass attrs=..."
+            )
+        label = name if name is not None else cls.__name__
+        witness = self
+
+        def __getattribute__(self: Any, attr: str) -> Any:
+            if attr in watched:
+                witness._on_access(f"{label}.{attr}", write=False)
+            return cls.__getattribute__(self, attr)
+
+        def __setattr__(self: Any, attr: str, value: Any) -> None:
+            if attr in watched:
+                witness._on_access(f"{label}.{attr}", write=True)
+            cls.__setattr__(self, attr, value)
+
+        shadow = type(
+            f"_Witnessed{cls.__name__}",
+            (cls,),
+            {"__getattribute__": __getattribute__, "__setattr__": __setattr__},
+        )
+        object.__setattr__(obj, "__class__", shadow)
+        return obj
+
+    # -- the Eraser state machine ------------------------------------------------
+    def _on_access(self, var: str, *, write: bool) -> None:
+        tid = threading.get_ident()
+        tname = threading.current_thread().name
+        held = set(self._held())
+        race: RaceReport | None = None
+        with self._vars_lock:
+            if self._pause_depth:
+                return
+            st = self._vars.setdefault(var, _VarState())
+            st.threads.add(tname)
+            if write:
+                st.writes += 1
+            else:
+                st.reads += 1
+            if st.state == VIRGIN:
+                st.state = EXCLUSIVE
+                st.owner = tid
+            elif st.state == EXCLUSIVE and tid == st.owner:
+                pass  # single-thread phase: no lockset requirement
+            else:
+                if st.lockset is None:
+                    # First cross-thread access starts refinement.
+                    st.lockset = set(held)
+                else:
+                    st.lockset &= held
+                if st.state in (VIRGIN, EXCLUSIVE):
+                    st.state = SHARED_MODIFIED if write else SHARED
+                elif write and st.state == SHARED:
+                    st.state = SHARED_MODIFIED
+                if (
+                    st.state == SHARED_MODIFIED
+                    and not st.lockset
+                    and not st.reported
+                ):
+                    st.reported = True
+                    race = RaceReport(
+                        var=var,
+                        state=st.state,
+                        threads=sorted(st.threads),
+                        location=self._caller_location(),
+                        write=write,
+                    )
+                    self._race_list.append(race)
+        if race is not None and self.check_on_access:
+            raise DataRaceViolation([race])
+
+    @staticmethod
+    def _caller_location() -> str:
+        frame = sys._getframe(1)
+        while frame is not None and frame.f_code.co_filename == __file__:
+            frame = frame.f_back
+        if frame is None:  # pragma: no cover - there is always a caller
+            return "<unknown>"
+        return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+    # -- queries / reporting -----------------------------------------------------
+    def races(self) -> list[RaceReport]:
+        with self._vars_lock:
+            return list(self._race_list)
+
+    def assert_race_free(self) -> None:
+        races = self.races()
+        if races:
+            raise DataRaceViolation(races)
+
+    def report(self) -> dict[str, Any]:
+        """JSON-able summary: per-variable locksets plus the race list."""
+        with self._vars_lock:
+            variables = {
+                var: {
+                    "state": st.state,
+                    "lockset": sorted(st.lockset) if st.lockset is not None else None,
+                    "threads": sorted(st.threads),
+                    "reads": st.reads,
+                    "writes": st.writes,
+                }
+                for var, st in sorted(self._vars.items())
+            }
+            races = [r.to_record() for r in self._race_list]
+        return {
+            "variables": variables,
+            "races": races,
+            "lock_order_edges": sorted(self.edges()),
+        }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.report(), fh, indent=2, sort_keys=True)
+
+
+def merge_reports(reports: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold per-suite witness reports into one CI artifact."""
+    merged: dict[str, Any] = {"suites": {}, "total_races": 0}
+    for label_report in reports:
+        label = label_report.get("label", f"suite{len(merged['suites'])}")
+        merged["suites"][label] = label_report
+        merged["total_races"] += len(label_report.get("races", []))
+    return merged
+
+
+__all__ = [
+    "DataRaceViolation",
+    "LocksetWitness",
+    "RaceReport",
+    "guarded_attributes",
+    "merge_reports",
+]

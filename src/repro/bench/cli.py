@@ -445,8 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run repro-lint (static invariant checks) over source paths",
     )
     lint.add_argument("paths", nargs="*", default=["src"])
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "github"), default="text")
     lint.add_argument("--rules", default=None)
+    lint.add_argument("--changed", nargs="?", const="HEAD", default=None, metavar="BASE")
     lint.add_argument("--show-suppressed", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
     return parser
@@ -1105,6 +1106,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.rules:
         argv += ["--rules", args.rules]
+    if args.changed is not None:
+        argv += ["--changed", args.changed]
     if args.show_suppressed:
         argv.append("--show-suppressed")
     if args.list_rules:

@@ -113,6 +113,11 @@ class FeaturizationCache:
     fault_hook:
         Forwarded to the shm registry's publish fault points
         (chaos-test injection; see :data:`~repro.dataset.shm.SHM_FAULT_POINTS`).
+    lock_witness:
+        A :class:`~repro.analysis.witness.LockOrderWitness` (or the
+        lockset-tracking :class:`~repro.analysis.racewitness.LocksetWitness`)
+        that wraps the internal lock during stress tests; ``None`` (the
+        default) uses a plain ``threading.Lock``.
     """
 
     def __init__(
@@ -125,14 +130,19 @@ class FeaturizationCache:
         stale_intent_seconds: float = 5.0,
         track: bool = True,
         fault_hook: Any = None,
+        lock_witness: Any = None,
     ) -> None:
         self.capacity = max(1, int(capacity))
         self.shared_capacity_bytes = int(shared_capacity_bytes)
-        self._lock = threading.Lock()
+        self._lock = (
+            lock_witness.wrap(name="featcache.lock")
+            if lock_witness is not None
+            else threading.Lock()
+        )
         #: cache key -> (row, cost_s, source_nbytes)
-        self._l1: OrderedDict[str, tuple[dict[str, Any], float, int]] = OrderedDict()
+        self._l1: OrderedDict[str, tuple[dict[str, Any], float, int]] = OrderedDict()  # guarded-by: _lock
         #: (model key, version) -> feature signature (None = uncacheable)
-        self._signatures: dict[tuple[str, str], str | None] = {}
+        self._signatures: dict[tuple[str, str], str | None] = {}  # guarded-by: _lock
         self._shm: SharedSegmentRegistry | None = None
         if shared_dir is not None:
             self._shm = SharedSegmentRegistry(
@@ -142,7 +152,7 @@ class FeaturizationCache:
                 stale_intent_seconds=stale_intent_seconds,
                 fault_hook=fault_hook,
             )
-        self.counters = {
+        self.counters = {  # guarded-by: _lock
             "l1_hits": 0,
             "l2_hits": 0,
             "misses": 0,

@@ -105,6 +105,16 @@ def _fleet_worker_main(spec: dict[str, Any], ready_queue: Any) -> None:
     """Entry point of one fleet worker process (module-level: picklable)."""
     import asyncio
 
+    for fd in spec.get("inherited_fds") or ():
+        # Fork-context children inherit the parent's bound placeholder
+        # socket (RL702).  Holding it would keep a dead SO_REUSEPORT
+        # reservation in every worker's fd table for the fleet's whole
+        # lifetime; shed it before anything else opens descriptors.
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
     registry = ModelRegistry(spec["registry_root"])
     feat_cache = _build_feat_cache(spec)
     drift_config = (
@@ -220,6 +230,9 @@ class ServeFleet:
         self._records: dict[int, _WorkerRecord] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._ready_queue: Any = None
+        #: fileno of the start()-time port placeholder, live only while
+        #: the initial spawn loop runs; fork children close it at birth.
+        self._placeholder_fd: int | None = None
         self._supervisor: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._started = False
@@ -246,7 +259,13 @@ class ServeFleet:
                 placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
                 placeholder.bind((self.host, self.port))
                 self.port = placeholder.getsockname()[1]
+                self._placeholder_fd = placeholder.fileno()
             for worker_id in range(self.workers):
+                # The placeholder must stay bound while workers spawn —
+                # closing it first reopens the port-0 race it exists to
+                # shut.  Fork children shed the inherited fd at birth
+                # (spec["inherited_fds"] in _fleet_worker_main).
+                # repro-lint: disable=RL702  # placeholder held by design; the child closes the inherited fd
                 self._spawn(worker_id)
             self._await_ready(self.ready_timeout)
         except Exception:
@@ -254,6 +273,7 @@ class ServeFleet:
             self._terminate_all()
             raise
         finally:
+            self._placeholder_fd = None
             if placeholder is not None:
                 placeholder.close()
         self._supervisor = threading.Thread(
@@ -313,6 +333,15 @@ class ServeFleet:
             "feat_cache_bytes": self.feat_cache_bytes,
             "drift_config": self.drift_config,
             "server_options": self.server_options,
+            # Parent fds a fork child must close at birth (empty under
+            # spawn, where nothing is inherited).  Only the start()-time
+            # placeholder ever qualifies; restarts see None.
+            "inherited_fds": (
+                [self._placeholder_fd]
+                if self._placeholder_fd is not None
+                and self._ctx.get_start_method() == "fork"
+                else []
+            ),
         }
         proc = self._ctx.Process(
             target=_fleet_worker_main,

@@ -319,7 +319,7 @@ class PredictionServer:
         self.max_batch = max(1, int(max_batch))
         self.max_in_flight = max(1, int(max_in_flight))
         self.max_queue_depth = max(1, int(max_queue_depth))
-        self.stats = ServeStats()
+        self.stats = ServeStats()  # loop-owned
         self.cache = _ModelCache(registry, cache_capacity, self.stats)
         #: Shared/local featurization cache; None disables (see featcache.py).
         self.feat_cache = feat_cache
@@ -477,11 +477,12 @@ class PredictionServer:
         elif op == "ping":
             response = {"ok": True, "status": STATUS_OK, "pong": True}
         elif op == "models":
-            response = {
-                "ok": True,
-                "status": STATUS_OK,
-                "models": [self.registry.describe(k) for k in self.registry.keys()],
-            }
+            # Registry listing walks the on-disk version layout; keep it
+            # off the loop thread (RL601 regression: the models op used
+            # to stall every in-flight predict while describe() stat'ed
+            # version directories).
+            models = await asyncio.to_thread(self._describe_models)
+            response = {"ok": True, "status": STATUS_OK, "models": models}
         elif op == "refresh":
             response = await self._handle_refresh(request)
         elif op == "shutdown":
@@ -495,6 +496,10 @@ class PredictionServer:
         if rid is not None:
             response["id"] = rid
         return response
+
+    def _describe_models(self) -> list[dict[str, Any]]:
+        """Disk-walking registry listing (always runs via ``to_thread``)."""
+        return [self.registry.describe(k) for k in self.registry.keys()]
 
     # -- refresh path ------------------------------------------------------------
     async def _handle_refresh(self, request: dict[str, Any]) -> dict[str, Any]:

@@ -629,3 +629,264 @@ class TestLockOrderWitness:
             with pytest.raises(LockOrderViolation):
                 a.acquire()
             a.release()  # acquire succeeded before the check fired
+
+
+# -- RL601 blocking-call-in-async ----------------------------------------------
+
+RL601_BAD = """\
+    import time
+
+    async def refresh_loop(interval):
+        time.sleep(interval)  # BAD
+"""
+
+RL601_VIA_BAD = """\
+    import time
+
+    def warm_cache():
+        time.sleep(0.5)
+
+    async def handle(request):
+        warm_cache()  # BAD
+"""
+
+RL601_GOOD = """\
+    import asyncio
+    import time
+
+    async def refresh_loop(interval):
+        await asyncio.sleep(interval)
+        await asyncio.to_thread(time.sleep, interval)
+
+    async def drain(state_lock):
+        state_lock.acquire(timeout=1.0)
+"""
+
+
+class TestAsyncBlockingCall:
+    def test_direct_blocking_call_is_flagged(self):
+        report = lint(RL601_BAD)
+        assert hits(report, "RL601") == [bad_line(RL601_BAD)]
+
+    def test_blocking_call_behind_sync_helper_is_flagged_at_the_call_site(self):
+        report = lint(RL601_VIA_BAD)
+        assert hits(report, "RL601") == [bad_line(RL601_VIA_BAD)]
+        (finding,) = [f for f in report.active() if f.rule.id == "RL601"]
+        assert "via 'warm_cache()'" in finding.message
+
+    def test_untimed_lock_acquire_on_the_loop_is_flagged(self):
+        src = """\
+            async def drain(state_lock):
+                state_lock.acquire()  # BAD
+        """
+        report = lint(src)
+        assert hits(report, "RL601") == [bad_line(src)]
+
+    def test_store_disk_methods_on_the_loop_are_flagged(self):
+        # The serve/server.py 'models' op regression: registry listing
+        # stat'ing version directories from the event-loop thread.
+        src = """\
+            class Handler:
+                def __init__(self, registry):
+                    self.registry = registry
+
+                async def models(self):
+                    return [self.registry.describe(k) for k in self.registry.keys()]  # BAD
+        """
+        report = lint(src)
+        line = bad_line(src)
+        assert hits(report, "RL601") == [line, line]  # describe and keys
+
+    def test_awaited_and_to_thread_shipped_calls_pass(self):
+        assert lint(RL601_GOOD).clean
+
+
+# -- RL602 unawaited-coroutine -------------------------------------------------
+
+RL602_BAD = """\
+    async def persist(row):
+        return row
+
+    def shutdown_hook(rows):
+        for row in rows:
+            persist(row)  # BAD
+"""
+
+RL602_GOOD = """\
+    import asyncio
+
+    async def persist(row):
+        return row
+
+    async def main(rows):
+        for row in rows:
+            await persist(row)
+        task = asyncio.create_task(persist({}))
+        await task
+"""
+
+
+class TestUnawaitedCoroutine:
+    def test_bare_statement_call_is_flagged(self):
+        report = lint(RL602_BAD)
+        assert hits(report, "RL602") == [bad_line(RL602_BAD)]
+
+    def test_awaited_and_task_wrapped_calls_pass(self):
+        assert lint(RL602_GOOD).clean
+
+
+# -- RL603 loop-owned-cross-thread ---------------------------------------------
+
+RL603_BAD = """\
+    import asyncio
+
+    class Server:
+        def __init__(self):
+            self.stats = {}  # loop-owned
+
+        async def handle(self, request):
+            await asyncio.to_thread(self._featurize, request)
+
+        def _featurize(self, request):
+            self._bump()
+            return request
+
+        def _bump(self):
+            self.stats["served"] = 1  # BAD
+"""
+
+RL603_GOOD = """\
+    import asyncio
+
+    class Server:
+        def __init__(self):
+            self.stats = {}  # loop-owned
+
+        async def handle(self, request):
+            served = await asyncio.to_thread(self._featurize, request)
+            self.stats["served"] = served
+
+        def _featurize(self, request):
+            return 1
+"""
+
+
+class TestLoopOwnedCrossThread:
+    def test_owned_attr_touched_in_shipped_closure_is_flagged(self):
+        # The touch is two hops off the loop: handle ships _featurize,
+        # _featurize calls _bump, _bump touches the loop-owned attr.
+        report = lint(RL603_BAD)
+        assert hits(report, "RL603") == [bad_line(RL603_BAD)]
+        (finding,) = [f for f in report.active() if f.rule.id == "RL603"]
+        assert "shipped via to_thread" in finding.message
+
+    def test_worker_returning_a_value_for_the_loop_to_apply_passes(self):
+        assert lint(RL603_GOOD).clean
+
+
+# -- RL701 fork-unsafe-handle-to-child -----------------------------------------
+
+RL701_BAD = """\
+    import sqlite3
+    from multiprocessing import Process
+
+    def launch(path, target):
+        db = sqlite3.connect(path)
+        worker = Process(target=target, args=(db,))  # BAD
+        worker.start()
+        return worker
+"""
+
+RL701_GOOD = """\
+    from multiprocessing import Process
+
+    def launch(path, target):
+        worker = Process(target=target, args=(path,))
+        worker.start()
+        return worker
+"""
+
+
+class TestForkUnsafeHandle:
+    def test_live_handle_in_child_args_is_flagged(self):
+        report = lint(RL701_BAD)
+        line = bad_line(RL701_BAD)
+        assert hits(report, "RL701") == [line]
+        # The open connection also makes the spawn site itself unsafe.
+        assert hits(report, "RL702") == [line]
+
+    def test_passing_the_path_instead_passes(self):
+        assert lint(RL701_GOOD).clean
+
+
+# -- RL702 fork-with-live-state ------------------------------------------------
+
+RL702_BAD = """\
+    import threading
+    from multiprocessing import Process
+
+    def launch(loop_fn, target):
+        pump = threading.Thread(target=loop_fn)
+        pump.start()
+        child = Process(target=target)  # BAD
+        child.start()
+        return pump, child
+"""
+
+RL702_VIA_BAD = """\
+    from multiprocessing import Process
+
+    class Fleet:
+        def _spawn(self, wid):
+            return Process(target=wid)
+
+        def start(self, state_lock):
+            with state_lock:
+                self._spawn(1)  # BAD
+"""
+
+RL702_GOOD = """\
+    import threading
+    from multiprocessing import Process
+
+    def launch(loop_fn, target, path):
+        pump = threading.Thread(target=loop_fn)
+        pump.start()
+        pump.join()
+        fh = open(path)
+        fh.close()
+        child = Process(target=target)
+        child.start()
+        return child
+"""
+
+
+class TestForkWithLiveState:
+    def test_spawn_with_running_thread_is_flagged(self):
+        report = lint(RL702_BAD)
+        assert hits(report, "RL702") == [bad_line(RL702_BAD)]
+        (finding,) = [f for f in report.active() if f.rule.id == "RL702"]
+        assert "running thread 'pump'" in finding.message
+
+    def test_spawn_under_lock_via_helper_is_flagged_at_the_helper_call(self):
+        report = lint(RL702_VIA_BAD)
+        assert hits(report, "RL702") == [bad_line(RL702_VIA_BAD)]
+        (finding,) = [f for f in report.active() if f.rule.id == "RL702"]
+        assert "via '_spawn()'" in finding.message
+        assert "held lock(s) 'state_lock'" in finding.message
+
+    def test_spawn_inside_async_def_is_flagged(self):
+        src = """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            async def scale_out():
+                pool = ProcessPoolExecutor()  # BAD
+                return pool
+        """
+        report = lint(src)
+        assert hits(report, "RL702") == [bad_line(src)]
+        (finding,) = [f for f in report.active() if f.rule.id == "RL702"]
+        assert "running event loop" in finding.message
+
+    def test_joined_thread_and_closed_handles_pass(self):
+        assert lint(RL702_GOOD).clean

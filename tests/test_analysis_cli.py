@@ -82,13 +82,33 @@ def test_missing_path_is_a_usage_error(tmp_path, capsys):
     assert "no such path" in capsys.readouterr().err
 
 
-def test_list_rules_names_all_ten(capsys):
+def test_list_rules_names_all_fifteen(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert len(all_rules()) == 10
+    assert len(all_rules()) == 15
     for rule in all_rules():
         assert rule.id in out
         assert rule.name in out
+
+
+def test_rules_family_prefix_selects_the_whole_family(tmp_path):
+    path = tmp_path / "loopy.py"
+    path.write_text(
+        "import time\n"
+        "\n"
+        "async def tick():\n"
+        "    time.sleep(1)\n"
+    )
+    assert lint_main([str(path), "--rules", "RL6"]) == 1
+    assert lint_main([str(path), "--rules", "RL7"]) == 0
+    assert lint_main([str(path), "--rules", "RL6,RL7"]) == 1
+
+
+def test_github_format_emits_annotations(bad_file, capsys):
+    assert lint_main([bad_file, "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert f"::error file={bad_file},line=4,title=RL501 resource-leak::" in out
+    assert out.strip().endswith("1 finding(s)")
 
 
 def test_show_suppressed_includes_silenced_findings(tmp_path, capsys):
@@ -110,6 +130,73 @@ def test_bench_cli_lint_subcommand_delegates(bad_file, clean_file, capsys):
     assert bench_main(["lint", bad_file, "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["counts"]["active"] == 1
+
+
+class TestChangedMode:
+    """--changed scopes reporting without shrinking the project index."""
+
+    HELPER = "import time\n\ndef warm_cache():\n    time.sleep(0.5)\n"
+    APP_CLEAN = "def ping():\n    return 'pong'\n"
+    APP_BAD = "from helper import warm_cache\n\nasync def handle():\n    warm_cache()\n"
+
+    @pytest.fixture
+    def git_repo(self, tmp_path, monkeypatch):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        (tmp_path / "helper.py").write_text(self.HELPER)
+        (tmp_path / "app.py").write_text(self.APP_CLEAN)
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_cross_file_finding_in_changed_file_is_reported(self, git_repo, capsys):
+        # The blocking reason lives in *unchanged* helper.py: the full
+        # tree must still be indexed for the call graph to resolve.
+        (git_repo / "app.py").write_text(self.APP_BAD)
+        assert lint_main([str(git_repo), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "RL601" in out
+        assert "(1 in scope)" in out
+
+    def test_finding_in_unchanged_file_is_out_of_scope(self, git_repo, capsys):
+        import subprocess
+
+        (git_repo / "app.py").write_text(self.APP_BAD)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", "add", "-A"],
+            cwd=git_repo, check=True, capture_output=True,
+        )
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", "commit", "-qm", "bad"],
+            cwd=git_repo, check=True, capture_output=True,
+        )
+        (git_repo / "other.py").write_text("X = 1\n")
+        assert lint_main([str(git_repo), "--changed"]) == 0
+        out = capsys.readouterr().out
+        assert "(1 in scope)" in out
+        # ...but a full run still sees it.
+        assert lint_main([str(git_repo)]) == 1
+
+    def test_outside_a_git_repo_is_a_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        assert lint_main([str(tmp_path), "--changed"]) == 2
+        assert "--changed" in capsys.readouterr().err
+
+    def test_bench_cli_forwards_changed(self, git_repo, capsys):
+        (git_repo / "app.py").write_text(self.APP_BAD)
+        assert bench_main(["lint", str(git_repo), "--changed", "HEAD"]) == 1
+        assert "(1 in scope)" in capsys.readouterr().out
 
 
 def test_module_entry_point_runs(bad_file):

@@ -1,0 +1,301 @@
+"""Lockset-sanitizer stress suites: the CI ``sanitizer`` job's payload.
+
+Each suite runs a real concurrent workload with a
+:class:`~repro.analysis.racewitness.LocksetWitness` threaded through the
+``lock_witness=`` seam (TaskQueue, CheckpointStore, FeaturizationCache)
+and the stores' ``# guarded-by:`` attributes instrumented, then asserts
+two things at once:
+
+* **race-free** — no witnessed attribute's candidate lockset emptied
+  while shared-modified (the Eraser verdict);
+* **deadlock-free** — the lock acquisition graph stayed acyclic (the
+  PR-5 lock-order verdict; LocksetWitness extends LockOrderWitness).
+
+A deliberately racy fixture proves the witness actually fires — a
+sanitizer that cannot fail proves nothing.
+
+``REPRO_RACE_WITNESS_REPORT=<path>`` dumps a merged JSON report of
+every suite's locksets and races at session end (uploaded as a CI
+artifact by the sanitizer job).
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.analysis import (
+    DataRaceViolation,
+    LocksetWitness,
+    guarded_attributes,
+)
+from repro.analysis.racewitness import merge_reports
+from repro.bench import CheckpointStore, FaultInjector, Task, TaskQueue
+from repro.serve.featcache import FeaturizationCache
+
+#: Collected per-suite witness reports, dumped at session end.
+_REPORTS: list[dict] = []
+
+
+def _register(label: str, witness: LocksetWitness) -> None:
+    report = witness.report()
+    report["label"] = label
+    _REPORTS.append(report)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_reports():
+    yield
+    path = os.environ.get("REPRO_RACE_WITNESS_REPORT")
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(merge_reports(_REPORTS), fh, indent=2, sort_keys=True)
+
+
+def make_tasks(n_data=4, per_data=3):
+    tasks = []
+    for d in range(n_data):
+        for k in range(per_data):
+            tasks.append(
+                Task(
+                    data_index=d,
+                    data_id=f"data/{d}",
+                    compressor_id="sz3",
+                    compressor_options={"pressio:abs": 10.0 ** -(k + 2)},
+                    dataset_config={"entry:data_id": f"data/{d}"},
+                    replicate=0,
+                    nbytes=1 << 20,
+                )
+            )
+    return tasks
+
+
+class RacyCounter:
+    """Deliberate victim: the annotation says ``_lock``, one path forgets."""
+
+    def __init__(self, lock) -> None:
+        self._lock = lock
+        self.total = 0  # guarded-by: _lock
+
+    def add_locked(self, k: int) -> None:
+        with self._lock:
+            self.total += k
+
+    def add_racy(self, k: int) -> None:
+        self.total += k  # repro-lint: disable=RL101  # the deliberate race under test
+
+
+class TestDeliberateRace:
+    """The witness must fire on a planted race and explain it."""
+
+    def test_auto_discovery_reads_guarded_by_comments(self):
+        assert guarded_attributes(RacyCounter) == {"total": "_lock"}
+
+    def test_unlocked_writer_empties_the_lockset(self):
+        witness = LocksetWitness()
+        counter = RacyCounter(witness.wrap(name="counter.lock"))
+        witness.instrument(counter, name="counter")
+        # Seed a main-thread access so the workers are never the first
+        # (and possibly only) thread Eraser sees: without this, a racy
+        # thread that finishes before the locked one starts would stay
+        # in the exclusive phase and the race would escape.
+        counter.add_locked(1)
+
+        def worker(racy: bool) -> None:
+            for _ in range(200):
+                (counter.add_racy if racy else counter.add_locked)(1)
+
+        threads = [
+            threading.Thread(target=worker, args=(i == 1,), name=f"racer-{i}")
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        races = witness.races()
+        assert races, "planted race was not detected"
+        assert races[0].var == "counter.total"
+        assert races[0].state == "shared-modified"
+        with pytest.raises(DataRaceViolation):
+            witness.assert_race_free()
+        report = witness.report()
+        assert report["races"], "race missing from the JSON report"
+        assert report["variables"]["counter.total"]["lockset"] == []
+
+    def test_locked_writers_stay_quiet(self):
+        witness = LocksetWitness()
+        counter = RacyCounter(witness.wrap(name="counter.lock"))
+        witness.instrument(counter, name="counter")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.add_locked(1) for _ in range(200)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        witness.assert_race_free()
+        with witness.paused():
+            assert counter.total == 800
+        witness.assert_race_free()
+        assert witness.report()["variables"]["counter.total"]["lockset"] == [
+            "counter.lock"
+        ]
+
+    def test_check_on_access_raises_at_the_racy_site(self):
+        witness = LocksetWitness(check_on_access=True)
+        counter = RacyCounter(witness.wrap(name="counter.lock"))
+        witness.instrument(counter, name="counter")
+        counter.add_locked(1)  # main thread: exclusive phase
+
+        failures: list[BaseException] = []
+
+        def racy() -> None:
+            try:
+                for _ in range(100):
+                    counter.add_racy(1)
+            except DataRaceViolation as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=racy)
+        t.start()
+        t.join()
+        assert failures, "check_on_access did not raise in the racy thread"
+
+
+class TestWitnessedCheckpointStore:
+    """Hammer puts/failures/flushes from threads plus the flush timer."""
+
+    def test_store_stress_is_race_free(self, tmp_path):
+        witness = LocksetWitness()
+        store = CheckpointStore(
+            str(tmp_path / "ck.db"),
+            flush_every=8,
+            flush_interval=0.02,
+            lock_witness=witness,
+        )
+        witness.instrument(store, name="store")
+        try:
+
+            def worker(wid: int) -> None:
+                for i in range(60):
+                    key = f"w{wid}-k{i}"
+                    if i % 7 == 3:
+                        store.record_failure(key, "boom", status=1)
+                    else:
+                        store.put(key, {"v": i, "w": wid})
+                    if i % 13 == 0:
+                        store.flush()
+
+            threads = [
+                threading.Thread(target=worker, args=(w,), name=f"store-{w}")
+                for w in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            store.flush()
+            witness.assert_race_free()
+            witness.assert_acyclic()
+            with witness.paused():
+                assert store.commit_count > 0
+                assert len(store.query()) == 4 * 60 - 4 * 9  # failures excluded
+        finally:
+            _register("checkpoint-stress", witness)
+            with witness.paused():
+                store.close()
+
+    def test_instrument_watches_the_annotated_attrs(self):
+        assert set(guarded_attributes(CheckpointStore)) == {
+            "_buffer",
+            "_last_flush",
+            "commit_count",
+        }
+
+
+class TestWitnessedTaskQueue:
+    """The PR-5 acyclic-order suite, upgraded to also prove locksets."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_queue_with_checkpoint_sink_is_race_free(self, workers, tmp_path):
+        witness = LocksetWitness()
+        store = CheckpointStore(
+            str(tmp_path / "ck.db"), flush_every=4, lock_witness=witness
+        )
+        witness.instrument(store, name="store")
+        try:
+            tasks = make_tasks(n_data=6, per_data=4)
+            fn = FaultInjector(lambda t, w: {"ok": 1}, fail_first_attempt_every=4)
+
+            def sink(result):
+                if result.ok:
+                    store.put(result.task.key(), result.payload)
+
+            results, stats = TaskQueue(
+                workers, "thread", max_retries=3, lock_witness=witness
+            ).run(tasks, fn, on_result=sink)
+            store.flush()
+            assert stats.failed == 0
+            assert stats.completed == len(tasks)
+            witness.assert_race_free()
+            witness.assert_acyclic()
+            # The sink runs under the queue condvar and takes the store
+            # lock: the edge exists, and only in that direction.
+            assert ("taskqueue.cond", "checkpoint.lock") in witness.edges()
+            assert ("checkpoint.lock", "taskqueue.cond") not in witness.edges()
+            with witness.paused():
+                assert len(store.query()) == len(tasks)
+        finally:
+            _register(f"taskqueue-stress-{workers}w", witness)
+            with witness.paused():
+                store.close()
+
+
+class TestWitnessedFeatCache:
+    """Concurrent get/put/stats over the shared featurization cache."""
+
+    def test_featcache_stress_is_race_free(self):
+        witness = LocksetWitness()
+        # capacity > key population: the second pass over the 80 keys is
+        # guaranteed L1 hits, so the hit-path counters are exercised.
+        cache = FeaturizationCache(capacity=128, lock_witness=witness)
+        witness.instrument(cache, name="featcache")
+
+        def worker(wid: int) -> None:
+            for i in range(150):
+                key = f"featrow-{i % 80}"
+                hit = cache.get(key)
+                if hit is None:
+                    cache.put(
+                        key, {"v": i, "w": wid}, cost_s=0.001, source_nbytes=64
+                    )
+                if i % 29 == 0:
+                    cache.stats()
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), name=f"cache-{w}")
+            for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        witness.assert_race_free()
+        witness.assert_acyclic()
+        with witness.paused():
+            stats = cache.stats()
+        assert stats["stores"] > 0
+        assert stats["l1_hits"] > 0
+        _register("featcache-stress", witness)
+
+    def test_instrument_watches_the_annotated_attrs(self):
+        assert set(guarded_attributes(FeaturizationCache)) == {
+            "_l1",
+            "_signatures",
+            "counters",
+        }
